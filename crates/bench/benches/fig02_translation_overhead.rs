@@ -1,0 +1,35 @@
+//! Fig. 2: fraction of runtime spent on address translation with 4 KiB
+//! pages, for all 12 configurations.
+//!
+//! Paper shape: translation is a significant share of execution time for
+//! every graph workload.
+
+use graphmem_bench::{all_configs, pct, scale_for, Figure};
+use graphmem_core::{Experiment, PagePolicy};
+
+fn main() {
+    let mut fig = Figure::new(
+        "fig02_translation_overhead",
+        "address translation share of runtime, 4KB pages",
+        &[
+            "kernel",
+            "dataset",
+            "translation_pct_4k",
+            "translation_pct_thp",
+        ],
+    );
+    for (kernel, dataset) in all_configs() {
+        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+        let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
+        assert!(base.verified && thp.verified);
+        fig.row(vec![
+            kernel.name().into(),
+            dataset.name().into(),
+            pct(base.translation_overhead()),
+            pct(thp.translation_overhead()),
+        ]);
+    }
+    fig.note("paper: translation overheads are substantial at 4KB and collapse with huge pages");
+    fig.finish();
+}

@@ -1,0 +1,90 @@
+//! Fig. 6: how movable and non-movable fragmentation interfere with huge
+//! page allocation — rendered directly from the simulated zone as the four
+//! stages of the paper's diagram.
+
+use graphmem_bench::Figure;
+use graphmem_os::{PageSize, System, SystemSpec, ThpMode};
+use graphmem_physmem::{BlockClass, Noise, Owner};
+
+fn counts(sys: &System) -> [usize; 4] {
+    let snap = sys.zone(1).snapshot();
+    [
+        snap.count(BlockClass::Free),
+        snap.count(BlockClass::HugeAllocated),
+        snap.count(BlockClass::MovableFragmented),
+        snap.count(BlockClass::UnmovableFragmented),
+    ]
+}
+
+fn main() {
+    let mut fig = Figure::new(
+        "fig06_fragmentation_anatomy",
+        "pageblock states through the Fig. 6 scenario",
+        &[
+            "stage",
+            "free",
+            "huge_in_use",
+            "movable_frag",
+            "unmovable_frag",
+        ],
+    );
+    let mut spec = SystemSpec::scaled(32);
+    spec.thp.mode = ThpMode::Always;
+    let mut sys = System::new(spec);
+    let huge = sys.geometry().bytes(PageSize::Huge);
+
+    let stage = |fig: &mut Figure, name: &str, sys: &System| {
+        let c = counts(sys);
+        fig.row(vec![
+            name.into(),
+            c[0].to_string(),
+            c[1].to_string(),
+            c[2].to_string(),
+            c[3].to_string(),
+        ]);
+        println!(
+            "{}",
+            sys.zone(1)
+                .snapshot()
+                .render(64)
+                .trim_end()
+                .lines()
+                .map(|l| format!("#   {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    };
+
+    // Row 1: a long-running system — kernel (non-movable) blocks that are
+    // essentially full, plus movable fragmentation from other residents.
+    let total_blocks = sys.zone(1).free_huge_blocks();
+    for _ in 0..total_blocks * 15 / 100 {
+        let zone = sys.zone_mut(1);
+        let order = zone.config().huge_order;
+        zone.alloc(order, Owner::Kernel).expect("fresh zone");
+    }
+    let blocks = sys.zone(1).free_huge_blocks();
+    let _noise = Noise::sprinkle(sys.zone_mut(1), blocks * 2 / 3, 0.5);
+    stage(&mut fig, "long_running_system", &sys);
+
+    // Rows 2-3: graph CSR arrays allocate and consume free huge regions,
+    // then compaction-backed allocation digs into movable fragmentation.
+    let csr = sys.mmap(36 * huge, "csr_arrays");
+    sys.populate(csr, 36 * huge);
+    stage(&mut fig, "csr_arrays_allocated", &sys);
+
+    // Row 4: the property array arrives last; only 4KB pages remain where
+    // non-movable fragmentation blocks huge page creation.
+    let prop = sys.mmap(24 * huge, "property_array");
+    sys.populate(prop, 24 * huge);
+    stage(&mut fig, "property_array_allocated", &sys);
+
+    let rep = sys.mapping_report(prop);
+    fig.note(&format!(
+        "property array ended with {} huge pages and {} base pages; {} fault-time fallbacks total",
+        rep.huge_pages,
+        rep.base_pages,
+        sys.os_stats().huge_fallbacks
+    ));
+    fig.finish();
+}

@@ -1,0 +1,69 @@
+//! Fig. 10: degree-based preprocessing × selective THP under low pressure
+//! (+3 GB-equivalent) and 50% fragmentation, all 12 configurations.
+//!
+//! Columns mirror the paper's bars: DBG alone, DBG + system-wide THP,
+//! system-wide THP alone, and DBG + selective THP at s = 50% and 100% of
+//! the property array.
+
+use graphmem_bench::{all_configs, f3, pct, scale_for, Figure};
+use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Preprocessing};
+
+fn main() {
+    let mut fig = Figure::new(
+        "fig10_selective_thp",
+        "DBG x selective THP at +3GB-equivalent, 50% fragmentation",
+        &[
+            "kernel",
+            "dataset",
+            "speedup_dbg",
+            "speedup_thp",
+            "speedup_dbg_thp",
+            "speedup_dbg_sel50",
+            "speedup_dbg_sel100",
+            "huge_mem_pct_sel50",
+        ],
+    );
+    let cond = MemoryCondition::fragmented(0.5);
+    for (kernel, dataset) in all_configs() {
+        let proto = Experiment::new(dataset, kernel)
+            .scale(scale_for(dataset))
+            .condition(cond);
+        let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+        let dbg = proto
+            .clone()
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::BaseOnly)
+            .run();
+        let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
+        let dbg_thp = proto
+            .clone()
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::ThpSystemWide)
+            .run();
+        let sel50 = proto
+            .clone()
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::SelectiveProperty { fraction: 0.5 })
+            .run();
+        let sel100 = proto
+            .clone()
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::SelectiveProperty { fraction: 1.0 })
+            .run();
+        for r in [&base, &dbg, &thp, &dbg_thp, &sel50, &sel100] {
+            assert!(r.verified);
+        }
+        fig.row(vec![
+            kernel.name().into(),
+            dataset.name().into(),
+            f3(dbg.speedup_over(&base)),
+            f3(thp.speedup_over(&base)),
+            f3(dbg_thp.speedup_over(&base)),
+            f3(sel50.speedup_over(&base)),
+            f3(sel100.speedup_over(&base)),
+            pct(sel50.huge_memory_fraction()),
+        ]);
+    }
+    fig.note("paper: selective THP (s=100%) beats DBG and system-wide THP in every configuration");
+    fig.finish();
+}

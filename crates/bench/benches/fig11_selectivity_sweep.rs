@@ -1,0 +1,51 @@
+//! Fig. 11: sensitivity to THP selectivity — back 0–100% of the property
+//! array (steps of 20%) with huge pages, original vs DBG-preprocessed
+//! vertex order. BFS on all datasets at +3 GB-equivalent, 50%
+//! fragmentation.
+//!
+//! Paper shape: without preprocessing (ID-shuffled kron) the benefit grows
+//! roughly linearly with s; with DBG (or naturally hub-clustered inputs)
+//! s = 20% already captures most of the benefit — diminishing returns.
+
+use graphmem_bench::{f3, pct, scale_for, Figure};
+use graphmem_core::{sweep, Experiment, MemoryCondition, PagePolicy, Preprocessing};
+use graphmem_graph::Dataset;
+use graphmem_workloads::Kernel;
+
+fn main() {
+    let mut fig = Figure::new(
+        "fig11_selectivity_sweep",
+        "BFS speedup vs property-array THP fraction, original vs DBG",
+        &[
+            "dataset",
+            "s_fraction",
+            "speedup_original",
+            "speedup_dbg",
+            "huge_mem_pct_dbg",
+        ],
+    );
+    let cond = MemoryCondition::fragmented(0.5);
+    for dataset in Dataset::ALL {
+        let proto = Experiment::new(dataset, Kernel::Bfs)
+            .scale(scale_for(dataset))
+            .condition(cond);
+        let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+        let original = sweep::selectivity(&proto, &sweep::SELECTIVITY_LEVELS);
+        let dbg = sweep::selectivity(
+            &proto.clone().preprocessing(Preprocessing::Dbg),
+            &sweep::SELECTIVITY_LEVELS,
+        );
+        for ((s, o), (_, d)) in original.into_iter().zip(dbg) {
+            assert!(o.verified && d.verified);
+            fig.row(vec![
+                dataset.name().into(),
+                format!("{s:.1}"),
+                f3(o.speedup_over(&base)),
+                f3(d.speedup_over(&base)),
+                pct(d.huge_memory_fraction()),
+            ]);
+        }
+    }
+    fig.note("paper: ~linear growth without preprocessing; diminishing returns after 20% with DBG");
+    fig.finish();
+}

@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the substrates: how fast the simulator
+//! itself runs (host time), plus simulation-ablation comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use graphmem_graph::{reorder, Dataset};
+use graphmem_os::{PageSize, System, SystemSpec, ThpMode, VirtAddr};
+use graphmem_physmem::{MemConfig, Owner, Zone};
+use graphmem_vm::{MemorySystem, MmuConfig, PageTable};
+use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
+
+fn buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_4k", |b| {
+        let mut zone = Zone::new(0, 1 << 16, MemConfig::default());
+        b.iter(|| {
+            let f = zone.alloc_frame(Owner::user()).unwrap();
+            zone.free_frame(black_box(f));
+        });
+    });
+    c.bench_function("buddy_alloc_free_huge", |b| {
+        let mut zone = Zone::new(0, 1 << 16, MemConfig::default());
+        b.iter(|| {
+            let r = zone.alloc(9, Owner::user()).unwrap();
+            zone.free(black_box(r.base), 9);
+        });
+    });
+}
+
+fn translation(c: &mut Criterion) {
+    let memcfg = MemConfig::default();
+    let mut zone = Zone::new(1, 1 << 16, memcfg);
+    let mut pt = PageTable::new(1, memcfg);
+    let mut mmu = MemorySystem::new(MmuConfig::haswell(memcfg));
+    for i in 0..4096u64 {
+        let f = zone.alloc_frame(Owner::user()).unwrap();
+        pt.map(VirtAddr(i * 4096), PageSize::Base, f, 1, &mut || {
+            zone.alloc_frame(Owner::Kernel)
+        })
+        .unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("mmu_access_tlb_thrash", |b| {
+        b.iter(|| {
+            i = (i + 577) % 4096; // co-prime stride defeats the TLBs
+            mmu.access(&pt, VirtAddr(black_box(i * 4096)), false)
+                .unwrap();
+        });
+    });
+    let mut j = 0u64;
+    c.bench_function("mmu_access_tlb_hit", |b| {
+        b.iter(|| {
+            j = (j + 8) % 4096; // same page region, mostly DTLB hits
+            mmu.access(&pt, VirtAddr(black_box(64 * 4096 + j)), false)
+                .unwrap();
+        });
+    });
+}
+
+fn fault_paths(c: &mut Criterion) {
+    c.bench_function("fault_base_page", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemSpec::scaled_demo());
+                let a = sys.mmap(16 << 20, "bench");
+                (sys, a)
+            },
+            |(mut sys, a)| {
+                for p in 0..64u64 {
+                    sys.write(a.add(p * 4096));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("fault_huge_page", |b| {
+        b.iter_batched(
+            || {
+                let mut spec = SystemSpec::scaled_demo();
+                spec.thp.mode = ThpMode::Always;
+                let mut sys = System::new(spec);
+                let a = sys.mmap(16 << 20, "bench");
+                (sys, a)
+            },
+            |(mut sys, a)| {
+                let huge = sys.geometry().bytes(PageSize::Huge);
+                for p in 0..16u64 {
+                    sys.write(a.add(p * huge));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn kernels_sim_vs_native(c: &mut Criterion) {
+    let csr = Dataset::Wiki.generate_with_scale(12);
+    let root = default_root(&csr);
+    c.bench_function("bfs_native_scale12", |b| {
+        b.iter(|| black_box(Kernel::Bfs.run_native(&csr, root)));
+    });
+    c.bench_function("bfs_simulated_scale12", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemSpec::scaled_demo());
+                let arrays = GraphArrays::map(&mut sys, &csr, Kernel::Bfs);
+                (sys, arrays)
+            },
+            |(mut sys, mut arrays)| {
+                arrays.initialize(&mut sys, AllocOrder::Natural);
+                black_box(Kernel::Bfs.run_simulated(&mut sys, &mut arrays, root))
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn reordering(c: &mut Criterion) {
+    let csr = Dataset::Kron25.generate_with_scale(14);
+    c.bench_function("dbg_reorder_scale14", |b| {
+        b.iter(|| black_box(reorder::degree_based_grouping(&csr)));
+    });
+    c.bench_function("degree_sort_scale14", |b| {
+        b.iter(|| black_box(reorder::degree_sort(&csr)));
+    });
+    let perm = reorder::degree_based_grouping(&csr);
+    c.bench_function("csr_permute_scale14", |b| {
+        b.iter(|| black_box(csr.permuted(&perm)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = buddy, translation, fault_paths, kernels_sim_vs_native, reordering
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Table 1: evaluation system parameters — the Haswell configuration the
+//! simulator models, both at full fidelity and in the scaled preset the
+//! experiments run with (DESIGN.md §5).
+
+use graphmem_bench::Figure;
+use graphmem_os::SystemSpec;
+
+fn main() {
+    let mut fig = Figure::new(
+        "table1_system_params",
+        "evaluation system parameters (full Haswell vs scaled preset)",
+        &["parameter", "haswell", "scaled_preset"],
+    );
+    let h = SystemSpec::haswell();
+    let s = SystemSpec::scaled(256);
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "huge page",
+            format!("{} KiB", h.memcfg.huge_bytes() / 1024),
+            format!("{} KiB", s.memcfg.huge_bytes() / 1024),
+        ),
+        (
+            "L1 DTLB 4K entries",
+            h.mmu.tlb.dtlb_base.entries.to_string(),
+            s.mmu.tlb.dtlb_base.entries.to_string(),
+        ),
+        (
+            "L1 DTLB huge entries",
+            h.mmu.tlb.dtlb_huge.entries.to_string(),
+            s.mmu.tlb.dtlb_huge.entries.to_string(),
+        ),
+        (
+            "L2 STLB entries",
+            h.mmu.tlb.stlb.entries.to_string(),
+            s.mmu.tlb.stlb.entries.to_string(),
+        ),
+        (
+            "STLB base-page reach",
+            format!("{} KiB", h.mmu.stlb_base_reach() / 1024),
+            format!("{} KiB", s.mmu.stlb_base_reach() / 1024),
+        ),
+        (
+            "L1/L2/L3 caches",
+            format!(
+                "{}K/{}K/{}M",
+                h.mmu.l1.size_bytes / 1024,
+                h.mmu.l2.size_bytes / 1024,
+                h.mmu.l3.size_bytes / (1 << 20)
+            ),
+            format!(
+                "{}K/{}K/{:.1}M",
+                s.mmu.l1.size_bytes / 1024,
+                s.mmu.l2.size_bytes / 1024,
+                s.mmu.l3.size_bytes as f64 / (1 << 20) as f64
+            ),
+        ),
+        (
+            "DRAM local/remote cycles",
+            format!("{}/{}", h.mmu.cost.dram_local, h.mmu.cost.dram_remote),
+            format!("{}/{}", s.mmu.cost.dram_local, s.mmu.cost.dram_remote),
+        ),
+        (
+            "NUMA nodes x RAM",
+            format!("2 x {} GiB", h.node_bytes[0] >> 30),
+            format!("2 x {} MiB", s.node_bytes[0] >> 20),
+        ),
+        (
+            "memory binding",
+            format!("node {}", h.local_node),
+            format!("node {}", s.local_node),
+        ),
+    ];
+    for (p, a, b) in rows {
+        fig.row(vec![p.into(), a, b]);
+    }
+    fig.note("paper Table 1: Xeon E5-2667v3, 2 sockets, 64GB/node, Linux v5.15");
+    fig.finish();
+}

@@ -1,0 +1,53 @@
+//! §5.1.2: preprocessing (DBG) runtime overhead relative to end-to-end
+//! application runtime.
+//!
+//! Paper numbers: up to 2.36% for SSSP/PR (1.32% average), up to 16.5% for
+//! the short-running BFS (13% average).
+
+use graphmem_bench::{all_configs, pct, scale_for, Figure};
+use graphmem_core::{Experiment, PagePolicy, Preprocessing};
+
+fn main() {
+    let mut fig = Figure::new(
+        "table3_dbg_overhead",
+        "DBG preprocessing overhead vs application runtime",
+        &[
+            "kernel",
+            "dataset",
+            "preprocess_Mcycles",
+            "app_Mcycles",
+            "overhead_pct",
+        ],
+    );
+    let mut bfs_overheads = Vec::new();
+    let mut other_overheads = Vec::new();
+    for (kernel, dataset) in all_configs() {
+        let r = Experiment::new(dataset, kernel)
+            .scale(scale_for(dataset))
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::ThpSystemWide)
+            .run();
+        assert!(r.verified);
+        let app = r.init_cycles + r.compute_cycles;
+        let overhead = r.preprocess_cycles as f64 / (r.preprocess_cycles + app) as f64;
+        if kernel.name() == "bfs" {
+            bfs_overheads.push(overhead);
+        } else {
+            other_overheads.push(overhead);
+        }
+        fig.row(vec![
+            kernel.name().into(),
+            dataset.name().into(),
+            format!("{:.2}", r.preprocess_cycles as f64 / 1e6),
+            format!("{:.2}", app as f64 / 1e6),
+            pct(overhead),
+        ]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    fig.note(&format!(
+        "BFS avg overhead {:.1}% (paper: 13%, max 16.5%); SSSP/PR avg {:.1}% (paper: 1.32%, max 2.36%)",
+        avg(&bfs_overheads),
+        avg(&other_overheads)
+    ));
+    fig.finish();
+}

@@ -1,0 +1,51 @@
+//! # graphmem-cli — command-line driver for graphmem experiments
+//!
+//! Parsing and execution logic for the `graphmem` binary, separated from
+//! `main.rs` so it can be unit-tested. No external argument-parsing
+//! dependencies: the grammar is small and stable.
+//!
+//! ```text
+//! graphmem run   [OPTIONS]             # one measured experiment
+//! graphmem sweep <pressure|frag|selectivity> [OPTIONS]
+//! graphmem datasets                    # list dataset presets
+//! graphmem help
+//! ```
+
+#![warn(missing_docs)]
+
+mod parse;
+mod run;
+
+pub use parse::{parse, Command, ParseError};
+pub use run::execute;
+
+/// The usage text shown by `graphmem help` and on parse errors.
+pub const USAGE: &str = "\
+graphmem — application-aware page size management for graph analytics
+(reproduction of Manocha et al., IISWC 2022)
+
+USAGE:
+    graphmem run   [OPTIONS]                 run one measured experiment
+    graphmem sweep <pressure|frag|selectivity> [OPTIONS]
+    graphmem datasets                        list dataset presets
+    graphmem help                            show this text
+
+OPTIONS (run and sweep):
+    --dataset <kron|twit|web|wiki>           input graph      [kron]
+    --kernel  <bfs|pr|sssp|cc>               application      [bfs]
+    --scale   <N>                            log2 vertices    [dataset default]
+    --policy  <4k|thp|property|hugetlb|selective:F|auto:C>    [4k]
+                                             F = property fraction 0..1
+                                             C = access coverage 0..1
+    --preprocess <none|dbg|sort|random>      vertex reorder   [none]
+    --order   <natural|property-first>       first-touch order [natural]
+    --surplus <unbounded|FRAC>               free mem = WSS*(1+FRAC) [unbounded]
+    --frag    <F>                            non-movable fragmentation 0..1 [0]
+    --file    <tmpfs|cache|direct>           graph loading    [tmpfs]
+    --no-verify                              skip native-twin verification
+
+EXAMPLES:
+    graphmem run --dataset kron --kernel bfs --policy thp --surplus 0.12
+    graphmem run --policy selective:0.2 --preprocess dbg --frag 0.5 --surplus 0.35
+    graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
+";

@@ -1,0 +1,18 @@
+//! The `graphmem` binary: see [`graphmem_cli::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match graphmem_cli::parse(&args) {
+        Ok(cmd) => {
+            graphmem_cli::execute(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", graphmem_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Argument parsing for the `graphmem` binary.
+
+use graphmem_core::{MemoryCondition, PagePolicy, Preprocessing, Surplus};
+use graphmem_graph::Dataset;
+use graphmem_os::FilePlacement;
+use graphmem_workloads::{AllocOrder, Kernel};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `graphmem run`
+    Run(RunSpec),
+    /// `graphmem sweep <kind>`
+    Sweep(SweepKind, RunSpec),
+    /// `graphmem datasets`
+    Datasets,
+    /// `graphmem help`
+    Help,
+}
+
+/// Which parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Free-memory surplus ladder (§4.3.1).
+    Pressure,
+    /// Fragmentation levels (Fig. 9).
+    Fragmentation,
+    /// Selective-THP fractions (Fig. 11).
+    Selectivity,
+}
+
+/// Everything needed to build an [`Experiment`](graphmem_core::Experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Input graph preset.
+    pub dataset: Dataset,
+    /// Application kernel.
+    pub kernel: Kernel,
+    /// Optional scale override (log2 vertices).
+    pub scale: Option<u8>,
+    /// Page-size policy.
+    pub policy: PagePolicy,
+    /// Vertex reordering.
+    pub preprocess: Preprocessing,
+    /// First-touch order.
+    pub order: AllocOrder,
+    /// Memory condition.
+    pub condition: MemoryCondition,
+    /// File-loading placement.
+    pub file: FilePlacement,
+    /// Verify against the native twin.
+    pub verify: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            dataset: Dataset::Kron25,
+            kernel: Kernel::Bfs,
+            scale: None,
+            policy: PagePolicy::BaseOnly,
+            preprocess: Preprocessing::None,
+            order: AllocOrder::Natural,
+            condition: MemoryCondition::unbounded(),
+            file: FilePlacement::TmpfsRemote,
+            verify: true,
+        }
+    }
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parse a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a message suitable for direct display.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("datasets") => Ok(Command::Datasets),
+        Some("run") => Ok(Command::Run(parse_spec(it.as_slice())?)),
+        Some("sweep") => {
+            let kind = match it.next().map(String::as_str) {
+                Some("pressure") => SweepKind::Pressure,
+                Some("frag") | Some("fragmentation") => SweepKind::Fragmentation,
+                Some("selectivity") => SweepKind::Selectivity,
+                other => {
+                    return err(format!(
+                        "sweep needs one of pressure|frag|selectivity, got {other:?}"
+                    ))
+                }
+            };
+            Ok(Command::Sweep(kind, parse_spec(it.as_slice())?))
+        }
+        Some(other) => err(format!("unknown command '{other}' (try 'graphmem help')")),
+    }
+}
+
+fn parse_spec(args: &[String]) -> Result<RunSpec, ParseError> {
+    let mut spec = RunSpec::default();
+    let mut surplus: Option<Surplus> = None;
+    let mut frag: f64 = 0.0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--dataset" => {
+                spec.dataset = match value()?.as_str() {
+                    "kron" => Dataset::Kron25,
+                    "twit" | "twitter" => Dataset::Twitter,
+                    "web" => Dataset::Web,
+                    "wiki" => Dataset::Wiki,
+                    other => return err(format!("unknown dataset '{other}'")),
+                }
+            }
+            "--kernel" => {
+                spec.kernel = match value()?.as_str() {
+                    "bfs" => Kernel::Bfs,
+                    "pr" | "pagerank" => Kernel::Pagerank,
+                    "sssp" => Kernel::Sssp,
+                    "cc" => Kernel::Cc,
+                    other => return err(format!("unknown kernel '{other}'")),
+                }
+            }
+            "--scale" => {
+                spec.scale = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| ParseError("--scale needs an integer".into()))?,
+                )
+            }
+            "--policy" => spec.policy = parse_policy(value()?)?,
+            "--preprocess" => {
+                spec.preprocess = match value()?.as_str() {
+                    "none" => Preprocessing::None,
+                    "dbg" => Preprocessing::Dbg,
+                    "sort" => Preprocessing::DegreeSort,
+                    "random" => Preprocessing::Random,
+                    other => return err(format!("unknown preprocessing '{other}'")),
+                }
+            }
+            "--order" => {
+                spec.order = match value()?.as_str() {
+                    "natural" => AllocOrder::Natural,
+                    "property-first" | "optimized" => AllocOrder::PropertyFirst,
+                    other => return err(format!("unknown order '{other}'")),
+                }
+            }
+            "--surplus" => {
+                let v = value()?;
+                surplus = if v == "unbounded" {
+                    Some(Surplus::Unbounded)
+                } else {
+                    let f: f64 = v.parse().map_err(|_| {
+                        ParseError("--surplus needs 'unbounded' or a fraction".into())
+                    })?;
+                    Some(Surplus::FractionOfWss(f))
+                };
+            }
+            "--frag" => {
+                frag = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--frag needs a fraction".into()))?;
+                if !(0.0..=1.0).contains(&frag) {
+                    return err("--frag must be within 0..=1");
+                }
+            }
+            "--file" => {
+                spec.file = match value()?.as_str() {
+                    "tmpfs" => FilePlacement::TmpfsRemote,
+                    "cache" => FilePlacement::LocalPageCache,
+                    "direct" => FilePlacement::DirectIo,
+                    other => return err(format!("unknown file placement '{other}'")),
+                }
+            }
+            "--no-verify" => spec.verify = false,
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    spec.condition = build_condition(surplus, frag)?;
+    Ok(spec)
+}
+
+fn build_condition(surplus: Option<Surplus>, frag: f64) -> Result<MemoryCondition, ParseError> {
+    Ok(match (surplus, frag) {
+        (None | Some(Surplus::Unbounded), 0.0) => MemoryCondition::unbounded(),
+        (None | Some(Surplus::Unbounded), f) => MemoryCondition::fragmented(f),
+        (Some(s), 0.0) => MemoryCondition::pressured(s),
+        (Some(s), f) => MemoryCondition {
+            surplus: s,
+            fragmentation: f,
+            noise_occupancy: 0.5,
+        },
+    })
+}
+
+fn parse_policy(v: &str) -> Result<PagePolicy, ParseError> {
+    if let Some(rest) = v.strip_prefix("selective:") {
+        let fraction: f64 = rest
+            .parse()
+            .map_err(|_| ParseError("selective:<fraction> needs a number".into()))?;
+        if !(0.0..=1.0).contains(&fraction) {
+            return err("selective fraction must be within 0..=1");
+        }
+        return Ok(PagePolicy::SelectiveProperty { fraction });
+    }
+    if let Some(rest) = v.strip_prefix("auto:") {
+        let coverage: f64 = rest
+            .parse()
+            .map_err(|_| ParseError("auto:<coverage> needs a number".into()))?;
+        if !(0.0..=1.0).contains(&coverage) {
+            return err("auto coverage must be within 0..=1");
+        }
+        return Ok(PagePolicy::AutoSelective { coverage });
+    }
+    match v {
+        "4k" | "4kb" | "base" => Ok(PagePolicy::BaseOnly),
+        "thp" => Ok(PagePolicy::ThpSystemWide),
+        "property" => Ok(PagePolicy::property_only()),
+        "hugetlb" => Ok(PagePolicy::HugetlbProperty),
+        other => err(format!("unknown policy '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn bare_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("datasets")).unwrap(), Command::Datasets);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(spec) = parse(&args("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec, RunSpec::default());
+    }
+
+    #[test]
+    fn run_full_options() {
+        let cmd = parse(&args(
+            "run --dataset twit --kernel sssp --scale 14 --policy selective:0.25 \
+             --preprocess dbg --order property-first --surplus 0.12 --frag 0.5 --file cache --no-verify",
+        ))
+        .unwrap();
+        let Command::Run(s) = cmd else { panic!() };
+        assert_eq!(s.dataset, Dataset::Twitter);
+        assert_eq!(s.kernel, Kernel::Sssp);
+        assert_eq!(s.scale, Some(14));
+        assert_eq!(s.policy, PagePolicy::SelectiveProperty { fraction: 0.25 });
+        assert_eq!(s.preprocess, Preprocessing::Dbg);
+        assert_eq!(s.order, AllocOrder::PropertyFirst);
+        assert_eq!(s.condition.fragmentation, 0.5);
+        assert_eq!(s.file, FilePlacement::LocalPageCache);
+        assert!(!s.verify);
+    }
+
+    #[test]
+    fn policy_variants() {
+        assert_eq!(parse_policy("4k").unwrap(), PagePolicy::BaseOnly);
+        assert_eq!(parse_policy("thp").unwrap(), PagePolicy::ThpSystemWide);
+        assert_eq!(
+            parse_policy("property").unwrap(),
+            PagePolicy::property_only()
+        );
+        assert_eq!(
+            parse_policy("auto:0.8").unwrap(),
+            PagePolicy::AutoSelective { coverage: 0.8 }
+        );
+        assert_eq!(
+            parse_policy("hugetlb").unwrap(),
+            PagePolicy::HugetlbProperty
+        );
+        assert!(parse_policy("selective:1.5").is_err());
+        assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn sweep_kinds() {
+        for (word, kind) in [
+            ("pressure", SweepKind::Pressure),
+            ("frag", SweepKind::Fragmentation),
+            ("selectivity", SweepKind::Selectivity),
+        ] {
+            let Command::Sweep(k, _) = parse(&args(&format!("sweep {word}"))).unwrap() else {
+                panic!()
+            };
+            assert_eq!(k, kind);
+        }
+        assert!(parse(&args("sweep sideways")).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_helpful() {
+        let e = parse(&args("run --dataset mars")).unwrap_err();
+        assert!(e.to_string().contains("mars"));
+        let e = parse(&args("run --scale")).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+        let e = parse(&args("frobnicate")).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn condition_composition() {
+        let Command::Run(s) = parse(&args("run --surplus 0.06")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s.condition,
+            MemoryCondition::pressured(Surplus::FractionOfWss(0.06))
+        );
+        let Command::Run(s) = parse(&args("run --frag 0.25")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.condition, MemoryCondition::fragmented(0.25));
+    }
+}

@@ -1,0 +1,171 @@
+//! Command execution: build experiments from parsed specs and print
+//! results.
+
+use graphmem_core::{sweep, Experiment, RunReport};
+use graphmem_graph::Dataset;
+
+use crate::parse::{Command, RunSpec, SweepKind};
+use crate::USAGE;
+
+/// Execute a parsed command, writing human-readable output to stdout.
+pub fn execute(cmd: Command) {
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::Datasets => datasets(),
+        Command::Run(spec) => {
+            let report = build(&spec).run();
+            print_report(&report);
+        }
+        Command::Sweep(kind, spec) => sweep_cmd(kind, &spec),
+    }
+}
+
+fn build(spec: &RunSpec) -> Experiment {
+    let mut e = Experiment::new(spec.dataset, spec.kernel)
+        .policy(spec.policy)
+        .preprocessing(spec.preprocess)
+        .alloc_order(spec.order)
+        .condition(spec.condition)
+        .file_placement(spec.file);
+    if let Some(s) = spec.scale {
+        e = e.scale(s);
+    }
+    if !spec.verify {
+        e = e.skip_verification();
+    }
+    e
+}
+
+fn print_report(r: &RunReport) {
+    println!("{}", r.summary());
+    println!(
+        "  cycles: preprocess {:.2}M + init {:.2}M + compute {:.2}M = {:.2}M total",
+        r.preprocess_cycles as f64 / 1e6,
+        r.init_cycles as f64 / 1e6,
+        r.compute_cycles as f64 / 1e6,
+        r.total_cycles() as f64 / 1e6
+    );
+    println!(
+        "  tlb: dtlb miss {:.1}%, page walks {:.1}% of accesses, translation {:.1}% of compute",
+        r.dtlb_miss_rate() * 100.0,
+        r.stlb_miss_rate() * 100.0,
+        r.translation_overhead() * 100.0
+    );
+    println!(
+        "  huge pages: {:.1}% of property array, {:.2}% of total footprint ({} KiB)",
+        r.property_huge_fraction() * 100.0,
+        r.huge_memory_fraction() * 100.0,
+        r.total_huge_bytes / 1024
+    );
+    println!(
+        "  os: {} faults ({} huge, {} fallbacks), {} compactions, {} promotions, {} swap-ins",
+        r.os.faults,
+        r.os.huge_faults,
+        r.os.huge_fallbacks,
+        r.os.direct_compactions,
+        r.os.promotions,
+        r.os.swap_ins
+    );
+}
+
+fn sweep_cmd(kind: SweepKind, spec: &RunSpec) {
+    let proto = build(spec);
+    let rows = match kind {
+        SweepKind::Pressure => sweep::pressure(&proto, &sweep::PRESSURE_LADDER),
+        SweepKind::Fragmentation => sweep::fragmentation(&proto, &sweep::FRAGMENTATION_LEVELS),
+        SweepKind::Selectivity => sweep::selectivity(&proto, &sweep::SELECTIVITY_LEVELS),
+    };
+    let param = match kind {
+        SweepKind::Pressure => "surplus",
+        SweepKind::Fragmentation => "frag",
+        SweepKind::Selectivity => "s",
+    };
+    println!(
+        "{:>9} {:>12} {:>9} {:>9} {:>11}",
+        param, "compute Mcy", "dtlb%", "walk%", "huge-mem%"
+    );
+    for (p, r) in rows {
+        println!(
+            "{:>9.2} {:>12.2} {:>8.1}% {:>8.1}% {:>10.2}%  {}",
+            p,
+            r.compute_cycles as f64 / 1e6,
+            r.dtlb_miss_rate() * 100.0,
+            r.stlb_miss_rate() * 100.0,
+            r.huge_memory_fraction() * 100.0,
+            if r.verified { "" } else { "WRONG RESULT" }
+        );
+    }
+}
+
+fn datasets() {
+    println!(
+        "{:<8} {:>6} {:>10} {:>11} {:>9}  structure",
+        "name", "scale", "vertices", "edges", "avg-deg"
+    );
+    for ds in Dataset::ALL {
+        let cfg = ds.rmat_config(ds.default_scale());
+        println!(
+            "{:<8} {:>6} {:>10} {:>11} {:>9}  {}",
+            ds.name(),
+            ds.default_scale(),
+            1u64 << ds.default_scale(),
+            (cfg.avg_degree as u64) << ds.default_scale(),
+            cfg.avg_degree,
+            if cfg.shuffle_ids {
+                "shuffled IDs (no hub clustering)"
+            } else {
+                "hubs clustered at low IDs"
+            }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse, Command};
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    /// End-to-end: a tiny run through the real executor must not panic and
+    /// must produce a verified report (captured implicitly — a wrong result
+    /// panics inside Experiment assertions only via summary text, so we
+    /// execute build() + run directly).
+    #[test]
+    fn build_and_run_tiny_experiment() {
+        let Command::Run(spec) = parse(&args(
+            "run --dataset wiki --kernel bfs --scale 11 --policy thp",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let report = build(&spec).run();
+        assert!(report.verified);
+        assert!(report.compute_cycles > 0);
+    }
+
+    #[test]
+    fn datasets_listing_does_not_panic() {
+        datasets();
+    }
+
+    #[test]
+    fn sweep_command_executes_end_to_end() {
+        let cmd = parse(&args(
+            "sweep selectivity --dataset wiki --scale 11 --preprocess dbg",
+        ))
+        .unwrap();
+        execute(cmd); // all six selectivity points run and print
+    }
+
+    #[test]
+    fn print_report_formats() {
+        let Command::Run(spec) = parse(&args("run --dataset wiki --scale 10")).unwrap() else {
+            panic!()
+        };
+        let report = build(&spec).run();
+        print_report(&report); // smoke: formatting must not panic
+    }
+}

@@ -1,0 +1,173 @@
+//! Automatic hot-data identification and selectivity tuning.
+//!
+//! The paper closes §5.2 noting that its manual tuning "is just the first
+//! step towards automatically identifying and exploiting the asymmetric
+//! value of huge page allocations". This module implements that step for
+//! graph analytics: since property-array access frequency is proportional
+//! to vertex in-degree (each incoming edge is one pointer-indirect access,
+//! §3.2), the access histogram over property pages can be computed *from
+//! the graph structure alone* — no profiling run needed. From it we derive
+//! the smallest property-array prefix whose huge-page backing covers a
+//! target share of accesses.
+
+use graphmem_graph::Csr;
+
+/// Expected access mass per huge-page-sized chunk of the property array,
+/// derived from vertex in-degrees.
+#[derive(Debug, Clone)]
+pub struct HotnessProfile {
+    /// Access mass (in-degree sum) per huge-page chunk, in layout order.
+    chunk_mass: Vec<u64>,
+    /// Bytes of property array covered by each chunk.
+    chunk_bytes: u64,
+    /// Total property-array bytes.
+    property_bytes: u64,
+}
+
+impl HotnessProfile {
+    /// Build the profile for a property array of `elem_bytes`-sized
+    /// entries per vertex of `csr`, chunked at `huge_bytes` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_bytes` or `huge_bytes` is zero.
+    pub fn from_graph(csr: &Csr, elem_bytes: u64, huge_bytes: u64) -> Self {
+        assert!(elem_bytes > 0 && huge_bytes > 0);
+        let n = csr.num_vertices() as u64;
+        let mut in_degree = vec![0u64; n as usize];
+        for v in 0..csr.num_vertices() {
+            for &u in csr.neighbors(v) {
+                in_degree[u as usize] += 1;
+            }
+        }
+        let property_bytes = n * elem_bytes;
+        let nchunks = property_bytes.div_ceil(huge_bytes).max(1);
+        let per_chunk = huge_bytes / elem_bytes;
+        let mut chunk_mass = vec![0u64; nchunks as usize];
+        for (v, &d) in in_degree.iter().enumerate() {
+            chunk_mass[(v as u64 / per_chunk.max(1)) as usize] += d;
+        }
+        HotnessProfile {
+            chunk_mass,
+            chunk_bytes: huge_bytes,
+            property_bytes,
+        }
+    }
+
+    /// Access mass per chunk, in property-array layout order.
+    pub fn chunk_mass(&self) -> &[u64] {
+        &self.chunk_mass
+    }
+
+    /// Fraction of total access mass landing in the first `k` chunks.
+    pub fn prefix_coverage(&self, k: usize) -> f64 {
+        let total: u64 = self.chunk_mass.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let covered: u64 = self.chunk_mass.iter().take(k).sum();
+        covered as f64 / total as f64
+    }
+
+    /// The smallest property-array prefix fraction whose chunks receive at
+    /// least `coverage` (`0.0..=1.0`) of the expected accesses.
+    ///
+    /// Because only the *prefix* can be advised (that is what
+    /// `madvise(addr, len)` expresses), inputs whose hot vertices are
+    /// scattered — e.g. the ID-shuffled Kronecker graph before DBG — will
+    /// legitimately need a large fraction; DBG preprocessing makes the
+    /// prefix small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `0.0..=1.0`.
+    pub fn prefix_fraction_for_coverage(&self, coverage: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&coverage), "coverage out of range");
+        let total: u64 = self.chunk_mass.iter().sum();
+        if total == 0 || coverage == 0.0 {
+            return 0.0;
+        }
+        let target = (total as f64 * coverage).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &m) in self.chunk_mass.iter().enumerate() {
+            acc += m;
+            if acc >= target {
+                let bytes = (i as u64 + 1) * self.chunk_bytes;
+                return (bytes as f64 / self.property_bytes as f64).min(1.0);
+            }
+        }
+        1.0
+    }
+
+    /// Concentration diagnostic: fraction of access mass in the hottest
+    /// 10% of chunks (position-independent — high even before reordering).
+    pub fn concentration(&self) -> f64 {
+        let total: u64 = self.chunk_mass.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.chunk_mass.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let k = (sorted.len().div_ceil(10)).max(1);
+        sorted[..k].iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_graph::{reorder, Dataset};
+
+    fn profile(csr: &Csr) -> HotnessProfile {
+        HotnessProfile::from_graph(csr, 8, 64 * 1024)
+    }
+
+    #[test]
+    fn mass_conserves_edges() {
+        let csr = Dataset::Kron25.generate_with_scale(13);
+        let p = profile(&csr);
+        assert_eq!(p.chunk_mass().iter().sum::<u64>(), csr.num_edges());
+        assert_eq!(p.prefix_coverage(p.chunk_mass().len()), 1.0);
+    }
+
+    #[test]
+    fn dbg_shrinks_the_recommended_prefix() {
+        let csr = Dataset::Kron25.generate_with_scale(14); // shuffled IDs
+        let before = profile(&csr).prefix_fraction_for_coverage(0.6);
+        let perm = reorder::degree_based_grouping(&csr);
+        let after = profile(&csr.permuted(&perm)).prefix_fraction_for_coverage(0.6);
+        assert!(
+            after < before * 0.7,
+            "DBG should shrink the prefix: {after:.3} vs {before:.3}"
+        );
+        assert!(after > 0.0);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_fraction() {
+        let csr = Dataset::Twitter.generate_with_scale(13);
+        let p = profile(&csr);
+        let f50 = p.prefix_fraction_for_coverage(0.5);
+        let f80 = p.prefix_fraction_for_coverage(0.8);
+        let f100 = p.prefix_fraction_for_coverage(1.0);
+        assert!(f50 <= f80 && f80 <= f100);
+        assert_eq!(p.prefix_fraction_for_coverage(0.0), 0.0);
+        assert!((0.0..=1.0).contains(&f100));
+    }
+
+    #[test]
+    fn concentration_reflects_power_law() {
+        let csr = Dataset::Twitter.generate_with_scale(13);
+        let c = profile(&csr).concentration();
+        assert!(c > 0.3, "power-law concentration {c}");
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        // A graph with zero edges.
+        let csr = graphmem_graph::CsrBuilder::from_edge_list(100, &[], None);
+        let p = HotnessProfile::from_graph(&csr, 8, 4096);
+        assert_eq!(p.prefix_fraction_for_coverage(0.9), 0.0);
+        assert_eq!(p.concentration(), 0.0);
+    }
+}

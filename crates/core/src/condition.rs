@@ -1,0 +1,240 @@
+//! Reproducible memory conditions: pressure, fragmentation, noise.
+
+use graphmem_os::System;
+use graphmem_physmem::{Fragmenter, Memhog, Noise};
+
+/// How much free memory the application gets relative to its working-set
+/// size (the paper's `memhog` methodology, §4.3.1: "available = WSS + X").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Surplus {
+    /// No constraint at all: the fresh-boot / unbounded configuration.
+    Unbounded,
+    /// Free memory = WSS + this many bytes (negative ⇒ oversubscribed,
+    /// the paper's −0.5 GB swap-thrashing point).
+    Bytes(i64),
+    /// Free memory = WSS × (1 + fraction). The paper's absolute 0–3 GB
+    /// steps on 8.5–25 GB working sets correspond to roughly 0–35 % of
+    /// WSS, which is how the scaled harness expresses them.
+    FractionOfWss(f64),
+}
+
+impl Surplus {
+    fn bytes(&self, wss: u64) -> Option<i64> {
+        match self {
+            Surplus::Unbounded => None,
+            Surplus::Bytes(b) => Some(*b),
+            Surplus::FractionOfWss(f) => Some((wss as f64 * f) as i64),
+        }
+    }
+}
+
+/// The memory condition an experiment runs under.
+///
+/// Setup order mirrors the paper's scripts: `memhog` first constrains free
+/// memory, the `frag` utility then pins one non-movable page per huge
+/// region for `fragmentation` of what remains, and finally movable
+/// background *noise* occupies part of every non-surplus free huge region
+/// (the "naturally fragmented" state of a long-running system, §4.4) —
+/// leaving the surplus itself pristine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryCondition {
+    /// Free-memory budget relative to the working set.
+    pub surplus: Surplus,
+    /// Fraction (`0.0..=1.0`) of available memory fragmented by
+    /// non-movable pages (Fig. 8/9's 0–75 %).
+    pub fragmentation: f64,
+    /// Occupancy of background noise within non-surplus free huge regions
+    /// (`0.0` disables noise; `0.5` is the harness default under
+    /// pressure — half of every non-surplus free region is interleaved
+    /// with other residents' movable pages, the long-running-system state
+    /// of paper §4.4).
+    pub noise_occupancy: f64,
+}
+
+impl MemoryCondition {
+    /// Fresh boot: all memory free, nothing fragmented.
+    pub fn unbounded() -> Self {
+        MemoryCondition {
+            surplus: Surplus::Unbounded,
+            fragmentation: 0.0,
+            noise_occupancy: 0.0,
+        }
+    }
+
+    /// Memory pressure with the harness-default natural noise.
+    pub fn pressured(surplus: Surplus) -> Self {
+        MemoryCondition {
+            surplus,
+            fragmentation: 0.0,
+            noise_occupancy: 0.5,
+        }
+    }
+
+    /// Low pressure plus explicit non-movable fragmentation (the Fig. 8/9
+    /// setup: WSS + 3 GB-equivalent, `frag` at the given level).
+    pub fn fragmented(level: f64) -> Self {
+        MemoryCondition {
+            surplus: Surplus::FractionOfWss(0.35),
+            fragmentation: level,
+            noise_occupancy: 0.0,
+        }
+    }
+
+    /// Apply the condition to `sys` for a workload of `wss` bytes.
+    /// Returns the artifacts (kept alive for the run) — dropping them
+    /// early would release the pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is too small for the requested occupation
+    /// (the experiment sizes nodes accordingly).
+    pub fn apply(&self, sys: &mut System, wss: u64) -> ConditionArtifacts {
+        let node = sys.local_node();
+        let Some(surplus) = self.surplus.bytes(wss) else {
+            return ConditionArtifacts::default();
+        };
+        // Free memory = WSS + surplus, exactly the paper's methodology.
+        // Kernel metadata (page tables, THP pgtable deposits) must fit in
+        // the surplus too — which is precisely why the paper observes
+        // swapping already at surplus 0 (§4.3.1).
+        let geom = sys.geometry();
+        let huge = geom.bytes(graphmem_vm::PageSize::Huge);
+        // Solve for the pre-noise free target so that after noise holds
+        // its share, the application still sees WSS + surplus free
+        // (see DESIGN.md §4): F = WSS/(1-o) + S, with o applied only to
+        // the non-surplus, non-fragmented portion.
+        let o = self.noise_occupancy;
+        let app_budget = wss as f64 / (1.0 - o).max(0.01);
+        let free_target = (app_budget + surplus as f64).max(huge as f64) as u64;
+
+        let hog = Memhog::occupy_all_but(sys.zone_mut(node), free_target)
+            .expect("node sized for the requested pressure");
+
+        let frag = if self.fragmentation > 0.0 {
+            Some(Fragmenter::apply(sys.zone_mut(node), self.fragmentation))
+        } else {
+            None
+        };
+
+        let noise = if o > 0.0 {
+            let zone = sys.zone_mut(node);
+            let free_blocks = zone.free_huge_blocks();
+            let pristine_target = surplus.max(0) as u64 / huge;
+            let to_noise = free_blocks.saturating_sub(pristine_target);
+            // Noise the *low* blocks, keeping the pristine surplus at high
+            // addresses? The buddy allocates low-first, so noising the
+            // blocks it would hand out first models a long-running system;
+            // Noise::sprinkle allocates low-first which does exactly that.
+            Some(Noise::sprinkle(zone, to_noise, o))
+        } else {
+            None
+        };
+
+        ConditionArtifacts {
+            hog: Some(hog),
+            frag,
+            noise,
+        }
+    }
+
+    /// Label used in harness output.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        match self.surplus {
+            Surplus::Unbounded => parts.push("free".to_string()),
+            Surplus::Bytes(b) => parts.push(format!("wss{:+}MB", b / (1 << 20))),
+            Surplus::FractionOfWss(f) => parts.push(format!("wss{:+.0}%", f * 100.0)),
+        }
+        if self.fragmentation > 0.0 {
+            parts.push(format!("frag{:.0}%", self.fragmentation * 100.0));
+        }
+        parts.join(",")
+    }
+}
+
+/// Live pressure artifacts; keep until the experiment finishes.
+#[derive(Debug, Default)]
+pub struct ConditionArtifacts {
+    hog: Option<Memhog>,
+    frag: Option<Fragmenter>,
+    noise: Option<Noise>,
+}
+
+impl ConditionArtifacts {
+    /// Whether any constraint is active.
+    pub fn is_active(&self) -> bool {
+        self.hog.is_some() || self.frag.is_some() || self.noise.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_os::SystemSpec;
+
+    #[test]
+    fn unbounded_is_noop() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let free0 = sys.zone(1).free_frames();
+        let art = MemoryCondition::unbounded().apply(&mut sys, 8 << 20);
+        assert!(!art.is_active());
+        assert_eq!(sys.zone(1).free_frames(), free0);
+    }
+
+    #[test]
+    fn pressure_without_noise_leaves_wss_plus_surplus() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let wss = 8 << 20;
+        let cond = MemoryCondition {
+            surplus: Surplus::Bytes(2 << 20),
+            fragmentation: 0.0,
+            noise_occupancy: 0.0,
+        };
+        let _art = cond.apply(&mut sys, wss);
+        let free = sys.zone(1).free_bytes();
+        let expected = wss + (2 << 20);
+        assert!(
+            free.abs_diff(expected) < 1 << 20,
+            "free {free} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn noise_preserves_app_usable_budget() {
+        let mut sys = System::new(SystemSpec::scaled(128));
+        let wss = 16 << 20;
+        let cond = MemoryCondition::pressured(Surplus::Bytes(4 << 20));
+        let _art = cond.apply(&mut sys, wss);
+        let free = sys.zone(1).free_bytes();
+        // App-usable free should be ≈ WSS + surplus.
+        let expected = wss + (4 << 20);
+        assert!(
+            free.abs_diff(expected) < 2 << 20,
+            "free {free} vs expected {expected}"
+        );
+        // And the pristine huge blocks should be roughly the surplus.
+        let pristine =
+            sys.zone(1).free_huge_blocks() * sys.geometry().bytes(graphmem_vm::PageSize::Huge);
+        assert!(pristine < (8 << 20), "pristine {pristine} too large");
+        assert!(pristine > (2 << 20), "pristine {pristine} too small");
+    }
+
+    #[test]
+    fn fragmentation_level_is_respected() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let cond = MemoryCondition::fragmented(0.5);
+        let _art = cond.apply(&mut sys, 8 << 20);
+        let lvl = sys.zone(1).fragmentation_level();
+        assert!((lvl - 0.5).abs() < 0.1, "fragmentation {lvl}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemoryCondition::unbounded().label(), "free");
+        assert_eq!(MemoryCondition::fragmented(0.25).label(), "wss+35%,frag25%");
+        assert_eq!(
+            MemoryCondition::pressured(Surplus::Bytes(-(1 << 20))).label(),
+            "wss-1MB"
+        );
+    }
+}

@@ -1,0 +1,455 @@
+//! The experiment runner: one configured, measured workload execution.
+
+use graphmem_graph::{reorder, Csr, Dataset};
+use graphmem_os::{FilePlacement, System, SystemSpec, ThpMode};
+use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
+
+use crate::autotune::HotnessProfile;
+use crate::condition::MemoryCondition;
+use crate::policy::{PagePolicy, Preprocessing};
+use crate::report::RunReport;
+
+/// Builder for one measured run: dataset × kernel × page policy ×
+/// preprocessing × allocation order × memory condition.
+///
+/// See the crate-level example. `run` is deterministic for a given
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    dataset: Dataset,
+    kernel: Kernel,
+    scale: Option<u8>,
+    policy: PagePolicy,
+    preprocessing: Preprocessing,
+    order: AllocOrder,
+    condition: MemoryCondition,
+    file_placement: FilePlacement,
+    verify: bool,
+    huge_order: u8,
+    khugepaged_enabled: Option<bool>,
+    khugepaged_interval: Option<u64>,
+    defrag_scan_blocks: Option<usize>,
+    stlb_entries: Option<u32>,
+    seed_offset: u64,
+}
+
+impl Experiment {
+    /// A fresh-boot, base-pages, natural-order experiment on `dataset` ×
+    /// `kernel`.
+    pub fn new(dataset: Dataset, kernel: Kernel) -> Self {
+        Experiment {
+            dataset,
+            kernel,
+            scale: None,
+            policy: PagePolicy::BaseOnly,
+            preprocessing: Preprocessing::None,
+            order: AllocOrder::Natural,
+            condition: MemoryCondition::unbounded(),
+            file_placement: FilePlacement::TmpfsRemote,
+            verify: true,
+            huge_order: 6,
+            khugepaged_enabled: None,
+            khugepaged_interval: None,
+            defrag_scan_blocks: None,
+            stlb_entries: None,
+            seed_offset: 0,
+        }
+    }
+
+    /// Override the graph scale (log2 vertices). Defaults to the dataset's
+    /// standard experiment scale.
+    pub fn scale(mut self, scale: u8) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Set the page-size policy.
+    pub fn policy(mut self, policy: PagePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the preprocessing (vertex reordering).
+    pub fn preprocessing(mut self, p: Preprocessing) -> Self {
+        self.preprocessing = p;
+        self
+    }
+
+    /// Set the first-touch order of the arrays.
+    pub fn alloc_order(mut self, order: AllocOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Set the memory condition (pressure / fragmentation).
+    pub fn condition(mut self, c: MemoryCondition) -> Self {
+        self.condition = c;
+        self
+    }
+
+    /// Set how graph files are loaded (page cache / tmpfs / direct I/O).
+    /// The default is the paper's clean methodology (tmpfs on the remote
+    /// node); switch to `LocalPageCache` to study the single-use memory
+    /// interference of §4.3.
+    pub fn file_placement(mut self, fp: FilePlacement) -> Self {
+        self.file_placement = fp;
+        self
+    }
+
+    /// Override the huge-page buddy order of the simulated machine
+    /// (default 6 = 256 KiB huge pages in the scaled preset; tests use
+    /// smaller orders so tiny graphs still span several huge pages).
+    pub fn huge_order(mut self, order: u8) -> Self {
+        self.huge_order = order;
+        self
+    }
+
+    /// Disable output verification against the native twin (saves host
+    /// time on very large sweeps; verification is on by default).
+    pub fn skip_verification(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    /// Perturb the dataset's generator seed (robustness studies across
+    /// random instances; 0 = the canonical instance).
+    pub fn seed_offset(mut self, offset: u64) -> Self {
+        self.seed_offset = offset;
+        self
+    }
+
+    /// Ablation knob: enable/disable the khugepaged background daemon.
+    pub fn khugepaged_enabled(mut self, enabled: bool) -> Self {
+        self.khugepaged_enabled = Some(enabled);
+        self
+    }
+
+    /// Ablation knob: khugepaged scan interval in simulated cycles.
+    pub fn khugepaged_interval(mut self, cycles: u64) -> Self {
+        self.khugepaged_interval = Some(cycles);
+        self
+    }
+
+    /// Ablation knob: fault-time direct-compaction budget in pageblocks
+    /// (0 disables fault-time defrag entirely).
+    pub fn defrag_scan_blocks(mut self, blocks: usize) -> Self {
+        self.defrag_scan_blocks = Some(blocks);
+        self
+    }
+
+    /// Ablation knob: override the unified STLB entry count (e.g. a
+    /// Broadwell-like 1536/8 = 192 scaled entries; paper §3.1 reports the
+    /// same trends on newer parts).
+    pub fn stlb_entries(mut self, entries: u32) -> Self {
+        self.stlb_entries = Some(entries);
+        self
+    }
+
+    /// The dataset under test.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The kernel under test.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Generate (and optionally reorder) the input graph.
+    fn prepare_graph(&self) -> (Csr, u64) {
+        let scale = self.scale.unwrap_or(self.dataset.default_scale());
+        let csr =
+            self.dataset
+                .generate_with_seed(scale, self.kernel.needs_weights(), self.seed_offset);
+        match self.preprocessing {
+            Preprocessing::None => (csr, 0),
+            Preprocessing::Dbg => {
+                let cycles = reorder::dbg_preprocess_cycles(&csr);
+                let perm = reorder::degree_based_grouping(&csr);
+                (csr.permuted(&perm), cycles)
+            }
+            Preprocessing::DegreeSort => {
+                // Full sorting costs more than DBG's three linear passes;
+                // charge an extra comparison-sort style pass.
+                let cycles = reorder::dbg_preprocess_cycles(&csr) * 2;
+                let perm = reorder::degree_sort(&csr);
+                (csr.permuted(&perm), cycles)
+            }
+            Preprocessing::Random => {
+                let cycles = reorder::dbg_preprocess_cycles(&csr);
+                let perm = reorder::random_order(&csr, 0xBAD5EED);
+                (csr.permuted(&perm), cycles)
+            }
+        }
+    }
+
+    fn working_set_bytes(&self, csr: &Csr) -> u64 {
+        let (vb, eb, wb) = csr.array_bytes();
+        let props = self.kernel.property_names().len() as u64;
+        let prop_bytes = props * csr.num_vertices() as u64 * 8;
+        vb + eb + if self.kernel.needs_weights() { wb } else { 0 } + prop_bytes
+    }
+
+    /// Execute the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal simulator inconsistencies (a correctness bug),
+    /// never on legitimate memory pressure — pressure shows up as cycles.
+    pub fn run(&self) -> RunReport {
+        let (csr, preprocess_cycles) = self.prepare_graph();
+        let wss = self.working_set_bytes(&csr);
+        let policy = self.resolve_policy(&csr);
+
+        // Size the node: enough for the pressured free target plus a hog
+        // cushion, or a comfortable multiple when unbounded.
+        // Room for: the app budget under noise (up to ~2x WSS at the
+        // default 0.5 occupancy), surplus, kernel reserve, and a hog
+        // cushion so Memhog always has something to pin.
+        let node_mb = (wss * 3 / (1 << 20) + 64).max(64);
+        let mut spec = SystemSpec::scaled_with_order(node_mb, self.huge_order);
+        spec.file_placement = self.file_placement;
+        if let Some(e) = self.khugepaged_enabled {
+            spec.thp.khugepaged.enabled = e;
+        }
+        if let Some(i) = self.khugepaged_interval {
+            spec.thp.khugepaged.scan_interval_cycles = i;
+        }
+        if let Some(b) = self.defrag_scan_blocks {
+            spec.thp.fault_defrag = b > 0;
+            spec.thp.defrag_scan_blocks = b;
+        }
+        if let Some(entries) = self.stlb_entries {
+            // Pick an associativity that keeps the set count a power of two
+            // (Broadwell's 1536-entry STLB is 12-way for the same reason).
+            let ways = [8u32, 12, 6, 4, 16, 3, 2, 1]
+                .into_iter()
+                .find(|&w| entries % w == 0 && ((entries / w) as u64).is_power_of_two())
+                .unwrap_or(entries);
+            spec.mmu.tlb.stlb.entries = entries;
+            spec.mmu.tlb.stlb.ways = ways;
+        }
+        spec.thp.mode = match policy {
+            PagePolicy::BaseOnly | PagePolicy::HugetlbProperty => ThpMode::Never,
+            PagePolicy::ThpSystemWide => ThpMode::Always,
+            PagePolicy::PerArray { .. }
+            | PagePolicy::SelectiveProperty { .. }
+            | PagePolicy::AutoSelective { .. } => ThpMode::Madvise,
+        };
+        let mut sys = System::new(spec);
+        let hugetlb_property = matches!(policy, PagePolicy::HugetlbProperty);
+        if hugetlb_property {
+            // Boot-time reservation: before any pressure or fragmentation
+            // exists (that is the whole point of the mechanism, §2.3).
+            let huge_bytes = 4096u64 << self.huge_order;
+            let props = self.kernel.property_names().len() as u64;
+            let pages = (props * csr.num_vertices() as u64 * 8).div_ceil(huge_bytes) + props; // rounding slack per array
+            let got = sys.hugetlb_reserve(pages);
+            assert_eq!(got, pages, "fresh boot must satisfy the reservation");
+        }
+        let _artifacts = self.condition.apply(&mut sys, wss);
+
+        let mut arrays = GraphArrays::map_with(&mut sys, &csr, self.kernel, hugetlb_property);
+        Self::apply_advice(policy, &mut sys, &arrays);
+
+        let cp_init = sys.checkpoint();
+        arrays.initialize(&mut sys, self.order);
+        let (init_cycles, _, _) = sys.since(&cp_init);
+
+        let root = default_root(&csr);
+        let cp_compute = sys.checkpoint();
+        let output = self.kernel.run_simulated(&mut sys, &mut arrays, root);
+        let (compute_cycles, perf, _) = sys.since(&cp_compute);
+
+        let verified = if self.verify {
+            output == self.kernel.run_native(&csr, root)
+        } else {
+            true
+        };
+
+        // Huge-page usage accounting at end of run.
+        let huge_bytes_of = |sys: &System, base| sys.mapping_report(base).huge_bytes;
+        let property_huge_bytes: u64 = arrays
+            .prop
+            .iter()
+            .map(|p| huge_bytes_of(&sys, p.base()))
+            .sum();
+        let mut total_huge_bytes = property_huge_bytes
+            + huge_bytes_of(&sys, arrays.vertex.base())
+            + huge_bytes_of(&sys, arrays.edge.base());
+        if let Some(v) = &arrays.values {
+            total_huge_bytes += huge_bytes_of(&sys, v.base());
+        }
+
+        RunReport {
+            labels: [
+                self.dataset.name().to_string(),
+                self.kernel.name().to_string(),
+                if matches!(self.policy, PagePolicy::AutoSelective { .. }) {
+                    format!("{}->{}", self.policy.label(), policy.label())
+                } else {
+                    policy.label()
+                },
+                self.preprocessing.label().to_string(),
+                self.condition.label(),
+            ],
+            init_cycles,
+            compute_cycles,
+            preprocess_cycles,
+            perf,
+            os: *sys.os_stats(),
+            footprint_bytes: arrays.footprint_bytes(),
+            property_bytes: arrays.property_bytes(),
+            property_huge_bytes,
+            total_huge_bytes,
+            verified,
+        }
+    }
+
+    /// Resolve an automatic policy against the (reordered) input graph.
+    fn resolve_policy(&self, csr: &Csr) -> PagePolicy {
+        match self.policy {
+            PagePolicy::AutoSelective { coverage } => {
+                let huge_bytes = 4096u64 << self.huge_order;
+                let profile = HotnessProfile::from_graph(csr, 8, huge_bytes);
+                PagePolicy::SelectiveProperty {
+                    fraction: profile.prefix_fraction_for_coverage(coverage),
+                }
+            }
+            p => p,
+        }
+    }
+
+    /// Issue the `madvise(MADV_HUGEPAGE)` calls the policy prescribes.
+    fn apply_advice(policy: PagePolicy, sys: &mut System, arrays: &GraphArrays) {
+        match policy {
+            PagePolicy::BaseOnly | PagePolicy::ThpSystemWide => {}
+            PagePolicy::PerArray {
+                vertex,
+                edge,
+                values,
+                property,
+            } => {
+                if vertex {
+                    sys.madvise_hugepage(arrays.vertex.base(), arrays.vertex.bytes());
+                }
+                if edge {
+                    sys.madvise_hugepage(arrays.edge.base(), arrays.edge.bytes());
+                }
+                if values {
+                    if let Some(v) = &arrays.values {
+                        sys.madvise_hugepage(v.base(), v.bytes());
+                    }
+                }
+                if property {
+                    for p in &arrays.prop {
+                        sys.madvise_hugepage(p.base(), p.bytes());
+                    }
+                }
+            }
+            PagePolicy::SelectiveProperty { fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "selectivity {fraction} outside 0.0..=1.0"
+                );
+                for p in &arrays.prop {
+                    let len = (p.bytes() as f64 * fraction) as u64;
+                    if len > 0 {
+                        sys.madvise_hugepage(p.base(), len);
+                    }
+                }
+            }
+            PagePolicy::AutoSelective { .. } => {
+                unreachable!("AutoSelective is resolved before advice is applied")
+            }
+            PagePolicy::HugetlbProperty => {} // placement handled at map time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Surplus;
+
+    /// Small but huge-page-meaningful: 32 Ki vertices with 64 KiB huge
+    /// pages, so the property array spans 4 huge pages.
+    fn exp(kernel: Kernel) -> Experiment {
+        Experiment::new(Dataset::Wiki, kernel)
+            .scale(15)
+            .huge_order(4)
+    }
+
+    /// Tiny and fast, for pure correctness checks.
+    fn tiny(kernel: Kernel) -> Experiment {
+        Experiment::new(Dataset::Wiki, kernel).scale(11)
+    }
+
+    #[test]
+    fn baseline_runs_verified_with_no_huge_pages() {
+        let r = tiny(Kernel::Bfs).run();
+        assert!(r.verified);
+        assert_eq!(r.total_huge_bytes, 0);
+        assert!(r.dtlb_miss_rate() > 0.0);
+        assert_eq!(r.preprocess_cycles, 0);
+    }
+
+    #[test]
+    fn thp_systemwide_backs_everything_and_speeds_up() {
+        let base = exp(Kernel::Bfs).run();
+        let thp = exp(Kernel::Bfs).policy(PagePolicy::ThpSystemWide).run();
+        assert!(thp.verified);
+        assert!(
+            thp.huge_memory_fraction() > 0.9,
+            "{}",
+            thp.huge_memory_fraction()
+        );
+        assert!(thp.speedup_over(&base) > 1.0);
+        assert!(thp.dtlb_miss_rate() < base.dtlb_miss_rate());
+    }
+
+    #[test]
+    fn property_only_policy_uses_far_less_huge_memory() {
+        let prop = exp(Kernel::Bfs).policy(PagePolicy::property_only()).run();
+        assert!(prop.verified);
+        assert!(prop.property_huge_fraction() > 0.9);
+        assert!(prop.huge_memory_fraction() < 0.25);
+    }
+
+    #[test]
+    fn selective_policy_advises_prefix_only() {
+        let r = exp(Kernel::Bfs)
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::SelectiveProperty { fraction: 0.4 })
+            .run();
+        assert!(r.verified);
+        assert!(r.preprocess_cycles > 0);
+        let f = r.property_huge_fraction();
+        assert!(f > 0.2 && f < 0.6, "property huge fraction {f}");
+    }
+
+    #[test]
+    fn pressure_reduces_thp_coverage() {
+        let free = exp(Kernel::Bfs).policy(PagePolicy::ThpSystemWide).run();
+        let tight = exp(Kernel::Bfs)
+            .policy(PagePolicy::ThpSystemWide)
+            .condition(MemoryCondition::pressured(Surplus::FractionOfWss(0.05)))
+            .run();
+        assert!(tight.verified);
+        assert!(
+            tight.huge_memory_fraction() < free.huge_memory_fraction() * 0.8,
+            "tight {} vs free {}",
+            tight.huge_memory_fraction(),
+            free.huge_memory_fraction()
+        );
+    }
+
+    #[test]
+    fn all_kernels_verify() {
+        for kernel in Kernel::ALL {
+            let r = tiny(kernel).policy(PagePolicy::ThpSystemWide).run();
+            assert!(r.verified, "{kernel} wrong result");
+            assert!(r.compute_cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # graphmem-core — application-aware page size management for graph analytics
+//!
+//! The top-level library of the **graphmem** reproduction of
+//! *"The Implications of Page Size Management on Graph Analytics"*
+//! (Manocha et al., IISWC 2022). It packages the paper's contribution —
+//! domain-specific transparent-huge-page (THP) management for graph
+//! workloads — as a reusable API on top of the simulated
+//! machine/OS/graph substrates:
+//!
+//! * [`PagePolicy`] — the page-size strategies the paper evaluates, from
+//!   the 4 KiB baseline through system-wide THP, per-data-structure THP
+//!   (Fig. 5), and **selective THP** (`madvise` on the first *s*% of the
+//!   property array, §5.2).
+//! * [`Preprocessing`] — Degree-Based Grouping and ablation reorderings
+//!   coupled with the page policy (§5.1).
+//! * [`MemoryCondition`] — reproducible memory pressure (memhog),
+//!   non-movable fragmentation (the `frag` utility), and movable
+//!   background noise, matching the paper's §4.3–4.4 methodology.
+//! * [`Experiment`] — a builder that wires a dataset, kernel, policy, and
+//!   memory condition into one measured run, returning a [`RunReport`]
+//!   with runtimes, TLB miss rates, and huge-page usage.
+//! * [`sweep`] — parameter sweeps used by the figure-reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graphmem_core::{Experiment, PagePolicy};
+//! use graphmem_graph::Dataset;
+//! use graphmem_workloads::Kernel;
+//!
+//! let baseline = Experiment::new(Dataset::Wiki, Kernel::Bfs)
+//!     .scale(10) // tiny graph for the doctest
+//!     .policy(PagePolicy::BaseOnly)
+//!     .run();
+//! let thp = Experiment::new(Dataset::Wiki, Kernel::Bfs)
+//!     .scale(10)
+//!     .policy(PagePolicy::ThpSystemWide)
+//!     .run();
+//! assert!(thp.verified && baseline.verified);
+//! assert!(thp.compute_cycles <= baseline.compute_cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod autotune;
+mod condition;
+mod experiment;
+mod policy;
+mod report;
+pub mod sweep;
+
+pub use autotune::HotnessProfile;
+pub use condition::{MemoryCondition, Surplus};
+pub use experiment::Experiment;
+pub use policy::{PagePolicy, Preprocessing};
+pub use report::RunReport;

@@ -1,0 +1,138 @@
+//! Page-size policies and preprocessing options.
+
+/// The page-size management strategies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PagePolicy {
+    /// 4 KiB base pages only — the paper's baseline (THP `never`).
+    BaseOnly,
+    /// Linux's system-wide greedy policy (THP `always`).
+    ThpSystemWide,
+    /// Programmer-directed THP (`madvise` mode): huge pages only for the
+    /// chosen data structures (the Fig. 5 per-array study).
+    PerArray {
+        /// Advise the vertex (offset) array.
+        vertex: bool,
+        /// Advise the edge array.
+        edge: bool,
+        /// Advise the values (weight) array, if the kernel has one.
+        values: bool,
+        /// Advise the property array(s).
+        property: bool,
+    },
+    /// The paper's contribution (§5.2): `madvise(MADV_HUGEPAGE)` on only
+    /// the first `fraction` of the property array — which, after
+    /// degree-based preprocessing, is exactly where the hot vertices live.
+    SelectiveProperty {
+        /// Fraction of the property array to advise, `0.0..=1.0`.
+        fraction: f64,
+    },
+    /// Explicit huge pages via a boot-time hugetlbfs reservation for the
+    /// property array(s) (paper §2.3's alternative mechanism: guaranteed
+    /// even under fragmentation, but requires planning the reservation
+    /// before memory degrades and pins it permanently).
+    HugetlbProperty,
+    /// Automatic selective THP (the paper's future-work §5.2, implemented
+    /// in [`autotune`](crate::autotune)): derive the property-array prefix
+    /// from the graph's in-degree distribution so that the advised pages
+    /// receive at least `coverage` of the expected accesses.
+    AutoSelective {
+        /// Target fraction of property accesses to cover, `0.0..=1.0`.
+        coverage: f64,
+    },
+}
+
+impl PagePolicy {
+    /// Shorthand for [`PagePolicy::PerArray`] on the property array only.
+    pub fn property_only() -> Self {
+        PagePolicy::PerArray {
+            vertex: false,
+            edge: false,
+            values: false,
+            property: true,
+        }
+    }
+
+    /// Label used in harness output.
+    pub fn label(&self) -> String {
+        match self {
+            PagePolicy::BaseOnly => "4KB".into(),
+            PagePolicy::ThpSystemWide => "THP".into(),
+            PagePolicy::PerArray {
+                vertex,
+                edge,
+                values,
+                property,
+            } => {
+                let mut parts = Vec::new();
+                if *vertex {
+                    parts.push("vertex");
+                }
+                if *edge {
+                    parts.push("edge");
+                }
+                if *values {
+                    parts.push("values");
+                }
+                if *property {
+                    parts.push("property");
+                }
+                format!("THP[{}]", parts.join("+"))
+            }
+            PagePolicy::SelectiveProperty { fraction } => {
+                format!("THP[prop {:.0}%]", fraction * 100.0)
+            }
+            PagePolicy::AutoSelective { coverage } => {
+                format!("THP[auto cov{:.0}%]", coverage * 100.0)
+            }
+            PagePolicy::HugetlbProperty => "hugetlbfs[property]".into(),
+        }
+    }
+}
+
+/// Vertex-reordering preprocessing coupled with the page policy (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preprocessing {
+    /// Use the input's original vertex order.
+    #[default]
+    None,
+    /// Degree-Based Grouping — the paper's choice: coalesces hot vertices
+    /// into the property array prefix at low preprocessing cost.
+    Dbg,
+    /// Full descending degree sort (ablation).
+    DegreeSort,
+    /// Random permutation (ablation: destroys locality).
+    Random,
+}
+
+impl Preprocessing {
+    /// Label used in harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Preprocessing::None => "orig",
+            Preprocessing::Dbg => "dbg",
+            Preprocessing::DegreeSort => "sort",
+            Preprocessing::Random => "rand",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(PagePolicy::BaseOnly.label(), "4KB");
+        assert_eq!(PagePolicy::ThpSystemWide.label(), "THP");
+        assert_eq!(PagePolicy::property_only().label(), "THP[property]");
+        assert_eq!(
+            PagePolicy::SelectiveProperty { fraction: 0.5 }.label(),
+            "THP[prop 50%]"
+        );
+        assert_eq!(
+            PagePolicy::AutoSelective { coverage: 0.8 }.label(),
+            "THP[auto cov80%]"
+        );
+        assert_eq!(Preprocessing::Dbg.label(), "dbg");
+    }
+}

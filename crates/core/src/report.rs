@@ -1,0 +1,151 @@
+//! Results of one measured experiment run.
+
+use graphmem_os::OsStats;
+use graphmem_vm::PerfCounters;
+
+/// Everything measured during one [`Experiment`](crate::Experiment) run —
+/// the simulated analogue of the paper's `app_output`/`results.txt`
+/// artifacts (runtime, TLB miss rates, page-walk counts) plus huge-page
+/// usage accounting.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration labels: dataset, kernel, policy, preprocessing,
+    /// memory condition.
+    pub labels: [String; 5],
+    /// Cycles spent initializing (loading CSR data, zeroing properties) —
+    /// where fault-time huge page creation costs land.
+    pub init_cycles: u64,
+    /// Cycles of the graph algorithm itself (the paper's "kernel
+    /// computation time").
+    pub compute_cycles: u64,
+    /// Analytic preprocessing (reordering) cycles, if any.
+    pub preprocess_cycles: u64,
+    /// Hardware counters over the compute phase.
+    pub perf: PerfCounters,
+    /// OS counters over the whole run (init + compute).
+    pub os: OsStats,
+    /// Bytes of the full working set (all arrays).
+    pub footprint_bytes: u64,
+    /// Bytes of the property array(s).
+    pub property_bytes: u64,
+    /// Bytes of the property array(s) backed by huge pages at the end.
+    pub property_huge_bytes: u64,
+    /// Bytes of all arrays backed by huge pages at the end.
+    pub total_huge_bytes: u64,
+    /// Whether the simulated output matched the native reference.
+    pub verified: bool,
+}
+
+impl RunReport {
+    /// End-to-end cycles: preprocessing + initialization + compute.
+    pub fn total_cycles(&self) -> u64 {
+        self.preprocess_cycles + self.init_cycles + self.compute_cycles
+    }
+
+    /// Speedup of this run over `baseline` on compute time (the paper's
+    /// primary metric).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.compute_cycles as f64 / self.compute_cycles.max(1) as f64
+    }
+
+    /// Speedup including preprocessing and initialization.
+    pub fn total_speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.total_cycles() as f64 / self.total_cycles().max(1) as f64
+    }
+
+    /// Compute-phase DTLB miss rate (Fig. 3 bar height).
+    pub fn dtlb_miss_rate(&self) -> f64 {
+        self.perf.dtlb_miss_rate()
+    }
+
+    /// Compute-phase STLB miss (page walk) rate (Fig. 3 shaded portion).
+    pub fn stlb_miss_rate(&self) -> f64 {
+        self.perf.stlb_miss_rate()
+    }
+
+    /// Fraction of compute cycles spent on address translation (Fig. 2).
+    pub fn translation_overhead(&self) -> f64 {
+        self.perf.translation_overhead(self.compute_cycles)
+    }
+
+    /// Fraction of the application footprint backed by huge pages — the
+    /// paper's "memory resources" metric (0.58–2.92 % for selective THP).
+    pub fn huge_memory_fraction(&self) -> f64 {
+        if self.footprint_bytes == 0 {
+            0.0
+        } else {
+            self.total_huge_bytes as f64 / self.footprint_bytes as f64
+        }
+    }
+
+    /// Fraction of the property array backed by huge pages.
+    pub fn property_huge_fraction(&self) -> f64 {
+        if self.property_bytes == 0 {
+            0.0
+        } else {
+            self.property_huge_bytes as f64 / self.property_bytes as f64
+        }
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} {} {} [{}]: compute {:.2}Mcy, dtlb {:.1}%, walk {:.1}%, huge {:.2}% of mem, {}",
+            self.labels[0],
+            self.labels[1],
+            self.labels[2],
+            self.labels[3],
+            self.labels[4],
+            self.compute_cycles as f64 / 1e6,
+            self.dtlb_miss_rate() * 100.0,
+            self.stlb_miss_rate() * 100.0,
+            self.huge_memory_fraction() * 100.0,
+            if self.verified { "ok" } else { "WRONG RESULT" },
+        )
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(compute: u64) -> RunReport {
+        RunReport {
+            labels: [
+                "kron".into(),
+                "bfs".into(),
+                "4KB".into(),
+                "orig".into(),
+                "free".into(),
+            ],
+            init_cycles: 100,
+            compute_cycles: compute,
+            preprocess_cycles: 10,
+            perf: PerfCounters::default(),
+            os: OsStats::default(),
+            footprint_bytes: 1000,
+            property_bytes: 100,
+            property_huge_bytes: 50,
+            total_huge_bytes: 50,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let fast = report(500);
+        let slow = report(1000);
+        assert_eq!(fast.speedup_over(&slow), 2.0);
+        assert!((fast.total_speedup_over(&slow) - 1110.0 / 610.0).abs() < 1e-9);
+        assert_eq!(fast.huge_memory_fraction(), 0.05);
+        assert_eq!(fast.property_huge_fraction(), 0.5);
+        assert_eq!(fast.total_cycles(), 610);
+        assert!(fast.summary().contains("ok"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Parameter sweeps over experiments (the paper's sensitivity studies).
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::condition::{MemoryCondition, Surplus};
+use crate::experiment::Experiment;
+use crate::policy::PagePolicy;
+use crate::report::RunReport;
+
+/// Run many independent experiments on up to `threads` OS threads,
+/// returning reports in input order. Every experiment is deterministic and
+/// self-contained, so parallel execution yields bit-identical results to a
+/// serial loop — only the wall-clock time changes.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker panics (propagated).
+pub fn run_parallel(experiments: Vec<Experiment>, threads: usize) -> Vec<RunReport> {
+    assert!(threads > 0, "need at least one thread");
+    let n = experiments.len();
+    let (task_tx, task_rx) = mpsc::channel::<(usize, Experiment)>();
+    let task_rx = std::sync::Arc::new(std::sync::Mutex::new(task_rx));
+    let (result_tx, result_rx) = mpsc::channel::<(usize, RunReport)>();
+    for (i, e) in experiments.into_iter().enumerate() {
+        task_tx.send((i, e)).expect("queue open");
+    }
+    drop(task_tx);
+    let workers: Vec<_> = (0..threads.min(n.max(1)))
+        .map(|_| {
+            let rx = std::sync::Arc::clone(&task_rx);
+            let tx = result_tx.clone();
+            thread::spawn(move || loop {
+                let next = rx.lock().expect("queue lock").recv();
+                match next {
+                    Ok((i, e)) => {
+                        let r = e.run();
+                        if tx.send((i, r)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+    drop(result_tx);
+    let mut slots: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+    for (i, r) in result_rx {
+        slots[i] = Some(r);
+    }
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every experiment reports"))
+        .collect()
+}
+
+/// Run `proto` at each memory-pressure level (§4.3.1's seven 0–3 GB steps
+/// plus the oversubscribed point, expressed as fractions of WSS). Returns
+/// `(surplus_fraction, report)` pairs.
+pub fn pressure(proto: &Experiment, fractions: &[f64]) -> Vec<(f64, RunReport)> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let r = proto
+                .clone()
+                .condition(MemoryCondition::pressured(Surplus::FractionOfWss(f)))
+                .run();
+            (f, r)
+        })
+        .collect()
+}
+
+/// The paper's pressure ladder: −6 % (oversubscribed ≈ −0.5 GB) through
+/// +35 % (≈ +3 GB) of WSS.
+pub const PRESSURE_LADDER: [f64; 8] = [-0.06, 0.0, 0.06, 0.12, 0.18, 0.24, 0.29, 0.35];
+
+/// Run `proto` at each non-movable fragmentation level with the Fig. 8/9
+/// +3 GB-equivalent surplus. Returns `(level, report)` pairs.
+pub fn fragmentation(proto: &Experiment, levels: &[f64]) -> Vec<(f64, RunReport)> {
+    levels
+        .iter()
+        .map(|&l| {
+            let r = proto
+                .clone()
+                .condition(MemoryCondition::fragmented(l))
+                .run();
+            (l, r)
+        })
+        .collect()
+}
+
+/// The paper's fragmentation levels (Fig. 9).
+pub const FRAGMENTATION_LEVELS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+
+/// Run `proto` with selective THP at each property-array fraction
+/// (Fig. 11's 0–100 % in steps of 20). Returns `(fraction, report)` pairs.
+pub fn selectivity(proto: &Experiment, fractions: &[f64]) -> Vec<(f64, RunReport)> {
+    fractions
+        .iter()
+        .map(|&s| {
+            let r = proto
+                .clone()
+                .policy(PagePolicy::SelectiveProperty { fraction: s })
+                .run();
+            (s, r)
+        })
+        .collect()
+}
+
+/// The paper's selectivity steps (Fig. 11).
+pub const SELECTIVITY_LEVELS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_graph::Dataset;
+    use graphmem_workloads::Kernel;
+
+    fn proto() -> Experiment {
+        Experiment::new(Dataset::Wiki, Kernel::Bfs)
+            .scale(15)
+            .huge_order(4)
+    }
+
+    #[test]
+    fn pressure_sweep_is_ordered_and_verified() {
+        let proto = proto().policy(PagePolicy::ThpSystemWide);
+        let rs = pressure(&proto, &[0.0, 0.35]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|(_, r)| r.verified));
+        // More surplus ⇒ at least as much huge coverage.
+        assert!(rs[1].1.huge_memory_fraction() >= rs[0].1.huge_memory_fraction());
+    }
+
+    #[test]
+    fn selectivity_sweep_monotone_in_advised_bytes() {
+        let rs = selectivity(&proto(), &[0.0, 0.5, 1.0]);
+        assert!(rs.iter().all(|(_, r)| r.verified));
+        let f: Vec<f64> = rs.iter().map(|(_, r)| r.property_huge_fraction()).collect();
+        assert!(f[0] <= f[1] && f[1] <= f[2], "{f:?}");
+        assert_eq!(rs[0].1.property_huge_bytes, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let proto = proto().policy(PagePolicy::ThpSystemWide);
+        let exps: Vec<Experiment> = [0.0, 0.5]
+            .iter()
+            .map(|&l| proto.clone().condition(MemoryCondition::fragmented(l)))
+            .collect();
+        let par = run_parallel(exps.clone(), 2);
+        let ser: Vec<_> = exps.iter().map(|e| e.run()).collect();
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.compute_cycles, s.compute_cycles, "determinism");
+            assert_eq!(p.labels, s.labels);
+        }
+    }
+
+    #[test]
+    fn fragmentation_sweep_labels_condition() {
+        let rs = fragmentation(&proto().policy(PagePolicy::ThpSystemWide), &[0.5]);
+        assert!(rs[0].1.labels[4].contains("frag50%"));
+    }
+}

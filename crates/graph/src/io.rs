@@ -1,0 +1,282 @@
+//! Binary on-disk CSR format.
+//!
+//! A minimal little-endian container so examples can exercise the
+//! load-from-file path whose page-cache footprint the paper studies
+//! (§4.3). Layout:
+//!
+//! ```text
+//! magic   "GMEMCSR1"           8 bytes
+//! nverts  u32                  4 bytes
+//! nedges  u64                  8 bytes
+//! flags   u32 (bit 0: weighted)
+//! offsets (nverts+1) × u64
+//! edges   nedges × u32
+//! values  nedges × u32         (only if weighted)
+//! ```
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::csr::{Csr, CsrBuilder};
+use crate::VertexId;
+
+const MAGIC: &[u8; 8] = b"GMEMCSR1";
+
+/// Serialize `g` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csr<W: Write>(mut w: W, g: &Csr) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&g.num_vertices().to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    w.write_all(&(g.is_weighted() as u32).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &e in g.edges() {
+        w.write_all(&e.to_le_bytes())?;
+    }
+    if let Some(vals) = g.values() {
+        for &v in vals {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a graph from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/structure, or propagates I/O
+/// errors from `r`.
+pub fn read_csr<R: Read>(mut r: R) -> io::Result<Csr> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a graphmem CSR file",
+        ));
+    }
+    let nverts = read_u32(&mut r)?;
+    let nedges = read_u64(&mut r)?;
+    let weighted = read_u32(&mut r)? & 1 == 1;
+
+    let mut offsets = Vec::with_capacity(nverts as usize + 1);
+    for _ in 0..=nverts {
+        offsets.push(read_u64(&mut r)?);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&nedges) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt offset array",
+        ));
+    }
+    let mut builder = CsrBuilder::new(nverts, weighted);
+    let mut edges = Vec::with_capacity(nedges as usize);
+    for _ in 0..nedges {
+        edges.push(read_u32(&mut r)?);
+    }
+    let mut values = Vec::new();
+    if weighted {
+        values.reserve(nedges as usize);
+        for _ in 0..nedges {
+            values.push(read_u32(&mut r)?);
+        }
+    }
+    for v in 0..nverts as usize {
+        let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+        if hi < lo || hi > edges.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "corrupt offset array",
+            ));
+        }
+        for i in lo..hi {
+            if edges[i] >= nverts {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "edge target out of range",
+                ));
+            }
+            builder.push_edge_to_last_vertex(edges[i], if weighted { values[i] } else { 0 });
+        }
+        builder.finish_vertex();
+    }
+    Ok(builder.build())
+}
+
+/// Size in bytes of the serialized form of `g` (what the simulated loader
+/// will read through the page cache).
+pub fn serialized_bytes(g: &Csr) -> u64 {
+    let (v, e, w) = g.array_bytes();
+    8 + 4 + 8 + 4 + v + e + w
+}
+
+/// Parse a whitespace-separated text edge list (`src dst [weight]` per
+/// line, `#`/`%` comments ignored) — the format most public graph
+/// datasets ship in. Vertices are sized by the largest ID seen.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed lines or if any line has a weight
+/// while others do not; propagates I/O errors.
+pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Csr> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<u32> = Vec::new();
+    let mut max_v: u64 = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(s), Some(t)) = (it.next(), it.next()) else {
+            return Err(bad(format!("line {}: need 'src dst'", lineno + 1)));
+        };
+        let parse = |tok: &str| -> io::Result<VertexId> {
+            tok.parse()
+                .map_err(|_| bad(format!("line {}: bad vertex id '{tok}'", lineno + 1)))
+        };
+        let (s, t) = (parse(s)?, parse(t)?);
+        if let Some(w) = it.next() {
+            let w: u32 = w
+                .parse()
+                .map_err(|_| bad(format!("line {}: bad weight '{w}'", lineno + 1)))?;
+            if weights.len() != edges.len() {
+                return Err(bad("mixed weighted and unweighted lines".into()));
+            }
+            weights.push(w);
+        } else if !weights.is_empty() {
+            return Err(bad("mixed weighted and unweighted lines".into()));
+        }
+        max_v = max_v.max(s as u64).max(t as u64);
+        edges.push((s, t));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as u32 + 1
+    };
+    let csr = if weights.is_empty() {
+        CsrBuilder::from_edge_list(n.max(1), &edges, None)
+    } else {
+        CsrBuilder::from_edge_list(n.max(1), &edges, Some(&mut |i| weights[i]))
+    };
+    Ok(csr)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::RmatConfig;
+
+    fn roundtrip(weighted: bool) {
+        let g = RmatConfig {
+            scale: 8,
+            avg_degree: 4,
+            weighted,
+            ..RmatConfig::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &g).unwrap();
+        assert_eq!(buf.len() as u64, serialized_bytes(&g));
+        let back = read_csr(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        roundtrip(false);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        roundtrip(true);
+    }
+
+    #[test]
+    fn edge_list_unweighted() {
+        let text = "# comment\n% another\n0 1\n0 2\n2 1\n\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_weighted() {
+        let g = read_edge_list("0 1 10\n1 2 20\n".as_bytes()).unwrap();
+        assert_eq!(g.weights(0).unwrap(), &[10]);
+        assert_eq!(g.weights(1).unwrap(), &[20]);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 5\n1 2\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1\n1 2 5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_empty_is_valid() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip_through_a_real_file() {
+        let g = RmatConfig {
+            scale: 7,
+            avg_degree: 4,
+            weighted: true,
+            ..RmatConfig::default()
+        }
+        .generate();
+        let path =
+            std::env::temp_dir().join(format!("graphmem_io_test_{}.csr", std::process::id()));
+        write_csr(std::fs::File::create(&path).unwrap(), &g).unwrap();
+        let back = read_csr(std::fs::File::open(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_csr(&b"NOTACSR0rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = RmatConfig {
+            scale: 6,
+            avg_degree: 4,
+            ..RmatConfig::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &g).unwrap();
+        let err = read_csr(&buf[..buf.len() - 5]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

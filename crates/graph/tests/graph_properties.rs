@@ -1,0 +1,125 @@
+//! Property-based tests for the graph substrate.
+
+use graphmem_graph::{io, reorder, Csr, CsrBuilder, RmatConfig};
+use proptest::prelude::*;
+
+/// Arbitrary small graphs from random edge lists (possibly weighted).
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (
+        2u32..64,
+        proptest::collection::vec((0u32..64, 0u32..64, 1u32..256), 0..256),
+        any::<bool>(),
+    )
+        .prop_map(|(n, raw, weighted)| {
+            let edges: Vec<(u32, u32)> = raw.iter().map(|&(s, t, _)| (s % n, t % n)).collect();
+            if weighted {
+                let ws: Vec<u32> = raw.iter().map(|&(_, _, w)| w).collect();
+                CsrBuilder::from_edge_list(n, &edges, Some(&mut |i| ws[i]))
+            } else {
+                CsrBuilder::from_edge_list(n, &edges, None)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary serialization round-trips any graph exactly.
+    #[test]
+    fn binary_io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_csr(&mut buf, &g).unwrap();
+        prop_assert_eq!(buf.len() as u64, io::serialized_bytes(&g));
+        let back = io::read_csr(&buf[..]).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// Truncating a serialized graph anywhere never panics — it errors.
+    #[test]
+    fn binary_io_rejects_any_truncation(g in arb_graph(), cut in 0usize..100) {
+        let mut buf = Vec::new();
+        io::write_csr(&mut buf, &g).unwrap();
+        if buf.len() > 1 {
+            let cut = 1 + cut % (buf.len() - 1);
+            prop_assert!(io::read_csr(&buf[..cut]).is_err());
+        }
+    }
+
+    /// Every reordering yields a valid graph with identical degree
+    /// multiset and edge count, and permuting twice with inverse-composed
+    /// permutations is the identity.
+    #[test]
+    fn reorderings_preserve_structure(g in arb_graph(), seed in any::<u64>()) {
+        for perm in [
+            reorder::degree_based_grouping(&g),
+            reorder::degree_sort(&g),
+            reorder::random_order(&g, seed),
+        ] {
+            let p = g.permuted(&perm);
+            p.validate();
+            prop_assert_eq!(p.num_edges(), g.num_edges());
+            let mut d1 = g.degrees();
+            let mut d2 = p.degrees();
+            d1.sort_unstable();
+            d2.sort_unstable();
+            prop_assert_eq!(d1, d2, "degree multiset changed");
+            // Apply the inverse: must give back the original (up to
+            // adjacency sort order, which permuted() normalizes).
+            let mut inv = vec![0u32; perm.len()];
+            for (old, &new) in perm.iter().enumerate() {
+                inv[new as usize] = old as u32;
+            }
+            let back = p.permuted(&inv);
+            let sorted_original = g.permuted(&(0..g.num_vertices()).collect::<Vec<_>>());
+            prop_assert_eq!(back, sorted_original);
+        }
+    }
+
+    /// R-MAT generation is deterministic and within the edge budget for
+    /// arbitrary parameters.
+    #[test]
+    fn rmat_determinism_and_budget(
+        scale in 4u8..10,
+        degree in 1u32..8,
+        seed in any::<u64>(),
+        shuffle in any::<bool>(),
+    ) {
+        let cfg = RmatConfig {
+            scale,
+            avg_degree: degree,
+            shuffle_ids: shuffle,
+            seed,
+            ..RmatConfig::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(&a, &b);
+        a.validate();
+        prop_assert!(a.num_edges() <= degree as u64 * a.num_vertices() as u64);
+    }
+
+    /// Edge-list text parsing round-trips through rendering.
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let mut text = String::new();
+        for v in 0..g.num_vertices() {
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                match g.weights(v) {
+                    Some(ws) => text.push_str(&format!("{v} {u} {}\n", ws[i])),
+                    None => text.push_str(&format!("{v} {u}\n")),
+                }
+            }
+        }
+        if g.num_edges() == 0 {
+            return Ok(()); // vertex count is not recoverable from an empty list
+        }
+        let back = io::read_edge_list(text.as_bytes()).unwrap();
+        // Vertex count may shrink (trailing isolated vertices), but every
+        // edge and weight must survive with identical adjacency.
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for v in 0..back.num_vertices().min(g.num_vertices()) {
+            prop_assert_eq!(back.neighbors(v), g.neighbors(v));
+            prop_assert_eq!(back.weights(v), g.weights(v));
+        }
+    }
+}

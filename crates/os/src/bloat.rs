@@ -1,0 +1,115 @@
+//! Utilization-based huge-page demotion — the Ingens/HawkEye-style
+//! heuristic the paper's related work (§6) contrasts with its
+//! application-guided approach:
+//!
+//! > "Memory bloat is common and wastes free memory if not all data within
+//! > a huge page region is used. Prior works balance performance and bloat
+//! > by tracking memory accesses and demoting huge pages when the number of
+//! > accessed constituent base pages is below a certain threshold."
+//!
+//! The daemon scans huge mappings, reads the MMU's per-huge-page
+//! utilization bitmaps (the simulated analogue of accessed-bit scanning),
+//! splits pages below the threshold, and — optionally — unmaps and frees
+//! the never-touched base pages (zero-page bloat recovery).
+
+use graphmem_vm::{Leaf, PageSize, VirtAddr};
+
+use crate::system::System;
+
+impl System {
+    /// Run the utilization daemon if configured and due.
+    pub(crate) fn maybe_kbloatd(&mut self) {
+        let Some(policy) = self.thp.utilization_demotion else {
+            return;
+        };
+        if self.clock < self.bloat_next_run {
+            return;
+        }
+        self.bloat_next_run = self.clock + policy.scan_interval_cycles;
+        self.kbloatd_scan();
+    }
+
+    /// Force one scan pass immediately (tests and experiments).
+    pub fn run_kbloatd_now(&mut self) {
+        self.kbloatd_scan();
+    }
+
+    fn kbloatd_scan(&mut self) {
+        let Some(policy) = self.thp.utilization_demotion else {
+            return;
+        };
+        // Collect huge mappings first (cannot mutate while walking).
+        let mut huge: Vec<(VirtAddr, Leaf)> = Vec::new();
+        for (_, vma) in self.aspace.iter() {
+            if vma.hugetlb() {
+                continue; // explicit reservations are exempt, as on Linux
+            }
+            self.pt
+                .for_each_mapped(vma.start(), vma.end(), &mut |va, l| {
+                    if l.size == PageSize::Huge {
+                        huge.push((va, l));
+                    }
+                });
+        }
+        for (va, _leaf) in huge {
+            self.charge(self.cost.compact_scan_block); // scan cost per region
+            let hvpn = self.geom.page_number(va, PageSize::Huge);
+            let util = self.mmu.utilization_of(hvpn).unwrap_or(0.0);
+            if util < policy.threshold {
+                self.demote_bloated(va, policy.reclaim_untouched);
+            }
+        }
+    }
+
+    /// Split the under-utilized huge page at `va`; optionally unmap and
+    /// free its never-touched base pages.
+    fn demote_bloated(&mut self, va: VirtAddr, reclaim_untouched: bool) {
+        let ln = self.local_node as usize;
+        let frames = self.geom.frames(PageSize::Huge);
+        // Use the pgtable deposit to split (never allocates under pressure).
+        let mut deposit = self.deposits.remove(&va.vpn()).unwrap_or_default();
+        deposit.reverse();
+        let System {
+            ref mut pt,
+            ref mut zones,
+            ..
+        } = *self;
+        let zone = &mut zones[ln];
+        let mut alloc = || {
+            deposit
+                .pop()
+                .or_else(|| zone.alloc_frame(graphmem_physmem::Owner::Kernel))
+        };
+        let result = pt.demote(va, &mut alloc);
+        for f in deposit {
+            self.zones[ln].free_frame(f);
+        }
+        let Ok(old) = result else {
+            return;
+        };
+        self.zones[ln].split_allocated(old.frame);
+        self.mmu.invalidate_page(va, PageSize::Huge);
+        self.charge(self.cost.tlb_shootdown);
+        self.stats.demotions += 1;
+        self.stats.util_demotions += 1;
+
+        let hvpn = self.geom.page_number(va, PageSize::Huge);
+        let bitmap = self.mmu.utilization_bitmap(hvpn);
+        self.mmu.clear_utilization(hvpn);
+        let base_vpn = va.vpn();
+        for i in 0..frames {
+            let sub_va = VirtAddr((base_vpn + i) << 12);
+            let was_touched = bitmap.as_ref().is_some_and(|b| b[i as usize]);
+            if reclaim_untouched && !was_touched {
+                // Never-touched zero page: unmap and free the frame; a
+                // future access simply refaults a fresh zero page.
+                let leaf = self.pt.unmap(sub_va).expect("just demoted");
+                self.mmu.invalidate_page(sub_va, PageSize::Base);
+                self.zones[leaf.node as usize].free_frame(leaf.frame);
+                self.stats.bloat_frames_reclaimed += 1;
+            } else {
+                self.resident.push_back((base_vpn + i, PageSize::Base));
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! khugepaged: background promotion of base-page regions to huge pages.
+
+use graphmem_physmem::Owner;
+use graphmem_vm::{PageSize, VirtAddr, WalkResult};
+
+use crate::config::ThpMode;
+use crate::system::{System, TAG_VPN};
+use crate::vma::VmaId;
+
+impl System {
+    /// Run the daemon if its timer expired (called from the access path —
+    /// in this single-core model the daemon steals application cycles,
+    /// exactly the CPU-time cost the paper attributes to huge page
+    /// management).
+    pub(crate) fn maybe_khugepaged(&mut self) {
+        if self.thp.khugepaged.enabled
+            && self.thp.mode != ThpMode::Never
+            && self.clock >= self.kh.next_run
+        {
+            self.kh.next_run = self.clock + self.thp.khugepaged.scan_interval_cycles;
+            self.khugepaged_scan();
+        }
+    }
+
+    /// Force one scan pass immediately (tests and experiments).
+    pub fn run_khugepaged_now(&mut self) {
+        self.khugepaged_scan();
+    }
+
+    fn khugepaged_scan(&mut self) {
+        self.stats.khugepaged_scans += 1;
+        let nvmas = self.aspace.len();
+        if nvmas == 0 {
+            return;
+        }
+        let huge_bytes = self.geom.bytes(PageSize::Huge);
+        let per_scan = self.thp.khugepaged.regions_per_scan;
+        let (mut vi, mut off) = self.kh.cursor;
+        let mut examined = 0;
+        let mut hops = 0; // VMA switches; 2*nvmas bounds a full wrap
+        while examined < per_scan && hops <= 2 * nvmas {
+            if vi >= nvmas {
+                vi = 0;
+                off = 0;
+                hops += 1;
+                continue;
+            }
+            let vma = self.aspace.get(VmaId(vi));
+            let lo = vma.start().add(off);
+            if lo.add(huge_bytes) > vma.end() {
+                vi += 1;
+                off = 0;
+                hops += 1;
+                continue;
+            }
+            off += huge_bytes;
+            examined += 1;
+            self.charge(self.cost.compact_scan_block);
+            self.try_promote_region(VmaId(vi), lo);
+        }
+        self.kh.cursor = (vi, off);
+    }
+
+    /// Promote `[lo, lo + huge)` if it is eligible, sufficiently populated
+    /// with base pages, and a huge frame can be found.
+    fn try_promote_region(&mut self, id: VmaId, lo: VirtAddr) -> bool {
+        let huge_bytes = self.geom.bytes(PageSize::Huge);
+        let huge_frames = self.geom.frames(PageSize::Huge);
+        let hi = lo.add(huge_bytes);
+        let vma = self.aspace.get(id);
+        let eligible = match self.thp.mode {
+            ThpMode::Never => false,
+            ThpMode::Always => true,
+            ThpMode::Madvise => vma.range_advised(lo, hi),
+        };
+        if !eligible {
+            return false;
+        }
+        let locked = vma.locked();
+        let (base, huge) = self.pt.count_mapped(lo, hi);
+        if huge > 0 {
+            return false; // already huge
+        }
+        let min_fill = (self.thp.khugepaged.min_fill * huge_frames as f64).ceil() as u64;
+        if base < min_fill.max(1) {
+            return false;
+        }
+        // Swapped-out PTEs block promotion (khugepaged skips such regions).
+        for i in 0..huge_frames {
+            if matches!(
+                self.pt.walk(lo.add(i * graphmem_physmem::FRAME_SIZE)),
+                WalkResult::Swapped(_)
+            ) {
+                return false;
+            }
+        }
+        // Fill any holes so the region is fully populated (Linux fills
+        // with zero pages during the copy; we fault them in).
+        if base < huge_frames {
+            for i in 0..huge_frames {
+                let va = lo.add(i * graphmem_physmem::FRAME_SIZE);
+                if matches!(self.pt.walk(va), WalkResult::NotMapped) {
+                    self.base_fault(va, locked);
+                }
+            }
+        }
+        // Allocate the destination huge frame (with bounded compaction,
+        // like khugepaged's own use of the compactor).
+        let ln = self.local_node as usize;
+        let owner = if locked {
+            Owner::user_locked()
+        } else {
+            Owner::user()
+        };
+        let huge_order = self.zones[ln].config().huge_order;
+        let mut range = self.zones[ln].alloc(huge_order, owner);
+        if range.is_none() && self.thp.fault_defrag {
+            range = self.direct_compact_for_huge(owner);
+        }
+        let Some(range) = range else {
+            return false;
+        };
+        // Copy + remap + shoot down.
+        self.charge(self.cost.promote_copy_frame * huge_frames + self.cost.tlb_shootdown);
+        let (old_leaves, table_frames) = self
+            .pt
+            .promote(lo, range.base, self.local_node)
+            .expect("region checked populated");
+        for leaf in old_leaves {
+            self.zones[leaf.node as usize].free_frame(leaf.frame);
+        }
+        // The withdrawn leaf table becomes the pgtable deposit of the new
+        // huge mapping (Linux re-deposits it for a future split).
+        self.deposits.insert(lo.vpn(), table_frames);
+        self.zones[ln].set_tag(range.base, TAG_VPN | lo.vpn());
+        self.mmu.flush_tlb();
+        self.stats.promotions += 1;
+        self.resident.push_back((lo.vpn(), PageSize::Huge));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{SystemSpec, ThpMode};
+    use crate::system::System;
+    use graphmem_vm::PageSize;
+
+    fn sys_always() -> System {
+        let mut spec = SystemSpec::scaled_demo();
+        spec.thp.mode = ThpMode::Always;
+        spec.thp.khugepaged.regions_per_scan = 1024;
+        System::new(spec)
+    }
+
+    #[test]
+    fn promotes_base_paged_regions_when_memory_frees_up() {
+        let mut sys = sys_always();
+        let huge = sys.geometry().bytes(PageSize::Huge);
+        // Populate with THP fault path off → base pages only.
+        sys.thp.fault_huge = false;
+        let a = sys.mmap(4 * huge, "a");
+        sys.populate(a, 4 * huge);
+        assert_eq!(sys.mapping_report(a).huge_pages, 0);
+        sys.thp.fault_huge = true;
+
+        sys.run_khugepaged_now();
+        let rep = sys.mapping_report(a);
+        assert_eq!(rep.huge_pages, 4, "all four regions promoted");
+        assert_eq!(rep.base_pages, 0);
+        assert_eq!(sys.os_stats().promotions, 4);
+        // Pages still accessible without faults.
+        let faults = sys.os_stats().faults;
+        sys.read(a.add(huge + 123));
+        assert_eq!(sys.os_stats().faults, faults);
+    }
+
+    #[test]
+    fn khugepaged_respects_madvise_mode() {
+        let mut spec = SystemSpec::scaled_demo();
+        spec.thp.mode = ThpMode::Madvise;
+        spec.thp.khugepaged.regions_per_scan = 1024;
+        let mut sys = System::new(spec);
+        let huge = sys.geometry().bytes(PageSize::Huge);
+        let a = sys.mmap(4 * huge, "a");
+        // Advise only region 2.
+        sys.madvise_hugepage(a.add(2 * huge), huge);
+        sys.thp.fault_huge = false;
+        sys.populate(a, 4 * huge);
+        sys.thp.fault_huge = true;
+        sys.run_khugepaged_now();
+        let rep = sys.mapping_report(a);
+        assert_eq!(rep.huge_pages, 1, "only the advised region promotes");
+    }
+
+    #[test]
+    fn daemon_fires_on_clock() {
+        let mut spec = SystemSpec::scaled_demo();
+        spec.thp.mode = ThpMode::Always;
+        spec.thp.khugepaged.scan_interval_cycles = 10_000;
+        spec.thp.khugepaged.regions_per_scan = 1024;
+        let mut sys = System::new(spec);
+        let huge = sys.geometry().bytes(PageSize::Huge);
+        sys.thp.fault_huge = false;
+        let a = sys.mmap(huge, "a");
+        sys.populate(a, huge);
+        assert!(sys.os_stats().khugepaged_scans >= 1);
+        // The region only becomes fully populated at the end of populate;
+        // steady-state activity lets the next timer firing promote it.
+        for _ in 0..20_000 {
+            sys.read(a);
+        }
+        assert_eq!(sys.mapping_report(a).huge_pages, 1);
+    }
+
+    #[test]
+    fn no_promotion_when_no_huge_blocks_exist() {
+        let mut sys = sys_always();
+        let huge = sys.geometry().bytes(PageSize::Huge);
+        graphmem_physmem::Fragmenter::apply(sys.zone_mut(1), 1.0);
+        sys.thp.fault_huge = false;
+        let a = sys.mmap(2 * huge, "a");
+        sys.populate(a, 2 * huge);
+        sys.thp.fault_huge = true;
+        sys.run_khugepaged_now();
+        assert_eq!(sys.mapping_report(a).huge_pages, 0);
+        assert_eq!(sys.os_stats().promotions, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The page cache: reclaimable memory occupied by file data.
+//!
+//! The paper (§4.3) shows that buffered file loading during graph
+//! initialization fills free memory with single-use page-cache data that
+//! "cannot be reclaimed in time" by fault-time huge allocations, starving
+//! the application of huge pages. This type tracks which frames the cache
+//! holds so the OS can account, reclaim, relocate (compaction), or drop
+//! them.
+
+use graphmem_physmem::{Frame, NodeId};
+
+/// Tracks page-cache frames per NUMA node.
+#[derive(Debug, Default)]
+pub struct PageCache {
+    /// Slot-indexed entries; `None` = reclaimed. Slot index is stored in
+    /// the frame's zone tag so compaction can fix us up after migration.
+    entries: Vec<Option<(NodeId, Frame)>>,
+    resident: u64,
+    inserted_total: u64,
+}
+
+impl PageCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a cached frame; returns its slot index (for the zone tag).
+    pub fn insert(&mut self, node: NodeId, frame: Frame) -> u64 {
+        self.entries.push(Some((node, frame)));
+        self.resident += 1;
+        self.inserted_total += 1;
+        (self.entries.len() - 1) as u64
+    }
+
+    /// Reclaim one frame on `node` (most recently inserted first — the
+    /// cheapest victim either way since all cache data here is single-use).
+    pub fn take_one(&mut self, node: NodeId) -> Option<Frame> {
+        for e in self.entries.iter_mut().rev() {
+            if let Some((n, f)) = *e {
+                if n == node {
+                    *e = None;
+                    self.resident -= 1;
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// Update the frame of slot `idx` after compaction migrated it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already reclaimed.
+    pub fn relocate(&mut self, idx: u64, new_frame: Frame) {
+        match &mut self.entries[idx as usize] {
+            Some((_, f)) => *f = new_frame,
+            None => panic!("relocate of reclaimed page-cache slot {idx}"),
+        }
+    }
+
+    /// Drop every cached frame (the `drop_caches` knob); returns them for
+    /// the OS to free.
+    pub fn drop_all(&mut self) -> Vec<(NodeId, Frame)> {
+        let out: Vec<_> = self.entries.iter_mut().filter_map(|e| e.take()).collect();
+        self.resident -= out.len() as u64;
+        out
+    }
+
+    /// Frames currently resident on `node`.
+    pub fn resident_on(&self, node: NodeId) -> u64 {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|(n, _)| *n == node)
+            .count() as u64
+    }
+
+    /// Frames currently resident on any node.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Total frames ever inserted.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut pc = PageCache::new();
+        let a = pc.insert(1, 100);
+        let _b = pc.insert(1, 200);
+        pc.insert(0, 300);
+        assert_eq!(pc.resident(), 3);
+        assert_eq!(pc.resident_on(1), 2);
+        // LIFO within the node.
+        assert_eq!(pc.take_one(1), Some(200));
+        assert_eq!(pc.take_one(1), Some(100));
+        assert_eq!(pc.take_one(1), None);
+        assert_eq!(pc.resident_on(0), 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn relocate_updates_frame() {
+        let mut pc = PageCache::new();
+        let idx = pc.insert(1, 7);
+        pc.relocate(idx, 99);
+        assert_eq!(pc.take_one(1), Some(99));
+    }
+
+    #[test]
+    fn drop_all_returns_everything() {
+        let mut pc = PageCache::new();
+        pc.insert(0, 1);
+        pc.insert(1, 2);
+        pc.take_one(0);
+        let dropped = pc.drop_all();
+        assert_eq!(dropped, vec![(1, 2)]);
+        assert_eq!(pc.resident(), 0);
+        assert_eq!(pc.inserted_total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaimed")]
+    fn relocate_reclaimed_panics() {
+        let mut pc = PageCache::new();
+        let idx = pc.insert(1, 7);
+        pc.take_one(1);
+        pc.relocate(idx, 9);
+    }
+}

@@ -1,0 +1,620 @@
+//! The simulated system: zones + process + MMU + kernel policies.
+
+use std::collections::{HashMap, VecDeque};
+
+use graphmem_physmem::{Frame, FrameRange, NodeId, Owner, Zone, FRAME_SIZE};
+use graphmem_vm::{
+    AccessTrace, Fault, FaultKind, MemorySystem, PageGeometry, PageSize, PageTable, PerfCounters,
+    VirtAddr,
+};
+
+use crate::config::{FilePlacement, OsCostModel, SystemSpec, ThpMode, ThpPolicy};
+use crate::pagecache::PageCache;
+use crate::stats::OsStats;
+use crate::swapdev::SwapDevice;
+use crate::vma::{AddressSpace, VmaId};
+
+/// Zone-tag namespace: the OS stores reverse-mapping hints in frame tags.
+/// High bits select the namespace; background ("other process") frames have
+/// tag 0 and need no fixup on migration.
+pub(crate) const TAG_VPN: u64 = 1 << 62;
+pub(crate) const TAG_CACHE: u64 = 1 << 61;
+pub(crate) const TAG_PAYLOAD: u64 = (1 << 61) - 1;
+
+/// Summary of how a VMA is currently mapped (huge-page usage accounting —
+/// the paper's "fraction of memory backed by huge pages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingReport {
+    /// Present base pages.
+    pub base_pages: u64,
+    /// Present huge pages.
+    pub huge_pages: u64,
+    /// Bytes backed by huge pages.
+    pub huge_bytes: u64,
+    /// Bytes mapped in total.
+    pub mapped_bytes: u64,
+}
+
+impl MappingReport {
+    /// Fraction of mapped bytes backed by huge pages.
+    pub fn huge_fraction(&self) -> f64 {
+        if self.mapped_bytes == 0 {
+            0.0
+        } else {
+            self.huge_bytes as f64 / self.mapped_bytes as f64
+        }
+    }
+}
+
+/// A snapshot of all clocks/counters, for measuring deltas across phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Checkpoint {
+    /// Simulated clock at snapshot time.
+    pub clock: u64,
+    /// Hardware counters at snapshot time.
+    pub perf: PerfCounters,
+    /// OS counters at snapshot time.
+    pub os: OsStats,
+}
+
+/// Background promotion daemon bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct KhugepagedState {
+    pub(crate) next_run: u64,
+    /// Scan cursor: (vma index, byte offset into the vma).
+    pub(crate) cursor: (usize, u64),
+}
+
+/// The simulated machine + kernel + single bound process.
+///
+/// See the crate-level docs for an overview and example. Experiment code
+/// applies memory pressure and fragmentation by manipulating the zones
+/// directly ([`System::zone_mut`]) with
+/// [`Memhog`](graphmem_physmem::Memhog) /
+/// [`Fragmenter`](graphmem_physmem::Fragmenter) before the workload runs,
+/// exactly as the paper runs `memhog` and `frag` before its applications.
+#[derive(Debug)]
+pub struct System {
+    pub(crate) geom: PageGeometry,
+    pub(crate) thp: ThpPolicy,
+    pub(crate) cost: OsCostModel,
+    pub(crate) local_node: NodeId,
+    pub(crate) file_placement: FilePlacement,
+    pub(crate) zones: Vec<Zone>,
+    pub(crate) aspace: AddressSpace,
+    pub(crate) pt: PageTable,
+    pub(crate) mmu: MemorySystem,
+    pub(crate) cache: PageCache,
+    pub(crate) swap: SwapDevice,
+    pub(crate) stats: OsStats,
+    pub(crate) clock: u64,
+    /// FIFO of resident pages — swap-victim candidates.
+    pub(crate) resident: VecDeque<(u64, PageSize)>,
+    pub(crate) kh: KhugepagedState,
+    /// Next scheduled run of the utilization-demotion daemon.
+    pub(crate) bloat_next_run: u64,
+    /// Optional access-trace recorder (see [`System::start_tracing`]).
+    pub(crate) tracer: Option<AccessTrace>,
+    /// Boot-time-reserved hugetlbfs pool (paper §2.3's explicit huge
+    /// pages): guaranteed huge frames, immune to later fragmentation.
+    pub(crate) hugetlb_pool: Vec<FrameRange>,
+    /// Pgtable deposits: leaf-table frames reserved per huge mapping
+    /// (keyed by the region's base VPN) so a later split never has to
+    /// allocate — exactly Linux's `pgtable_trans_huge_deposit`.
+    pub(crate) deposits: HashMap<u64, Vec<Frame>>,
+}
+
+impl System {
+    /// Boot a system from a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no nodes or the bound node is out of range.
+    pub fn new(spec: SystemSpec) -> Self {
+        assert!(!spec.node_bytes.is_empty(), "need at least one NUMA node");
+        assert!(
+            (spec.local_node as usize) < spec.node_bytes.len(),
+            "local node out of range"
+        );
+        let zones = spec
+            .node_bytes
+            .iter()
+            .enumerate()
+            .map(|(n, &bytes)| Zone::new(n as NodeId, bytes / FRAME_SIZE, spec.memcfg))
+            .collect();
+        let geom = PageGeometry::new(spec.memcfg);
+        let kh = KhugepagedState {
+            next_run: spec.thp.khugepaged.scan_interval_cycles,
+            cursor: (0, 0),
+        };
+        System {
+            geom,
+            thp: spec.thp,
+            cost: spec.cost,
+            local_node: spec.local_node,
+            file_placement: spec.file_placement,
+            zones,
+            aspace: AddressSpace::new(geom.bytes(PageSize::Huge)),
+            pt: PageTable::new(spec.local_node, spec.memcfg),
+            mmu: {
+                let mut m = MemorySystem::new(spec.mmu);
+                if spec.thp.utilization_demotion.is_some() {
+                    m.track_utilization(true);
+                }
+                m
+            },
+            cache: PageCache::new(),
+            swap: SwapDevice::new(),
+            stats: OsStats::default(),
+            clock: 0,
+            resident: VecDeque::new(),
+            kh,
+            bloat_next_run: spec
+                .thp
+                .utilization_demotion
+                .map_or(u64::MAX, |p| p.scan_interval_cycles),
+            tracer: None,
+            hugetlb_pool: Vec::new(),
+            deposits: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall surface
+    // ------------------------------------------------------------------
+
+    /// `mmap` an anonymous region; returns its base address.
+    pub fn mmap(&mut self, len: u64, name: &str) -> VirtAddr {
+        self.charge(self.cost.syscall);
+        let id = self.aspace.mmap(len, name);
+        self.aspace.get(id).start()
+    }
+
+    /// Reserve `pages` huge pages into the hugetlbfs pool (the equivalent
+    /// of writing `nr_hugepages`, paper §2.3). Returns how many were
+    /// actually reserved — under fragmentation the pool may come up short,
+    /// which is exactly why boot-time reservation is the recommended use.
+    pub fn hugetlb_reserve(&mut self, pages: u64) -> u64 {
+        self.charge(self.cost.syscall);
+        let ln = self.local_node as usize;
+        let order = self.zones[ln].config().huge_order;
+        for got in 0..pages {
+            match self.zones[ln].alloc(order, Owner::user_locked()) {
+                Some(r) => self.hugetlb_pool.push(r),
+                None => return got,
+            }
+        }
+        pages
+    }
+
+    /// Huge pages currently available in the hugetlbfs pool.
+    pub fn hugetlb_free(&self) -> u64 {
+        self.hugetlb_pool.len() as u64
+    }
+
+    /// `mmap` a region backed by the hugetlbfs pool (`MAP_HUGETLB`);
+    /// length rounds up to whole huge pages. Touching more pages than the
+    /// pool holds is the real-world `SIGBUS` — simulated as a panic.
+    pub fn mmap_hugetlb(&mut self, len: u64, name: &str) -> VirtAddr {
+        self.charge(self.cost.syscall);
+        let id = self.aspace.mmap_hugetlb(len, name);
+        self.aspace.get(id).start()
+    }
+
+    /// `madvise(addr, len, MADV_HUGEPAGE)` — mark a range huge-eligible
+    /// under [`ThpMode::Madvise`]. This is the paper's selective-THP
+    /// mechanism (§5.2): advising only the first *s*% of the property array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside any VMA.
+    pub fn madvise_hugepage(&mut self, addr: VirtAddr, len: u64) {
+        self.charge(self.cost.syscall);
+        let (id, _) = self.aspace.find(addr).expect("madvise outside any VMA");
+        self.aspace.get_mut(id).advise(addr, addr.add(len));
+    }
+
+    /// `mlock` the VMA containing `addr` (exempt from swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside any VMA.
+    pub fn mlock_region(&mut self, addr: VirtAddr) {
+        self.charge(self.cost.syscall);
+        let (id, _) = self.aspace.find(addr).expect("mlock outside any VMA");
+        self.aspace.get_mut(id).set_locked(true);
+    }
+
+    /// Unmap every present page of the VMA containing `addr` and free the
+    /// frames (used for temporary initialization buffers, paper §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside any VMA.
+    pub fn release_region(&mut self, addr: VirtAddr) {
+        self.charge(self.cost.syscall);
+        let (_, vma) = self.aspace.find(addr).expect("release outside any VMA");
+        let hugetlb = vma.hugetlb();
+        let (start, end) = (vma.start(), vma.end());
+        let mut pages: Vec<(VirtAddr, graphmem_vm::Leaf)> = Vec::new();
+        self.pt
+            .for_each_mapped(start, end, &mut |v, l| pages.push((v, l)));
+        for (va, leaf) in pages {
+            self.pt.unmap(va).expect("page vanished during release");
+            self.mmu.invalidate_page(va, leaf.size);
+            let zone = &mut self.zones[leaf.node as usize];
+            match leaf.size {
+                PageSize::Base => zone.free_frame(leaf.frame),
+                PageSize::Huge if hugetlb => {
+                    // Back to the reservation pool, as hugetlbfs does.
+                    let frames = zone.config().huge_frames();
+                    self.hugetlb_pool.push(FrameRange::new(leaf.frame, frames));
+                }
+                PageSize::Huge => {
+                    zone.free(leaf.frame, zone.config().huge_order);
+                    if let Some(deposit) = self.deposits.remove(&va.vpn()) {
+                        let ln = self.local_node as usize;
+                        for f in deposit {
+                            self.zones[ln].free_frame(f);
+                        }
+                    }
+                }
+            }
+        }
+        self.charge(self.cost.tlb_shootdown);
+    }
+
+    /// Drop the entire page cache (`echo 1 > /proc/sys/vm/drop_caches`).
+    pub fn drop_caches(&mut self) {
+        self.charge(self.cost.syscall);
+        for (node, frame) in self.cache.drop_all() {
+            self.zones[node as usize].free_frame(frame);
+            self.stats.cache_reclaims += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access path
+    // ------------------------------------------------------------------
+
+    /// Simulated load from `addr`.
+    pub fn read(&mut self, addr: VirtAddr) {
+        self.access(addr, false);
+    }
+
+    /// Simulated store to `addr`.
+    pub fn write(&mut self, addr: VirtAddr) {
+        self.access(addr, true);
+    }
+
+    fn access(&mut self, addr: VirtAddr, is_write: bool) {
+        if let Some(t) = &mut self.tracer {
+            t.push(addr, is_write);
+        }
+        for _attempt in 0..4 {
+            match self.mmu.access(&self.pt, addr, is_write) {
+                Ok(cost) => {
+                    self.clock += cost.cycles;
+                    self.maybe_khugepaged();
+                    self.maybe_kbloatd();
+                    return;
+                }
+                Err(fault) => {
+                    self.clock += fault.cycles;
+                    self.handle_fault(fault);
+                }
+            }
+        }
+        panic!("access to {addr} still faulting after fault handling");
+    }
+
+    /// First-touch a whole range with sequential stores, one simulated
+    /// store per base page plus a bulk cost for the remaining cache lines
+    /// of each page (models `memset`-style initialization without
+    /// simulating every line).
+    pub fn populate(&mut self, addr: VirtAddr, len: u64) {
+        let lines_per_page = FRAME_SIZE / 64;
+        let bulk = (lines_per_page - 1) * 4; // remaining lines hit L1
+        let mut off = 0;
+        while off < len {
+            self.write(addr.add(off));
+            self.clock += bulk;
+            off += FRAME_SIZE;
+        }
+    }
+
+    /// Load `len` bytes of file data into `[addr, addr+len)` according to
+    /// the configured [`FilePlacement`]: charges I/O costs, occupies page
+    /// cache where applicable, and first-touches the destination buffer.
+    pub fn load_file(&mut self, addr: VirtAddr, len: u64) {
+        let frames = len.div_ceil(FRAME_SIZE);
+        match self.file_placement {
+            FilePlacement::LocalPageCache => {
+                // Disk → page cache (local node) → user buffer.
+                for _ in 0..frames {
+                    self.charge(self.cost.disk_read_frame);
+                    if let Some(frame) =
+                        self.zones[self.local_node as usize].alloc_frame(Owner::PageCache)
+                    {
+                        let idx = self.cache.insert(self.local_node, frame);
+                        self.zones[self.local_node as usize].set_tag(frame, TAG_CACHE | idx);
+                        self.stats.cache_fills += 1;
+                    }
+                    // If the node is too full even for cache pages, Linux
+                    // simply serves the read without caching it.
+                    self.charge(self.cost.cache_copy_frame);
+                }
+            }
+            FilePlacement::TmpfsRemote => {
+                // Data staged on the remote node; reads are remote memory.
+                for _ in 0..frames {
+                    self.charge(self.cost.remote_read_frame);
+                }
+            }
+            FilePlacement::DirectIo => {
+                for _ in 0..frames {
+                    self.charge(self.cost.disk_read_frame);
+                }
+            }
+        }
+        self.populate(addr, len);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Begin recording every subsequent data access into an
+    /// [`AccessTrace`] (replayable against other MMU configurations; see
+    /// `graphmem_vm::AccessTrace::replay`).
+    pub fn start_tracing(&mut self) {
+        self.tracer = Some(AccessTrace::new());
+    }
+
+    /// Stop recording and take the trace (empty if tracing was never
+    /// started).
+    pub fn take_trace(&mut self) -> AccessTrace {
+        self.tracer.take().unwrap_or_default()
+    }
+
+    /// The current page table (for trace replay against this process's
+    /// final mappings).
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Simulated cycle clock (includes kernel time).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Hardware performance counters.
+    pub fn perf(&self) -> &PerfCounters {
+        self.mmu.counters()
+    }
+
+    /// OS event counters.
+    pub fn os_stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// Snapshot clocks and counters.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            clock: self.clock,
+            perf: *self.mmu.counters(),
+            os: self.stats,
+        }
+    }
+
+    /// Deltas since `cp`: `(cycles, perf, os)`.
+    pub fn since(&self, cp: &Checkpoint) -> (u64, PerfCounters, OsStats) {
+        (
+            self.clock - cp.clock,
+            self.mmu.counters().since(&cp.perf),
+            self.stats.since(&cp.os),
+        )
+    }
+
+    /// Mapping statistics for the VMA containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside any VMA.
+    pub fn mapping_report(&self, addr: VirtAddr) -> MappingReport {
+        let (_, vma) = self.aspace.find(addr).expect("report outside any VMA");
+        let (base, huge) = self.pt.count_mapped(vma.start(), vma.end());
+        let huge_bytes = huge * self.geom.bytes(PageSize::Huge);
+        MappingReport {
+            base_pages: base,
+            huge_pages: huge,
+            huge_bytes,
+            mapped_bytes: base * FRAME_SIZE + huge_bytes,
+        }
+    }
+
+    /// Mapping statistics across every VMA.
+    pub fn mapping_report_total(&self) -> MappingReport {
+        let mut total = MappingReport {
+            base_pages: 0,
+            huge_pages: 0,
+            huge_bytes: 0,
+            mapped_bytes: 0,
+        };
+        for (_, vma) in self.aspace.iter() {
+            let (base, huge) = self.pt.count_mapped(vma.start(), vma.end());
+            total.base_pages += base;
+            total.huge_pages += huge;
+        }
+        total.huge_bytes = total.huge_pages * self.geom.bytes(PageSize::Huge);
+        total.mapped_bytes = total.base_pages * FRAME_SIZE + total.huge_bytes;
+        total
+    }
+
+    /// The zone of NUMA `node` (read-only).
+    pub fn zone(&self, node: NodeId) -> &Zone {
+        &self.zones[node as usize]
+    }
+
+    /// Mutable access to a zone, for experiment setup (memhog, frag,
+    /// background noise) before the workload runs.
+    pub fn zone_mut(&mut self, node: NodeId) -> &mut Zone {
+        &mut self.zones[node as usize]
+    }
+
+    /// The node the process is bound to.
+    pub fn local_node(&self) -> NodeId {
+        self.local_node
+    }
+
+    /// Page geometry in effect.
+    pub fn geometry(&self) -> PageGeometry {
+        self.geom
+    }
+
+    /// The THP policy in effect.
+    pub fn thp_policy(&self) -> &ThpPolicy {
+        &self.thp
+    }
+
+    /// The address space (VMA map).
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.aspace
+    }
+
+    /// Swap device occupancy.
+    pub fn swap_device(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// Page cache occupancy.
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared across the impl files
+    // ------------------------------------------------------------------
+
+    pub(crate) fn charge(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.stats.kernel_cycles += cycles;
+    }
+
+    pub(crate) fn fault_dispatch(&mut self, fault: Fault) {
+        self.stats.faults += 1;
+        self.charge(self.cost.fault_base);
+        match fault.kind {
+            FaultKind::NotMapped => self.demand_fault(fault.vaddr),
+            FaultKind::SwappedOut(slot) => self.swap_in(fault.vaddr, slot),
+        }
+    }
+
+    fn handle_fault(&mut self, fault: Fault) {
+        self.fault_dispatch(fault);
+    }
+
+    /// Whether `vaddr`'s huge region is THP-eligible in VMA `id`:
+    /// the aligned region must fit in the VMA, pass the mode check
+    /// (always / advised), and be completely unpopulated.
+    pub(crate) fn huge_eligible(&self, id: VmaId, vaddr: VirtAddr) -> bool {
+        let huge_bytes = self.geom.bytes(PageSize::Huge);
+        let lo = vaddr.align_down(huge_bytes);
+        let hi = lo.add(huge_bytes);
+        let vma = self.aspace.get(id);
+        if lo < vma.start() || hi > vma.end() {
+            return false;
+        }
+        let mode_ok = match self.thp.mode {
+            ThpMode::Never => false,
+            ThpMode::Always => true,
+            ThpMode::Madvise => vma.range_advised(lo, hi),
+        };
+        if !mode_ok {
+            return false;
+        }
+        self.pt.count_mapped(lo, hi) == (0, 0)
+    }
+
+    /// Allocate one local frame for user data, reclaiming page cache and
+    /// then swapping as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on true OOM (nothing reclaimable or swappable remains).
+    pub(crate) fn alloc_user_frame(&mut self, locked: bool) -> Frame {
+        let owner = if locked {
+            Owner::user_locked()
+        } else {
+            Owner::user()
+        };
+        for _ in 0..64 {
+            if let Some(f) = self.zones[self.local_node as usize].alloc_frame(owner) {
+                return f;
+            }
+            if !self.reclaim_one_frame() && !self.swap_out_one() {
+                break;
+            }
+        }
+        panic!("out of memory: no free, reclaimable, or swappable frames left");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemSpec;
+
+    #[test]
+    fn boot_and_mmap() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = sys.mmap(1 << 20, "a");
+        let b = sys.mmap(1 << 20, "b");
+        assert_ne!(a, b);
+        assert!(a.is_aligned(sys.geometry().bytes(PageSize::Huge)));
+        assert_eq!(sys.address_space().len(), 2);
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = sys.mmap(1 << 20, "a");
+        sys.write(a);
+        assert_eq!(sys.os_stats().faults, 1);
+        assert_eq!(sys.os_stats().base_faults, 1); // THP off by default
+        let clock_after_fault = sys.clock();
+        sys.read(a.add(8));
+        assert_eq!(sys.os_stats().faults, 1);
+        assert!(sys.clock() - clock_after_fault < 100);
+    }
+
+    #[test]
+    fn populate_maps_whole_range() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = sys.mmap(256 * 1024, "a");
+        sys.populate(a, 256 * 1024);
+        let rep = sys.mapping_report(a);
+        assert_eq!(rep.mapped_bytes, 256 * 1024);
+        assert_eq!(rep.huge_pages, 0);
+    }
+
+    #[test]
+    fn release_region_frees_memory() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let free0 = sys.zone(1).free_frames();
+        let a = sys.mmap(512 * 1024, "tmp");
+        sys.populate(a, 512 * 1024);
+        assert!(sys.zone(1).free_frames() < free0);
+        sys.release_region(a);
+        // Only page-table frames remain allocated.
+        let used = free0 - sys.zone(1).free_frames();
+        assert!(used <= sys.pt.table_frames() + 2, "used {used}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any VMA")]
+    fn madvise_outside_vma_panics() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        sys.madvise_hugepage(VirtAddr(0x1000), 4096);
+    }
+}

@@ -1,0 +1,271 @@
+//! Virtual memory areas and the process address-space map.
+
+use graphmem_vm::VirtAddr;
+
+/// Identifier of a [`Vma`] within an [`AddressSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmaId(pub(crate) usize);
+
+/// One mapped region of the process address space.
+#[derive(Debug, Clone)]
+pub struct Vma {
+    start: VirtAddr,
+    end: VirtAddr,
+    name: String,
+    locked: bool,
+    hugetlb: bool,
+    /// Sub-ranges marked `MADV_HUGEPAGE`, non-overlapping and sorted.
+    advised: Vec<(VirtAddr, VirtAddr)>,
+}
+
+impl Vma {
+    /// Start address (inclusive).
+    pub fn start(&self) -> VirtAddr {
+        self.start
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> VirtAddr {
+        self.end
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the VMA is empty (never true for constructed VMAs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Debug name given at `mmap` time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the region is `mlock`ed (exempt from swap).
+    pub fn locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Whether the region is backed by the hugetlbfs reservation pool
+    /// (explicit huge pages, paper §2.3: guaranteed but requiring
+    /// boot-time reservation; exempt from swap and demotion).
+    pub fn hugetlb(&self) -> bool {
+        self.hugetlb
+    }
+
+    /// Whether `addr` falls inside this VMA.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether the whole `[lo, hi)` range is inside an advised sub-range.
+    pub fn range_advised(&self, lo: VirtAddr, hi: VirtAddr) -> bool {
+        self.advised.iter().any(|&(a, b)| lo >= a && hi <= b)
+    }
+
+    /// Record an `MADV_HUGEPAGE` range (clamped to the VMA, merged if
+    /// adjacent/overlapping).
+    pub(crate) fn advise(&mut self, lo: VirtAddr, hi: VirtAddr) {
+        let lo = lo.max(self.start);
+        let hi = hi.min(self.end);
+        if lo >= hi {
+            return;
+        }
+        self.advised.push((lo, hi));
+        self.advised.sort_unstable();
+        let mut merged: Vec<(VirtAddr, VirtAddr)> = Vec::with_capacity(self.advised.len());
+        for &(a, b) in &self.advised {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        self.advised = merged;
+    }
+
+    pub(crate) fn set_locked(&mut self, locked: bool) {
+        self.locked = locked;
+    }
+}
+
+/// The set of VMAs of the simulated process.
+///
+/// New regions are placed at increasing addresses, aligned to the huge page
+/// size so every region is THP-eligible by alignment (Linux's `mmap` does
+/// this for large anonymous mappings via `thp_get_unmapped_area`), with an
+/// unmapped guard gap between regions.
+#[derive(Debug)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    next: u64,
+    huge_bytes: u64,
+}
+
+/// Base of the simulated mmap area.
+const MMAP_BASE: u64 = 1 << 32;
+
+impl AddressSpace {
+    /// An empty address space for a process using pages of the given huge
+    /// size.
+    pub fn new(huge_bytes: u64) -> Self {
+        AddressSpace {
+            vmas: Vec::new(),
+            next: MMAP_BASE,
+            huge_bytes,
+        }
+    }
+
+    /// Create a VMA of `len` bytes (rounded up to whole base pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn mmap(&mut self, len: u64, name: &str) -> VmaId {
+        self.mmap_inner(len, name, false)
+    }
+
+    /// Create a hugetlbfs-backed VMA (`MAP_HUGETLB`): length rounds up to
+    /// whole huge pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn mmap_hugetlb(&mut self, len: u64, name: &str) -> VmaId {
+        let len = len.div_ceil(self.huge_bytes) * self.huge_bytes;
+        self.mmap_inner(len, name, true)
+    }
+
+    fn mmap_inner(&mut self, len: u64, name: &str, hugetlb: bool) -> VmaId {
+        assert!(len > 0, "mmap of zero bytes");
+        let len = len.div_ceil(4096) * 4096;
+        let start = VirtAddr(self.next).align_up(self.huge_bytes);
+        let end = start.add(len);
+        // Guard gap of one huge page.
+        self.next = end.align_up(self.huge_bytes).0 + self.huge_bytes;
+        self.vmas.push(Vma {
+            start,
+            end,
+            name: name.to_owned(),
+            locked: false,
+            hugetlb,
+            advised: Vec::new(),
+        });
+        VmaId(self.vmas.len() - 1)
+    }
+
+    /// Look up a VMA by id.
+    pub fn get(&self, id: VmaId) -> &Vma {
+        &self.vmas[id.0]
+    }
+
+    pub(crate) fn get_mut(&mut self, id: VmaId) -> &mut Vma {
+        &mut self.vmas[id.0]
+    }
+
+    /// The VMA containing `addr`, if any.
+    pub fn find(&self, addr: VirtAddr) -> Option<(VmaId, &Vma)> {
+        self.vmas
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.contains(addr))
+            .map(|(i, v)| (VmaId(i), v))
+    }
+
+    /// Iterate over all VMAs.
+    pub fn iter(&self) -> impl Iterator<Item = (VmaId, &Vma)> {
+        self.vmas.iter().enumerate().map(|(i, v)| (VmaId(i), v))
+    }
+
+    /// Number of VMAs.
+    pub fn len(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Whether no VMAs exist.
+    pub fn is_empty(&self) -> bool {
+        self.vmas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_aligns_to_huge_pages_and_leaves_gaps() {
+        let mut a = AddressSpace::new(2 * 1024 * 1024);
+        let v1 = a.mmap(1000, "small");
+        let v2 = a.mmap(5 << 20, "big");
+        let (s1, e1) = (a.get(v1).start(), a.get(v1).end());
+        let s2 = a.get(v2).start();
+        assert!(s1.is_aligned(2 * 1024 * 1024));
+        assert!(s2.is_aligned(2 * 1024 * 1024));
+        assert_eq!(a.get(v1).len(), 4096); // rounded up to a page
+        assert!(s2.0 >= e1.0 + 2 * 1024 * 1024); // guard gap
+        assert_eq!(a.get(v2).len(), 5 << 20);
+    }
+
+    #[test]
+    fn find_locates_containing_vma() {
+        let mut a = AddressSpace::new(1 << 21);
+        let v = a.mmap(1 << 20, "x");
+        let mid = a.get(v).start().add(12345);
+        let (found, vma) = a.find(mid).unwrap();
+        assert_eq!(found, v);
+        assert_eq!(vma.name(), "x");
+        assert!(a.find(VirtAddr(0)).is_none());
+    }
+
+    #[test]
+    fn advise_merges_overlapping_ranges() {
+        let mut a = AddressSpace::new(1 << 21);
+        let v = a.mmap(10 << 20, "arr");
+        let s = a.get(v).start();
+        a.get_mut(v).advise(s, s.add(1 << 20));
+        a.get_mut(v).advise(s.add(1 << 20), s.add(3 << 20));
+        a.get_mut(v).advise(s.add(5 << 20), s.add(6 << 20));
+        let vma = a.get(v);
+        assert!(vma.range_advised(s, s.add(3 << 20)));
+        assert!(!vma.range_advised(s, s.add(4 << 20)));
+        assert!(vma.range_advised(s.add(5 << 20), s.add(6 << 20)));
+    }
+
+    #[test]
+    fn advise_clamps_to_vma() {
+        let mut a = AddressSpace::new(1 << 21);
+        let v = a.mmap(1 << 20, "arr");
+        let s = a.get(v).start();
+        let e = a.get(v).end();
+        a.get_mut(v).advise(VirtAddr(0), VirtAddr(u64::MAX));
+        assert!(a.get(v).range_advised(s, e));
+    }
+
+    #[test]
+    fn hugetlb_vmas_round_to_huge_pages() {
+        let mut a = AddressSpace::new(1 << 21);
+        let v = a.mmap_hugetlb((1 << 21) + 5, "pool");
+        assert_eq!(a.get(v).len(), 2 << 21);
+        assert!(a.get(v).hugetlb());
+        let w = a.mmap(4096, "normal");
+        assert!(!a.get(w).hugetlb());
+    }
+
+    #[test]
+    fn lock_flag_roundtrip() {
+        let mut a = AddressSpace::new(1 << 21);
+        let v = a.mmap(4096, "x");
+        assert!(!a.get(v).locked());
+        a.get_mut(v).set_locked(true);
+        assert!(a.get(v).locked());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_len_mmap_panics() {
+        let mut a = AddressSpace::new(1 << 21);
+        a.mmap(0, "bad");
+    }
+}

@@ -1,0 +1,89 @@
+//! hugetlbfs reservation-pool behaviour (paper §2.3's explicit mechanism).
+
+use graphmem_os::{PageSize, System, SystemSpec, ThpMode};
+use graphmem_physmem::Fragmenter;
+
+fn sys() -> System {
+    System::new(SystemSpec::scaled_demo())
+}
+
+#[test]
+fn reserve_map_touch_release_roundtrip() {
+    let mut s = sys();
+    let huge = s.geometry().bytes(PageSize::Huge);
+    assert_eq!(s.hugetlb_reserve(4), 4);
+    assert_eq!(s.hugetlb_free(), 4);
+    let a = s.mmap_hugetlb(3 * huge, "pool_region");
+    s.populate(a, 3 * huge);
+    assert_eq!(s.hugetlb_free(), 1);
+    let rep = s.mapping_report(a);
+    assert_eq!(rep.huge_pages, 3);
+    assert_eq!(rep.base_pages, 0);
+    s.release_region(a);
+    assert_eq!(s.hugetlb_free(), 4, "pages return to the pool");
+}
+
+#[test]
+fn boot_time_reservation_is_immune_to_fragmentation() {
+    let mut s = sys();
+    let huge = s.geometry().bytes(PageSize::Huge);
+    // Boot-time: reserve while memory is pristine.
+    assert_eq!(s.hugetlb_reserve(8), 8);
+    // Then the system fragments completely.
+    let _frag = Fragmenter::apply(s.zone_mut(1), 1.0);
+    assert_eq!(s.zone(1).free_huge_blocks(), 0);
+    // THP cannot help anyone now...
+    let mut thp_spec = SystemSpec::scaled_demo();
+    thp_spec.thp.mode = ThpMode::Always;
+    // ...but the reserved pool still delivers guaranteed huge pages.
+    let a = s.mmap_hugetlb(8 * huge, "guaranteed");
+    s.populate(a, 8 * huge);
+    assert_eq!(s.mapping_report(a).huge_pages, 8);
+}
+
+#[test]
+fn late_reservation_fails_under_fragmentation() {
+    let mut s = sys();
+    let _frag = Fragmenter::apply(s.zone_mut(1), 1.0);
+    // The paper's point: reservation requires planning; done late, the
+    // contiguous memory is gone.
+    assert_eq!(s.hugetlb_reserve(8), 0);
+}
+
+#[test]
+fn partial_reservation_reports_shortfall() {
+    let mut s = sys();
+    let blocks = s.zone(1).free_huge_blocks();
+    let got = s.hugetlb_reserve(blocks + 10);
+    assert_eq!(got, blocks);
+    assert_eq!(s.hugetlb_free(), blocks);
+}
+
+#[test]
+#[should_panic(expected = "SIGBUS")]
+fn touching_beyond_the_pool_sigbuses() {
+    let mut s = sys();
+    let huge = s.geometry().bytes(PageSize::Huge);
+    s.hugetlb_reserve(1);
+    let a = s.mmap_hugetlb(2 * huge, "oversized");
+    s.populate(a, 2 * huge); // second region has no backing
+}
+
+#[test]
+fn hugetlb_pages_never_swap() {
+    let mut s = sys();
+    let huge = s.geometry().bytes(PageSize::Huge);
+    s.hugetlb_reserve(4);
+    let a = s.mmap_hugetlb(4 * huge, "pinned");
+    s.populate(a, 4 * huge);
+    // Oversubscribe with anonymous memory: only the anonymous pages swap.
+    let big = s.zone(1).free_bytes() + (1 << 20);
+    let b = s.mmap(big, "anon");
+    s.populate(b, big);
+    assert!(s.os_stats().swap_outs > 0);
+    assert_eq!(
+        s.mapping_report(a).huge_pages,
+        4,
+        "hugetlb pages must stay resident"
+    );
+}

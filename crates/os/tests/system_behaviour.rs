@@ -1,0 +1,162 @@
+//! Behavioural tests of the simulated kernel: file loading placements,
+//! page-cache interference and reclaim, deposits, and accounting.
+
+use graphmem_os::{FilePlacement, PageSize, System, SystemSpec, ThpMode};
+use graphmem_physmem::Memhog;
+
+fn spec(file: FilePlacement, thp: ThpMode) -> SystemSpec {
+    let mut s = SystemSpec::scaled_demo();
+    s.file_placement = file;
+    s.thp.mode = thp;
+    s
+}
+
+#[test]
+fn buffered_loading_occupies_local_page_cache() {
+    let mut sys = System::new(spec(FilePlacement::LocalPageCache, ThpMode::Never));
+    let a = sys.mmap(4 << 20, "data");
+    sys.load_file(a, 4 << 20);
+    let cached = sys.page_cache().resident_on(1);
+    assert_eq!(cached, (4 << 20) / 4096, "every frame cached locally");
+    assert_eq!(sys.page_cache().resident_on(0), 0);
+}
+
+#[test]
+fn tmpfs_and_direct_io_occupy_nothing() {
+    for fp in [FilePlacement::TmpfsRemote, FilePlacement::DirectIo] {
+        let mut sys = System::new(spec(fp, ThpMode::Never));
+        let a = sys.mmap(2 << 20, "data");
+        sys.load_file(a, 2 << 20);
+        assert_eq!(sys.page_cache().resident(), 0, "{fp:?} must not cache");
+    }
+}
+
+#[test]
+fn direct_io_costs_more_than_tmpfs() {
+    let cost_of = |fp| {
+        let mut sys = System::new(spec(fp, ThpMode::Never));
+        let a = sys.mmap(2 << 20, "data");
+        let cp = sys.checkpoint();
+        sys.load_file(a, 2 << 20);
+        sys.since(&cp).0
+    };
+    assert!(cost_of(FilePlacement::DirectIo) > cost_of(FilePlacement::TmpfsRemote));
+    assert!(cost_of(FilePlacement::LocalPageCache) > cost_of(FilePlacement::TmpfsRemote));
+}
+
+#[test]
+fn page_cache_steals_huge_regions_from_the_application() {
+    // §4.3's single-use memory interference: with most memory hogged,
+    // buffered loading consumes the free huge blocks and a later THP
+    // allocation finds none, while tmpfs leaves them alone.
+    let huge_fraction_with = |fp| {
+        let mut sys = System::new(spec(fp, ThpMode::Always));
+        let data = 8 << 20;
+        let hog = Memhog::occupy_all_but(sys.zone_mut(1), 2 * data + (1 << 20)).unwrap();
+        let file_buf = sys.mmap(data, "file_data");
+        sys.load_file(file_buf, data);
+        let arr = sys.mmap(data, "array");
+        sys.populate(arr, data);
+        let rep = sys.mapping_report(arr);
+        drop(hog);
+        rep.huge_fraction()
+    };
+    let tmpfs = huge_fraction_with(FilePlacement::TmpfsRemote);
+    let buffered = huge_fraction_with(FilePlacement::LocalPageCache);
+    assert!(
+        buffered < tmpfs,
+        "page cache must reduce huge coverage: buffered {buffered:.2} vs tmpfs {tmpfs:.2}"
+    );
+}
+
+#[test]
+fn drop_caches_restores_huge_blocks() {
+    let mut sys = System::new(spec(FilePlacement::LocalPageCache, ThpMode::Always));
+    let a = sys.mmap(8 << 20, "data");
+    sys.load_file(a, 8 << 20);
+    assert!(sys.page_cache().resident() > 0);
+    let blocks_before = sys.zone(1).free_huge_blocks();
+    sys.drop_caches();
+    assert_eq!(sys.page_cache().resident(), 0);
+    assert!(sys.zone(1).free_huge_blocks() > blocks_before);
+    assert!(sys.os_stats().cache_reclaims > 0);
+}
+
+#[test]
+fn cache_frames_are_reclaimed_under_allocation_pressure() {
+    let mut sys = System::new(spec(FilePlacement::LocalPageCache, ThpMode::Never));
+    // Fill most memory with page cache...
+    let data = sys.zone(1).free_bytes() * 6 / 10;
+    let buf = sys.mmap(data, "file");
+    sys.load_file(buf, data);
+    // ...then demand more anonymous memory than remains free.
+    let want = sys.zone(1).free_bytes() + (2 << 20);
+    let arr = sys.mmap(want, "array");
+    sys.populate(arr, want);
+    let os = sys.os_stats();
+    assert!(os.cache_reclaims > 0, "reclaim must fire before swap");
+    assert_eq!(os.swap_outs, 0, "clean cache should satisfy the pressure");
+}
+
+#[test]
+fn mapping_report_total_sums_vmas() {
+    let mut sys = System::new(spec(FilePlacement::TmpfsRemote, ThpMode::Always));
+    let huge = sys.geometry().bytes(PageSize::Huge);
+    let a = sys.mmap(2 * huge, "a");
+    sys.populate(a, 2 * huge);
+    let b = sys.mmap(3 * 4096, "b");
+    sys.populate(b, 3 * 4096);
+    let total = sys.mapping_report_total();
+    assert_eq!(total.huge_pages, 2);
+    assert_eq!(total.base_pages, 3);
+    assert_eq!(total.mapped_bytes, 2 * huge + 3 * 4096);
+    assert!(total.huge_fraction() > 0.95);
+}
+
+#[test]
+fn release_returns_deposits_too() {
+    let mut sys = System::new(spec(FilePlacement::TmpfsRemote, ThpMode::Always));
+    let huge = sys.geometry().bytes(PageSize::Huge);
+    let free0 = sys.zone(1).free_frames();
+    let a = sys.mmap(4 * huge, "a");
+    sys.populate(a, 4 * huge);
+    sys.release_region(a);
+    // Everything except the (persisting) intermediate page tables is back.
+    let leaked = free0 - sys.zone(1).free_frames();
+    assert!(
+        leaked <= 8,
+        "release leaked {leaked} frames (deposits not freed?)"
+    );
+}
+
+#[test]
+fn checkpoint_deltas_are_additive() {
+    let mut sys = System::new(spec(FilePlacement::TmpfsRemote, ThpMode::Never));
+    let a = sys.mmap(1 << 20, "a");
+    let cp0 = sys.checkpoint();
+    sys.populate(a, 512 * 1024);
+    let (c1, p1, o1) = sys.since(&cp0);
+    let cp1 = sys.checkpoint();
+    sys.populate(a.add(512 * 1024), 512 * 1024);
+    let (c2, p2, o2) = sys.since(&cp1);
+    let (ct, pt, ot) = sys.since(&cp0);
+    assert_eq!(ct, c1 + c2);
+    assert_eq!(pt.accesses, p1.accesses + p2.accesses);
+    assert_eq!(ot.faults, o1.faults + o2.faults);
+}
+
+#[test]
+fn khugepaged_disabled_never_promotes() {
+    let mut s = spec(FilePlacement::TmpfsRemote, ThpMode::Always);
+    s.thp.khugepaged.enabled = false;
+    s.thp.fault_huge = false;
+    let mut sys = System::new(s);
+    let huge = sys.geometry().bytes(PageSize::Huge);
+    let a = sys.mmap(4 * huge, "a");
+    sys.populate(a, 4 * huge);
+    for _ in 0..50_000 {
+        sys.read(a);
+    }
+    assert_eq!(sys.os_stats().khugepaged_scans, 0);
+    assert_eq!(sys.mapping_report(a).huge_pages, 0);
+}

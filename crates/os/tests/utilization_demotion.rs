@@ -1,0 +1,137 @@
+//! Utilization-based demotion (Ingens/HawkEye-style, paper §6 related
+//! work): sparse touch patterns inside huge pages get split and their
+//! bloat reclaimed; well-utilized huge pages survive.
+
+use graphmem_os::{PageSize, System, SystemSpec, ThpMode, UtilizationPolicy};
+
+/// Daemon configured but effectively manual (huge interval): tests drive
+/// scans with `run_kbloatd_now` at well-defined points.
+fn sys(threshold: f64) -> System {
+    sys_with_interval(threshold, u64::MAX / 2)
+}
+
+fn sys_with_interval(threshold: f64, scan_interval_cycles: u64) -> System {
+    let mut spec = SystemSpec::scaled_demo();
+    spec.thp.mode = ThpMode::Always;
+    spec.thp.utilization_demotion = Some(UtilizationPolicy {
+        threshold,
+        scan_interval_cycles,
+        reclaim_untouched: true,
+    });
+    System::new(spec)
+}
+
+#[test]
+fn sparse_huge_pages_are_demoted_and_bloat_reclaimed() {
+    let mut s = sys(0.25);
+    let huge = s.geometry().bytes(PageSize::Huge);
+    let frames = huge / 4096;
+    let a = s.mmap(4 * huge, "sparse");
+    // Touch only the first base page of each huge region (utilization
+    // 1/64 << 0.25).
+    for r in 0..4u64 {
+        s.read(a.add(r * huge));
+    }
+    s.run_kbloatd_now();
+    let os = s.os_stats();
+    assert_eq!(os.util_demotions, 4, "all four sparse regions split");
+    assert_eq!(
+        os.bloat_frames_reclaimed,
+        4 * (frames - 1),
+        "every untouched base page reclaimed"
+    );
+    let rep = s.mapping_report(a);
+    assert_eq!(rep.huge_pages, 0);
+    assert_eq!(rep.base_pages, 4, "only the touched pages stay mapped");
+    // The data is still accessible: a touched page reads without fault, an
+    // untouched one simply refaults a zero page.
+    let faults = s.os_stats().faults;
+    s.read(a);
+    assert_eq!(s.os_stats().faults, faults);
+    s.read(a.add(8192));
+    assert_eq!(s.os_stats().faults, faults + 1);
+}
+
+#[test]
+fn well_utilized_huge_pages_survive() {
+    let mut s = sys(0.25);
+    let huge = s.geometry().bytes(PageSize::Huge);
+    let a = s.mmap(2 * huge, "dense");
+    s.populate(a, 2 * huge); // touches every base page
+                             // Re-touch everything so the utilization bitmaps are fully set.
+    let mut off = 0;
+    while off < 2 * huge {
+        s.read(a.add(off));
+        off += 4096;
+    }
+    s.run_kbloatd_now();
+    let os = s.os_stats();
+    assert_eq!(os.util_demotions, 0);
+    assert_eq!(s.mapping_report(a).huge_pages, 2);
+}
+
+#[test]
+fn threshold_controls_the_split_decision() {
+    // Touch half the pages of one huge region: utilization 0.5.
+    let run = |threshold: f64| {
+        let mut s = sys(threshold);
+        let huge = s.geometry().bytes(PageSize::Huge);
+        let a = s.mmap(huge, "half");
+        let mut off = 0;
+        while off < huge / 2 {
+            s.read(a.add(off));
+            off += 4096;
+        }
+        s.run_kbloatd_now();
+        s.os_stats().util_demotions
+    };
+    assert_eq!(run(0.25), 0, "0.5 utilization >= 0.25 threshold: keep");
+    assert_eq!(run(0.75), 1, "0.5 utilization < 0.75 threshold: split");
+}
+
+#[test]
+fn timer_fires_during_steady_state() {
+    let mut s = sys_with_interval(0.25, 50_000);
+    let huge = s.geometry().bytes(PageSize::Huge);
+    let a = s.mmap(huge, "sparse");
+    // Keep re-touching one page: the timed daemon must eventually split
+    // the under-utilized huge page without any manual scan.
+    for _ in 0..20_000 {
+        s.read(a);
+    }
+    assert!(s.os_stats().util_demotions >= 1);
+    assert_eq!(s.mapping_report(a).huge_pages, 0);
+}
+
+#[test]
+fn daemon_is_inert_when_unconfigured() {
+    let mut spec = SystemSpec::scaled_demo();
+    spec.thp.mode = ThpMode::Always;
+    let mut s = System::new(spec);
+    let huge = s.geometry().bytes(PageSize::Huge);
+    let a = s.mmap(2 * huge, "sparse");
+    for _ in 0..100_000 {
+        s.read(a);
+    }
+    s.run_kbloatd_now();
+    assert_eq!(s.os_stats().util_demotions, 0);
+    assert_eq!(s.mapping_report(a).huge_pages, 1);
+}
+
+#[test]
+fn reclaimed_memory_returns_to_the_free_pool() {
+    let mut s = sys(0.5);
+    let huge = s.geometry().bytes(PageSize::Huge);
+    let free0 = s.zone(1).free_frames();
+    let a = s.mmap(8 * huge, "sparse");
+    for r in 0..8u64 {
+        s.read(a.add(r * huge));
+    }
+    let resident_before = free0 - s.zone(1).free_frames();
+    s.run_kbloatd_now();
+    let resident_after = free0 - s.zone(1).free_frames();
+    assert!(
+        resident_after < resident_before / 4,
+        "bloat reclaim should shrink residency: {resident_before} -> {resident_after}"
+    );
+}

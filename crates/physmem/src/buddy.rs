@@ -1,0 +1,231 @@
+//! Buddy free-list bookkeeping, grouped by migratetype.
+//!
+//! The [`Zone`](crate::Zone) owns the authoritative per-frame state; this
+//! module only tracks *free* blocks, ordered by base frame so that
+//! allocations prefer low addresses (which keeps long-lived allocations
+//! packed and makes compaction's "migrate high, fill low" strategy work, as
+//! in the Linux kernel).
+
+use std::collections::BTreeSet;
+
+use crate::frame::{Frame, MigrateType};
+
+/// Free lists per (migratetype, order).
+#[derive(Debug)]
+pub(crate) struct BuddyLists {
+    huge_order: u8,
+    /// `lists[mt][order]` = set of free block base frames.
+    lists: Vec<Vec<BTreeSet<Frame>>>,
+}
+
+impl BuddyLists {
+    pub(crate) fn new(huge_order: u8) -> Self {
+        let per_mt = vec![BTreeSet::new(); huge_order as usize + 1];
+        BuddyLists {
+            huge_order,
+            lists: vec![per_mt; MigrateType::COUNT],
+        }
+    }
+
+    fn list(&self, mt: MigrateType, order: u8) -> &BTreeSet<Frame> {
+        &self.lists[mt.index()][order as usize]
+    }
+
+    fn list_mut(&mut self, mt: MigrateType, order: u8) -> &mut BTreeSet<Frame> {
+        &mut self.lists[mt.index()][order as usize]
+    }
+
+    /// Record a free block. The block must not already be present.
+    pub(crate) fn insert(&mut self, mt: MigrateType, order: u8, base: Frame) {
+        debug_assert_eq!(base & ((1u64 << order) - 1), 0, "misaligned buddy block");
+        let fresh = self.list_mut(mt, order).insert(base);
+        debug_assert!(fresh, "double insert of free block {base} order {order}");
+    }
+
+    /// Remove a specific free block; returns whether it was present.
+    pub(crate) fn remove(&mut self, mt: MigrateType, order: u8, base: Frame) -> bool {
+        self.list_mut(mt, order).remove(&base)
+    }
+
+    /// Whether the given block is on the free list (test support).
+    #[cfg(test)]
+    pub(crate) fn contains(&self, mt: MigrateType, order: u8, base: Frame) -> bool {
+        self.list(mt, order).contains(&base)
+    }
+
+    /// Pop the lowest-addressed free block of exactly `order` (test
+    /// support; production paths use the filtered variant).
+    #[cfg(test)]
+    pub(crate) fn pop_smallest(&mut self, mt: MigrateType, order: u8) -> Option<Frame> {
+        let base = *self.list(mt, order).first()?;
+        self.list_mut(mt, order).remove(&base);
+        Some(base)
+    }
+
+    /// Pop the lowest-addressed free block of exactly `order`, skipping
+    /// blocks that overlap `forbid` (used when allocating compaction
+    /// migration targets, which must not land in the region being vacated).
+    #[cfg(test)]
+    pub(crate) fn pop_smallest_outside(
+        &mut self,
+        mt: MigrateType,
+        order: u8,
+        forbid: Option<(Frame, Frame)>,
+    ) -> Option<Frame> {
+        let Some((lo, hi)) = forbid else {
+            return self.pop_smallest(mt, order);
+        };
+        let len = 1u64 << order;
+        self.pop_smallest_where(mt, order, &mut |b| b + len <= lo || b >= hi)
+    }
+
+    /// Pop the lowest-addressed free block of exactly `order` whose base
+    /// frame satisfies `allow`.
+    pub(crate) fn pop_smallest_where(
+        &mut self,
+        mt: MigrateType,
+        order: u8,
+        allow: &mut dyn FnMut(Frame) -> bool,
+    ) -> Option<Frame> {
+        let base = self.list(mt, order).iter().copied().find(|&b| allow(b))?;
+        self.list_mut(mt, order).remove(&base);
+        Some(base)
+    }
+
+    /// Highest non-empty order in `[min_order, huge_order]` for `mt`
+    /// (test support; the zone drives its own order loops).
+    #[cfg(test)]
+    pub(crate) fn highest_nonempty(&self, mt: MigrateType, min_order: u8) -> Option<u8> {
+        (min_order..=self.huge_order)
+            .rev()
+            .find(|&o| !self.list(mt, o).is_empty())
+    }
+
+    /// Lowest non-empty order in `[min_order, huge_order]` for `mt`
+    /// (test support).
+    #[cfg(test)]
+    pub(crate) fn lowest_nonempty(&self, mt: MigrateType, min_order: u8) -> Option<u8> {
+        (min_order..=self.huge_order).find(|&o| !self.list(mt, o).is_empty())
+    }
+
+    /// Number of free blocks of exactly `order` under `mt`.
+    pub(crate) fn count(&self, mt: MigrateType, order: u8) -> usize {
+        self.list(mt, order).len()
+    }
+
+    /// Number of free blocks of exactly `order` across all migratetypes.
+    pub(crate) fn count_all(&self, order: u8) -> usize {
+        [
+            MigrateType::Movable,
+            MigrateType::Reclaimable,
+            MigrateType::Unmovable,
+        ]
+        .iter()
+        .map(|&mt| self.count(mt, order))
+        .sum()
+    }
+
+    /// Move every free block whose base lies in `[lo, hi)` from `from`'s
+    /// lists to `to`'s (the kernel's `move_freepages_block`, used when a
+    /// fallback steal converts a whole pageblock). Returns blocks moved.
+    pub(crate) fn move_range(
+        &mut self,
+        from: MigrateType,
+        to: MigrateType,
+        lo: Frame,
+        hi: Frame,
+    ) -> usize {
+        let mut moved = 0;
+        for order in 0..=self.huge_order {
+            let bases: Vec<Frame> = self.lists[from.index()][order as usize]
+                .range(lo..hi)
+                .copied()
+                .collect();
+            for b in bases {
+                self.lists[from.index()][order as usize].remove(&b);
+                self.lists[to.index()][order as usize].insert(b);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Total free frames accounted by the lists (O(blocks); used by debug
+    /// assertions and tests, not the hot path).
+    pub(crate) fn total_free_frames(&self) -> u64 {
+        let mut total = 0u64;
+        for per_mt in &self.lists {
+            for (order, set) in per_mt.iter().enumerate() {
+                total += (set.len() as u64) << order;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pop_roundtrip() {
+        let mut b = BuddyLists::new(9);
+        b.insert(MigrateType::Movable, 9, 512);
+        b.insert(MigrateType::Movable, 9, 0);
+        assert_eq!(b.pop_smallest(MigrateType::Movable, 9), Some(0));
+        assert_eq!(b.pop_smallest(MigrateType::Movable, 9), Some(512));
+        assert_eq!(b.pop_smallest(MigrateType::Movable, 9), None);
+    }
+
+    #[test]
+    fn pop_outside_skips_forbidden() {
+        let mut b = BuddyLists::new(9);
+        b.insert(MigrateType::Movable, 0, 5);
+        b.insert(MigrateType::Movable, 0, 600);
+        assert_eq!(
+            b.pop_smallest_outside(MigrateType::Movable, 0, Some((0, 512))),
+            Some(600)
+        );
+        assert_eq!(
+            b.pop_smallest_outside(MigrateType::Movable, 0, Some((0, 512))),
+            None
+        );
+        assert!(b.contains(MigrateType::Movable, 0, 5));
+    }
+
+    #[test]
+    fn highest_and_lowest_nonempty() {
+        let mut b = BuddyLists::new(9);
+        assert_eq!(b.highest_nonempty(MigrateType::Unmovable, 0), None);
+        b.insert(MigrateType::Unmovable, 3, 8);
+        b.insert(MigrateType::Unmovable, 6, 64);
+        assert_eq!(b.highest_nonempty(MigrateType::Unmovable, 0), Some(6));
+        assert_eq!(b.highest_nonempty(MigrateType::Unmovable, 7), None);
+        assert_eq!(b.lowest_nonempty(MigrateType::Unmovable, 0), Some(3));
+        assert_eq!(b.lowest_nonempty(MigrateType::Unmovable, 4), Some(6));
+    }
+
+    #[test]
+    fn move_range_relocates_only_the_window() {
+        let mut b = BuddyLists::new(9);
+        b.insert(MigrateType::Unmovable, 0, 5);
+        b.insert(MigrateType::Unmovable, 3, 16);
+        b.insert(MigrateType::Unmovable, 0, 600);
+        let moved = b.move_range(MigrateType::Unmovable, MigrateType::Movable, 0, 512);
+        assert_eq!(moved, 2);
+        assert!(b.contains(MigrateType::Movable, 0, 5));
+        assert!(b.contains(MigrateType::Movable, 3, 16));
+        assert!(b.contains(MigrateType::Unmovable, 0, 600));
+        assert_eq!(b.total_free_frames(), 1 + 8 + 1);
+    }
+
+    #[test]
+    fn free_frame_accounting() {
+        let mut b = BuddyLists::new(9);
+        b.insert(MigrateType::Movable, 9, 0);
+        b.insert(MigrateType::Reclaimable, 2, 512);
+        assert_eq!(b.total_free_frames(), 512 + 4);
+        assert_eq!(b.count_all(9), 1);
+        assert_eq!(b.count_all(2), 1);
+    }
+}

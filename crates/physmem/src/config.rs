@@ -1,0 +1,104 @@
+//! Static configuration of the physical-memory model.
+
+use crate::FRAME_SIZE;
+
+/// Configuration of a simulated physical memory zone.
+///
+/// The only tunable is the **huge block order**: the buddy order of a
+/// transparent huge page (and of a Linux *pageblock*, which in practice has
+/// the same size). On real x86-64, a 2 MiB huge page is `2 MiB / 4 KiB = 512`
+/// frames, i.e. order 9. Scaled-down experiment presets use smaller orders so
+/// that scaled-down graphs still span many huge pages (see `DESIGN.md` §5).
+///
+/// # Example
+///
+/// ```
+/// use graphmem_physmem::MemConfig;
+///
+/// let real = MemConfig::default();
+/// assert_eq!(real.huge_frames(), 512);
+/// assert_eq!(real.huge_bytes(), 2 * 1024 * 1024);
+///
+/// let scaled = MemConfig::with_huge_order(6);
+/// assert_eq!(scaled.huge_bytes(), 256 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemConfig {
+    /// Buddy order of a huge page / pageblock. Order 9 = 2 MiB on x86-64.
+    pub huge_order: u8,
+}
+
+impl MemConfig {
+    /// Maximum supported huge block order (order 10 = 4 MiB blocks).
+    pub const MAX_HUGE_ORDER: u8 = 10;
+
+    /// Configuration with the given huge block order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `huge_order` is 0 or exceeds [`MemConfig::MAX_HUGE_ORDER`].
+    pub fn with_huge_order(huge_order: u8) -> Self {
+        assert!(
+            (1..=Self::MAX_HUGE_ORDER).contains(&huge_order),
+            "huge_order {huge_order} out of range 1..={}",
+            Self::MAX_HUGE_ORDER
+        );
+        MemConfig { huge_order }
+    }
+
+    /// Number of base frames per huge block (`2^huge_order`).
+    pub fn huge_frames(&self) -> u64 {
+        1u64 << self.huge_order
+    }
+
+    /// Size of a huge block in bytes.
+    pub fn huge_bytes(&self) -> u64 {
+        self.huge_frames() * FRAME_SIZE
+    }
+
+    /// Round `frames` up to a whole number of huge blocks.
+    pub fn round_up_to_huge(&self, frames: u64) -> u64 {
+        let h = self.huge_frames();
+        frames.div_ceil(h) * h
+    }
+}
+
+impl Default for MemConfig {
+    /// Real x86-64 geometry: 2 MiB huge pages (order 9).
+    fn default() -> Self {
+        MemConfig::with_huge_order(9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_x86_64() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.huge_order, 9);
+        assert_eq!(cfg.huge_frames(), 512);
+    }
+
+    #[test]
+    fn round_up() {
+        let cfg = MemConfig::with_huge_order(4); // 16-frame blocks
+        assert_eq!(cfg.round_up_to_huge(0), 0);
+        assert_eq!(cfg.round_up_to_huge(1), 16);
+        assert_eq!(cfg.round_up_to_huge(16), 16);
+        assert_eq!(cfg.round_up_to_huge(17), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_order_zero() {
+        let _ = MemConfig::with_huge_order(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_order() {
+        let _ = MemConfig::with_huge_order(11);
+    }
+}

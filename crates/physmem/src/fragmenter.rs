@@ -1,0 +1,162 @@
+//! Reproduction of the paper's `frag` memory-fragmentation utility (§4.4.1).
+
+use crate::frame::{Frame, Owner};
+use crate::zone::Zone;
+
+/// Fragments a zone's free memory with **non-movable** kernel pages exactly
+/// the way the paper's custom `frag` program does:
+///
+/// 1. allocate whole huge blocks (the paper uses `alloc_pages_node()` without
+///    `__GFP_MOVABLE`, i.e. unmovable kernel memory) until `level` percent of
+///    the currently free memory has been claimed;
+/// 2. split each block so its frames can be freed individually;
+/// 3. free every frame of each block **except the first one**.
+///
+/// The result: for `level`% of what used to be free memory, every huge-page
+/// region contains exactly one pinned kernel frame, so no huge page can ever
+/// be allocated there and compaction cannot help.
+///
+/// # Example
+///
+/// ```
+/// use graphmem_physmem::{Fragmenter, MemConfig, Zone};
+///
+/// let mut zone = Zone::new(0, 8192, MemConfig::default());
+/// let frag = Fragmenter::apply(&mut zone, 0.5);
+/// assert!(zone.fragmentation_level() >= 0.49);
+/// assert_eq!(frag.pinned_frames().len() as u64, frag.blocks_fragmented());
+/// ```
+#[derive(Debug)]
+pub struct Fragmenter {
+    pinned: Vec<Frame>,
+}
+
+impl Fragmenter {
+    /// Fragment `level` (`0.0..=1.0`) of the zone's currently-free memory.
+    ///
+    /// Returns the fragmenter, which holds the pinned frames; call
+    /// [`Fragmenter::release`] to undo (the real `frag` utility exits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not within `0.0..=1.0`.
+    pub fn apply(zone: &mut Zone, level: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "fragmentation level {level} outside 0.0..=1.0"
+        );
+        let cfg = zone.config();
+        let target_frames = (zone.free_frames() as f64 * level) as u64;
+        let blocks_needed = target_frames / cfg.huge_frames();
+        let mut pinned = Vec::with_capacity(blocks_needed as usize);
+        for _ in 0..blocks_needed {
+            // Step 1: claim a whole huge block as unmovable kernel memory.
+            let Some(range) = zone.alloc(cfg.huge_order, Owner::Kernel) else {
+                break; // free memory itself is already too fragmented
+            };
+            // Step 2: split it into individually freeable base pages.
+            zone.split_allocated(range.base);
+            // Step 3: free pages 2..=N, keep the first page pinned.
+            for frame in range.iter().skip(1) {
+                zone.free_frame(frame);
+            }
+            pinned.push(range.base);
+        }
+        Fragmenter { pinned }
+    }
+
+    /// Frames left pinned (one per fragmented huge region).
+    pub fn pinned_frames(&self) -> &[Frame] {
+        &self.pinned
+    }
+
+    /// Number of huge regions rendered unusable.
+    pub fn blocks_fragmented(&self) -> u64 {
+        self.pinned.len() as u64
+    }
+
+    /// Undo the fragmentation by freeing the pinned frames.
+    pub fn release(self, zone: &mut Zone) {
+        for frame in self.pinned {
+            zone.free_frame(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemConfig;
+
+    fn fresh_zone(blocks: u64) -> Zone {
+        let cfg = MemConfig::with_huge_order(4); // 16-frame blocks for speed
+        Zone::new(0, blocks * cfg.huge_frames(), cfg)
+    }
+
+    #[test]
+    fn zero_level_is_noop() {
+        let mut z = fresh_zone(16);
+        let frag = Fragmenter::apply(&mut z, 0.0);
+        assert_eq!(frag.blocks_fragmented(), 0);
+        assert_eq!(z.free_frames(), 16 * 16);
+    }
+
+    #[test]
+    fn fragmentation_hits_requested_level() {
+        for level in [0.25, 0.5, 0.75] {
+            let mut z = fresh_zone(64);
+            let before = z.free_huge_blocks();
+            let frag = Fragmenter::apply(&mut z, level);
+            let expected_blocks = (before as f64 * level) as u64;
+            assert_eq!(frag.blocks_fragmented(), expected_blocks);
+            assert_eq!(z.free_huge_blocks(), before - expected_blocks);
+            // Each fragmented block lost exactly one frame.
+            assert_eq!(z.free_frames(), 64 * 16 - expected_blocks);
+            // The measured metric matches the requested level closely.
+            assert!((z.fragmentation_level() - level).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn full_fragmentation_leaves_no_huge_blocks() {
+        let mut z = fresh_zone(32);
+        let _frag = Fragmenter::apply(&mut z, 1.0);
+        assert_eq!(z.free_huge_blocks(), 0);
+        assert!(!z.has_free_huge_block());
+        // But almost all memory is still free — just unusable for huge pages.
+        assert_eq!(z.free_frames(), 32 * 16 - 32);
+    }
+
+    #[test]
+    fn pinned_frames_are_kernel_owned_and_block_compaction() {
+        let mut z = fresh_zone(8);
+        let frag = Fragmenter::apply(&mut z, 1.0);
+        for &f in frag.pinned_frames() {
+            assert!(matches!(
+                z.frame_state(f),
+                crate::FrameState::AllocatedHead {
+                    owner: Owner::Kernel,
+                    ..
+                }
+            ));
+        }
+        // No pageblock is a compaction candidate: all contain kernel frames.
+        assert!(z.candidate_compaction_regions().is_empty());
+    }
+
+    #[test]
+    fn release_restores_huge_blocks() {
+        let mut z = fresh_zone(16);
+        let frag = Fragmenter::apply(&mut z, 0.5);
+        frag.release(&mut z);
+        assert_eq!(z.free_huge_blocks(), 16);
+        z.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_level() {
+        let mut z = fresh_zone(4);
+        let _ = Fragmenter::apply(&mut z, 1.5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Frame identifiers, ownership, and per-frame state.
+
+/// Index of a physical base frame within a [`Zone`](crate::Zone).
+///
+/// Frames are zone-local; the OS layer composes `(NodeId, Frame)` when it
+/// needs a global identity.
+pub type Frame = u64;
+
+/// A contiguous run of frames `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameRange {
+    /// First frame of the run.
+    pub base: Frame,
+    /// Number of frames in the run.
+    len: u64,
+}
+
+impl FrameRange {
+    /// A range starting at `base` spanning `len` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(base: Frame, len: u64) -> Self {
+        assert!(len > 0, "FrameRange must be non-empty");
+        FrameRange { base, len }
+    }
+
+    /// Number of frames in the range.
+    #[allow(clippy::len_without_is_empty)] // ranges are never empty
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// One-past-the-end frame.
+    pub fn end(&self) -> Frame {
+        self.base + self.len
+    }
+
+    /// Whether `frame` falls within this range.
+    pub fn contains(&self, frame: Frame) -> bool {
+        frame >= self.base && frame < self.end()
+    }
+
+    /// Iterate over the frames of the range.
+    pub fn iter(&self) -> impl Iterator<Item = Frame> + '_ {
+        self.base..self.end()
+    }
+}
+
+/// Who owns an allocated frame, which determines whether the kernel may
+/// migrate (compaction), reclaim, or swap it.
+///
+/// This mirrors the taxonomy of paper §4.2: fragmentation arises from
+/// *movable* pages (most user-space memory — fixable by compaction) and
+/// *non-movable* pages (kernel memory — permanent until freed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// Anonymous user memory. Movable. Swappable unless `locked`
+    /// (`mlock`, as the paper uses for `memhog`).
+    User {
+        /// Whether the page is pinned against swap (`mlock`).
+        locked: bool,
+    },
+    /// File-backed page-cache memory. Movable and cheaply reclaimable —
+    /// the "single-use memory" of paper §4.3.
+    PageCache,
+    /// Kernel memory (page tables, the paper's `frag` utility allocations,
+    /// slab, …). Non-movable and non-reclaimable.
+    Kernel,
+}
+
+impl Owner {
+    /// Unlocked anonymous user memory.
+    pub fn user() -> Self {
+        Owner::User { locked: false }
+    }
+
+    /// `mlock`ed anonymous user memory.
+    pub fn user_locked() -> Self {
+        Owner::User { locked: true }
+    }
+
+    /// Whether compaction may migrate frames with this owner.
+    pub fn is_movable(&self) -> bool {
+        !matches!(self, Owner::Kernel)
+    }
+
+    /// Whether reclaim may drop this frame without swap I/O.
+    pub fn is_reclaimable(&self) -> bool {
+        matches!(self, Owner::PageCache)
+    }
+
+    /// Whether the frame may be swapped out to backing storage.
+    pub fn is_swappable(&self) -> bool {
+        matches!(self, Owner::User { locked: false })
+    }
+
+    /// The buddy migratetype frames of this owner should be grouped under.
+    pub(crate) fn migratetype(&self) -> MigrateType {
+        match self {
+            Owner::User { .. } => MigrateType::Movable,
+            Owner::PageCache => MigrateType::Reclaimable,
+            Owner::Kernel => MigrateType::Unmovable,
+        }
+    }
+}
+
+/// Linux-style migratetype used to group allocations into pageblocks so that
+/// unmovable kernel pages do not scatter across all of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum MigrateType {
+    /// User pages; compaction can move them.
+    Movable,
+    /// Page-cache pages; reclaim can drop them.
+    Reclaimable,
+    /// Kernel pages; permanent fragmentation.
+    Unmovable,
+}
+
+impl MigrateType {
+    pub(crate) const COUNT: usize = 3;
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            MigrateType::Movable => 0,
+            MigrateType::Reclaimable => 1,
+            MigrateType::Unmovable => 2,
+        }
+    }
+
+    /// Fallback order when the preferred migratetype has no free block —
+    /// mirrors the kernel's `fallbacks` table.
+    pub(crate) fn fallbacks(self) -> [MigrateType; 2] {
+        match self {
+            MigrateType::Movable => [MigrateType::Reclaimable, MigrateType::Unmovable],
+            MigrateType::Reclaimable => [MigrateType::Unmovable, MigrateType::Movable],
+            MigrateType::Unmovable => [MigrateType::Reclaimable, MigrateType::Movable],
+        }
+    }
+}
+
+/// State of a single frame, as reported by [`Zone::frame_state`](crate::Zone::frame_state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameState {
+    /// The frame is free.
+    Free,
+    /// The frame is the head of an allocated block of `2^order` frames.
+    AllocatedHead {
+        /// Buddy order of the allocation it heads.
+        order: u8,
+        /// Owner of the allocation.
+        owner: Owner,
+        /// Opaque tag the owner attached (e.g. the virtual page number the
+        /// OS mapped here), `0` if never set.
+        tag: u64,
+    },
+    /// The frame belongs to an allocated block headed at `head`.
+    AllocatedTail {
+        /// Frame number of the block head.
+        head: Frame,
+    },
+}
+
+/// Compact internal per-frame record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    Free,
+    Head {
+        order: u8,
+        owner: Owner,
+        tag: u64,
+    },
+    /// Distance back to the head frame (always ≥ 1).
+    Tail {
+        back: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = FrameRange::new(10, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.end(), 14);
+        assert!(r.contains(10) && r.contains(13));
+        assert!(!r.contains(14) && !r.contains(9));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = FrameRange::new(0, 0);
+    }
+
+    #[test]
+    fn owner_capabilities() {
+        assert!(Owner::user().is_movable());
+        assert!(Owner::user().is_swappable());
+        assert!(!Owner::user_locked().is_swappable());
+        assert!(Owner::user_locked().is_movable());
+        assert!(Owner::PageCache.is_reclaimable());
+        assert!(!Owner::Kernel.is_movable());
+        assert!(!Owner::Kernel.is_reclaimable());
+        assert!(!Owner::Kernel.is_swappable());
+    }
+
+    #[test]
+    fn migratetype_fallbacks_cover_all_types() {
+        for mt in [
+            MigrateType::Movable,
+            MigrateType::Reclaimable,
+            MigrateType::Unmovable,
+        ] {
+            let fb = mt.fallbacks();
+            assert_ne!(fb[0], mt);
+            assert_ne!(fb[1], mt);
+            assert_ne!(fb[0], fb[1]);
+        }
+    }
+}

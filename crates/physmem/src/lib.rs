@@ -1,0 +1,64 @@
+//! # graphmem-physmem — simulated physical memory
+//!
+//! This crate models the physical-memory side of a Linux-like kernel at page
+//! granularity: a per-NUMA-node [`Zone`] managed by a binary **buddy
+//! allocator** with Linux-style *migratetype* grouping, plus the two utilities
+//! the paper ("The Implications of Page Size Management on Graph Analytics",
+//! IISWC 2022) uses to create realistic memory conditions:
+//!
+//! * [`Memhog`] — occupies and pins a fixed amount of memory on a node,
+//!   mirroring `memhog` + `mlock` (§4.3.1 of the paper), and
+//! * [`Fragmenter`] — reproduces the paper's custom `frag` program (§4.4.1):
+//!   it allocates whole huge-page-sized blocks as *non-movable* kernel memory,
+//!   splits them, and frees all but the first base page of each block, leaving
+//!   memory where no contiguous huge-page region exists for a chosen
+//!   percentage of free memory.
+//!
+//! Frames carry an [`Owner`] so that higher layers (the simulated OS) can
+//! distinguish movable user pages, reclaimable page-cache pages, and
+//! unmovable kernel allocations — the three populations whose interaction
+//! determines huge page availability (paper §4.2, Fig. 6).
+//!
+//! The crate is purely a state machine: it counts events but does not assign
+//! cycle costs. Cost models live in `graphmem-vm` / `graphmem-os`.
+//!
+//! ## Example
+//!
+//! ```
+//! use graphmem_physmem::{MemConfig, Owner, Zone};
+//!
+//! let cfg = MemConfig::default(); // 4 KB frames, 2 MB huge blocks
+//! let mut zone = Zone::new(0, 4096, cfg); // 16 MiB node
+//! let huge = zone.alloc(cfg.huge_order, Owner::user()).expect("fresh zone");
+//! assert_eq!(huge.len(), 512);
+//! zone.free(huge.base, cfg.huge_order);
+//! assert_eq!(zone.free_frames(), 4096);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buddy;
+mod config;
+mod fragmenter;
+mod frame;
+mod memhog;
+mod noise;
+mod snapshot;
+mod stats;
+mod zone;
+
+pub use config::MemConfig;
+pub use fragmenter::Fragmenter;
+pub use frame::{Frame, FrameRange, FrameState, Owner};
+pub use memhog::{Memhog, MemhogError};
+pub use noise::Noise;
+pub use snapshot::{BlockClass, ZoneSnapshot};
+pub use stats::ZoneStats;
+pub use zone::{MigrateTarget, Zone};
+
+/// Size of a base frame (page) in bytes. x86-64 base pages are 4 KiB.
+pub const FRAME_SIZE: u64 = 4096;
+
+/// Identifier of a NUMA node.
+pub type NodeId = u32;

@@ -1,0 +1,201 @@
+//! Reproduction of the paper's `memhog` + `mlock` memory-pressure tool
+//! (§4.3.1).
+
+use crate::frame::{FrameRange, Owner};
+use crate::zone::Zone;
+use crate::FRAME_SIZE;
+
+/// Occupies a fixed amount of memory on one zone and pins it with `mlock`,
+/// exactly as the paper does to constrain the memory available to the
+/// application under test:
+///
+/// > "To constrain memory, we utilize the memhog program to occupy a
+/// > specified amount of memory, M, on the same NUMA node as the
+/// > application. … To prevent the OS from swapping out memory allocated by
+/// > memhog, we use mlock to pin the program's memory in physical memory."
+///
+/// Pinned pages are *movable* (compaction may migrate `mlock`ed pages) but
+/// never swappable or reclaimable, so the hogged amount stays resident.
+///
+/// # Example
+///
+/// ```
+/// use graphmem_physmem::{Memhog, MemConfig, Zone};
+///
+/// let mut zone = Zone::new(1, 8192, MemConfig::default());
+/// // Leave only 4 MiB free on the node.
+/// let free_target = 4 * 1024 * 1024;
+/// let mut hog = Memhog::occupy_all_but(&mut zone, free_target).unwrap();
+/// assert!(zone.free_bytes() <= free_target);
+/// hog.release(&mut zone);
+/// ```
+#[derive(Debug)]
+pub struct Memhog {
+    ranges: Vec<FrameRange>,
+    frames: u64,
+}
+
+/// Error returned when a [`Memhog`] request cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemhogError {
+    requested_frames: u64,
+    obtained_frames: u64,
+}
+
+impl std::fmt::Display for MemhogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memhog obtained only {} of {} requested frames",
+            self.obtained_frames, self.requested_frames
+        )
+    }
+}
+
+impl std::error::Error for MemhogError {}
+
+impl Memhog {
+    /// Occupy `bytes` of memory (rounded up to whole frames) on `zone`.
+    ///
+    /// Allocates in huge-block chunks where possible (like a real process
+    /// faulting a large `memset` region) and falls back to single frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhogError`] if the zone cannot supply the requested
+    /// amount; already-obtained frames are released before returning.
+    pub fn occupy(zone: &mut Zone, bytes: u64) -> Result<Self, MemhogError> {
+        let requested = bytes.div_ceil(FRAME_SIZE);
+        let mut hog = Memhog {
+            ranges: Vec::new(),
+            frames: 0,
+        };
+        let cfg = zone.config();
+        while hog.frames < requested {
+            let remaining = requested - hog.frames;
+            let range = if remaining >= cfg.huge_frames() {
+                zone.alloc(cfg.huge_order, Owner::user_locked())
+                    .or_else(|| zone.alloc(0, Owner::user_locked()))
+            } else {
+                zone.alloc(0, Owner::user_locked())
+            };
+            match range {
+                Some(r) => {
+                    hog.frames += r.len();
+                    hog.ranges.push(r);
+                }
+                None => {
+                    let obtained = hog.frames;
+                    hog.release(zone);
+                    return Err(MemhogError {
+                        requested_frames: requested,
+                        obtained_frames: obtained,
+                    });
+                }
+            }
+        }
+        Ok(hog)
+    }
+
+    /// Occupy however much is needed so that at most `free_bytes` remain
+    /// free on the zone (the paper's "available = WSS + X" methodology).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhogError`] if allocation fails partway (should not
+    /// happen on a zone that only the hog is using).
+    pub fn occupy_all_but(zone: &mut Zone, free_bytes: u64) -> Result<Self, MemhogError> {
+        let free_target = free_bytes.div_ceil(FRAME_SIZE);
+        let current = zone.free_frames();
+        let to_hog = current.saturating_sub(free_target);
+        Self::occupy(zone, to_hog * FRAME_SIZE)
+    }
+
+    /// Number of frames held.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.frames * FRAME_SIZE
+    }
+
+    /// Release all held memory (process exit).
+    pub fn release(&mut self, zone: &mut Zone) {
+        for r in self.ranges.drain(..) {
+            let order = r.len().trailing_zeros() as u8;
+            debug_assert_eq!(1u64 << order, r.len());
+            zone.free(r.base, order);
+        }
+        self.frames = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemConfig;
+
+    fn zone(blocks: u64) -> Zone {
+        let cfg = MemConfig::with_huge_order(4);
+        Zone::new(1, blocks * cfg.huge_frames(), cfg)
+    }
+
+    #[test]
+    fn occupy_exact_amount() {
+        let mut z = zone(8);
+        let hog = Memhog::occupy(&mut z, 20 * FRAME_SIZE).unwrap();
+        assert_eq!(hog.frames(), 20);
+        assert_eq!(z.free_frames(), 8 * 16 - 20);
+    }
+
+    #[test]
+    fn occupy_rounds_partial_frames_up() {
+        let mut z = zone(4);
+        let hog = Memhog::occupy(&mut z, FRAME_SIZE + 1).unwrap();
+        assert_eq!(hog.frames(), 2);
+    }
+
+    #[test]
+    fn occupy_all_but_leaves_requested_free() {
+        let mut z = zone(8);
+        let _hog = Memhog::occupy_all_but(&mut z, 3 * FRAME_SIZE).unwrap();
+        assert_eq!(z.free_frames(), 3);
+    }
+
+    #[test]
+    fn hogged_memory_is_locked_user_memory() {
+        let mut z = zone(4);
+        let hog = Memhog::occupy(&mut z, 16 * FRAME_SIZE).unwrap();
+        let r = hog.ranges[0];
+        match z.frame_state(r.base) {
+            crate::FrameState::AllocatedHead { owner, .. } => {
+                assert_eq!(owner, Owner::user_locked());
+                assert!(!owner.is_swappable());
+                assert!(owner.is_movable());
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overcommit_fails_cleanly_and_releases() {
+        let mut z = zone(2);
+        let err = Memhog::occupy(&mut z, 64 * FRAME_SIZE).unwrap_err();
+        assert!(err.to_string().contains("requested"));
+        // Everything rolled back.
+        assert_eq!(z.free_frames(), 2 * 16);
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn release_restores_memory() {
+        let mut z = zone(8);
+        let mut hog = Memhog::occupy(&mut z, 50 * FRAME_SIZE).unwrap();
+        hog.release(&mut z);
+        assert_eq!(z.free_frames(), 8 * 16);
+        assert_eq!(hog.frames(), 0);
+        z.assert_consistent();
+    }
+}

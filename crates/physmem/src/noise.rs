@@ -1,0 +1,143 @@
+//! Background-resident "noise": movable pages of other processes that
+//! fragment free memory (paper §4.2: "fragmentation arises from movable
+//! pages for most user space memory").
+//!
+//! Unlike [`Fragmenter`](crate::Fragmenter) (non-movable, permanent), noise
+//! pages are migratable: compaction can consolidate them — at a cost, and
+//! only while free target frames exist elsewhere. This is what makes huge
+//! page availability degrade *gradually* with memory pressure instead of
+//! falling off a cliff.
+
+use crate::frame::{Frame, Owner};
+use crate::zone::Zone;
+
+/// Occupies a fraction of each free pageblock with movable, unswappable
+/// pages (they belong to "other processes", so the simulated app's swap
+/// never touches them; its compaction may migrate them).
+#[derive(Debug)]
+pub struct Noise {
+    frames: Vec<Frame>,
+}
+
+impl Noise {
+    /// Sprinkle noise over (up to) `blocks` currently-free pageblocks:
+    /// in each, keep `occupancy` of the frames allocated (evenly strided)
+    /// and free the rest.
+    ///
+    /// Returns the noise handle; `frames_held` tells how much memory the
+    /// background residents occupy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is not within `0.0..=1.0`.
+    pub fn sprinkle(zone: &mut Zone, blocks: u64, occupancy: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&occupancy),
+            "occupancy {occupancy} outside 0.0..=1.0"
+        );
+        let cfg = zone.config();
+        let hf = cfg.huge_frames();
+        let keep_per_block = ((hf as f64 * occupancy).round() as u64).min(hf);
+        let mut held = Vec::new();
+        if keep_per_block == 0 {
+            return Noise { frames: held };
+        }
+        for _ in 0..blocks {
+            let Some(range) = zone.alloc(cfg.huge_order, Owner::user_locked()) else {
+                break;
+            };
+            zone.split_allocated(range.base);
+            // Keep a *random* subset of the block's frames (deterministic
+            // per block). Regular strides would impose a synthetic
+            // page-coloring pattern on everything allocated into the
+            // holes, which no long-running system exhibits.
+            let mut offsets: Vec<u64> = (0..hf).collect();
+            let mut rng = 0x9E37_79B9u64 ^ (range.base.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            for i in (1..hf as usize).rev() {
+                // xorshift64*
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                offsets.swap(i, (rng % (i as u64 + 1)) as usize);
+            }
+            for (i, &off) in offsets.iter().enumerate() {
+                let frame = range.base + off;
+                if (i as u64) < keep_per_block {
+                    zone.set_tag(frame, 0);
+                    held.push(frame);
+                } else {
+                    zone.free_frame(frame);
+                }
+            }
+        }
+        Noise { frames: held }
+    }
+
+    /// Frames the background residents hold.
+    pub fn frames_held(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Release all noise (background processes exit).
+    ///
+    /// Note: compaction may have migrated noise frames; this handle tracks
+    /// the original placements, so release is only valid if no compaction
+    /// ran — experiments keep noise alive for the whole run instead.
+    pub fn release(self, zone: &mut Zone) {
+        for f in self.frames {
+            zone.free_frame(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemConfig;
+
+    fn zone(blocks: u64) -> Zone {
+        let cfg = MemConfig::with_huge_order(4); // 16-frame blocks
+        Zone::new(0, blocks * cfg.huge_frames(), cfg)
+    }
+
+    #[test]
+    fn noise_fragments_without_consuming_much() {
+        let mut z = zone(32);
+        let noise = Noise::sprinkle(&mut z, 32, 0.25);
+        assert_eq!(z.free_huge_blocks(), 0);
+        assert_eq!(noise.frames_held(), 32 * 4);
+        assert_eq!(z.free_frames(), 32 * 16 - 32 * 4);
+    }
+
+    #[test]
+    fn noise_blocks_are_compaction_candidates() {
+        let mut z = zone(8);
+        let _noise = Noise::sprinkle(&mut z, 8, 0.5);
+        // All noised blocks contain only movable order-0 allocations.
+        assert_eq!(z.candidate_compaction_regions().len(), 8);
+    }
+
+    #[test]
+    fn zero_occupancy_is_noop() {
+        let mut z = zone(8);
+        let noise = Noise::sprinkle(&mut z, 8, 0.0);
+        assert_eq!(noise.frames_held(), 0);
+        assert_eq!(z.free_huge_blocks(), 8);
+    }
+
+    #[test]
+    fn partial_block_budget() {
+        let mut z = zone(8);
+        let _n = Noise::sprinkle(&mut z, 3, 0.5);
+        assert_eq!(z.free_huge_blocks(), 5);
+    }
+
+    #[test]
+    fn release_restores_everything() {
+        let mut z = zone(8);
+        let n = Noise::sprinkle(&mut z, 8, 0.5);
+        n.release(&mut z);
+        assert_eq!(z.free_huge_blocks(), 8);
+        z.assert_consistent();
+    }
+}

@@ -1,0 +1,39 @@
+//! Event counters for a zone.
+
+/// Cumulative event counters for a [`Zone`](crate::Zone).
+///
+/// These are *counts*, not costs; the OS layer converts events it triggers
+/// (migrations, huge allocations, …) into cycle charges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneStats {
+    /// Successful allocations of any order.
+    pub allocs: u64,
+    /// Frees of any order.
+    pub frees: u64,
+    /// Allocations that could not be satisfied at the requested order.
+    pub failed_allocs: u64,
+    /// Successful huge-block allocations.
+    pub huge_allocs: u64,
+    /// Failed huge-block allocations.
+    pub huge_failed: u64,
+    /// Allocations satisfied by stealing from another migratetype's lists.
+    pub fallback_allocs: u64,
+    /// Whole pageblocks converted to a different migratetype.
+    pub pageblocks_stolen: u64,
+    /// Allocated blocks split into order-0 frames (demotions / `frag`).
+    pub splits: u64,
+    /// Frames migrated by compaction.
+    pub migrations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ZoneStats::default();
+        assert_eq!(s.allocs + s.frees + s.failed_allocs, 0);
+        assert_eq!(s.migrations, 0);
+    }
+}

@@ -1,0 +1,687 @@
+//! A per-NUMA-node physical memory zone with a buddy allocator.
+
+use crate::buddy::BuddyLists;
+use crate::config::MemConfig;
+use crate::frame::{Frame, FrameRange, FrameState, MigrateType, Owner, Slot};
+use crate::snapshot::ZoneSnapshot;
+use crate::stats::ZoneStats;
+use crate::NodeId;
+
+/// Result of migrating one movable frame during compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateTarget {
+    /// Frame the data moved from (now free).
+    pub src: Frame,
+    /// Frame the data moved to.
+    pub dst: Frame,
+    /// Owner of the allocation (preserved).
+    pub owner: Owner,
+    /// Tag of the allocation (preserved); the OS stores the virtual page
+    /// number here so it can fix up its page tables after migration.
+    pub tag: u64,
+}
+
+/// A zone of physical memory on one NUMA node, managed by a buddy allocator
+/// with migratetype grouping (see crate docs).
+///
+/// Frames are identified by zone-local indices `0..nframes`. Allocations are
+/// power-of-two blocks up to the huge block order from [`MemConfig`].
+#[derive(Debug)]
+pub struct Zone {
+    node: NodeId,
+    cfg: MemConfig,
+    nframes: u64,
+    slots: Vec<Slot>,
+    pageblock_mt: Vec<MigrateType>,
+    free: BuddyLists,
+    free_frames: u64,
+    stats: ZoneStats,
+}
+
+impl Zone {
+    /// Create a zone of `nframes` base frames on `node`.
+    ///
+    /// `nframes` is rounded **down** to a whole number of pageblocks
+    /// (huge blocks); a zone must hold at least one pageblock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nframes` is smaller than one pageblock.
+    pub fn new(node: NodeId, nframes: u64, cfg: MemConfig) -> Self {
+        let hf = cfg.huge_frames();
+        let nframes = (nframes / hf) * hf;
+        assert!(nframes >= hf, "zone must hold at least one pageblock");
+        let nblocks = (nframes / hf) as usize;
+        let mut free = BuddyLists::new(cfg.huge_order);
+        for b in 0..nblocks as u64 {
+            free.insert(MigrateType::Movable, cfg.huge_order, b * hf);
+        }
+        Zone {
+            node,
+            cfg,
+            nframes,
+            slots: vec![Slot::Free; nframes as usize],
+            pageblock_mt: vec![MigrateType::Movable; nblocks],
+            free,
+            free_frames: nframes,
+            stats: ZoneStats::default(),
+        }
+    }
+
+    /// NUMA node this zone belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The memory configuration of this zone.
+    pub fn config(&self) -> MemConfig {
+        self.cfg
+    }
+
+    /// Total frames in the zone.
+    pub fn nframes(&self) -> u64 {
+        self.nframes
+    }
+
+    /// Currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Currently free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_frames * crate::FRAME_SIZE
+    }
+
+    /// Number of fully free huge blocks (order `huge_order` free blocks).
+    ///
+    /// Because the buddy allocator merges eagerly, every fully-free aligned
+    /// huge region is represented by exactly one entry here.
+    pub fn free_huge_blocks(&self) -> u64 {
+        self.free.count_all(self.cfg.huge_order) as u64
+    }
+
+    /// Whether at least one whole huge block is free right now.
+    pub fn has_free_huge_block(&self) -> bool {
+        self.free_huge_blocks() > 0
+    }
+
+    /// The paper's fragmentation metric (§4.4.1): the fraction of *free*
+    /// memory that is not part of any contiguous huge-page region.
+    /// `0.0` = all free memory is huge-allocatable; `1.0` = none is.
+    pub fn fragmentation_level(&self) -> f64 {
+        if self.free_frames == 0 {
+            return 0.0;
+        }
+        let huge_free = self.free_huge_blocks() * self.cfg.huge_frames();
+        1.0 - huge_free as f64 / self.free_frames as f64
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &ZoneStats {
+        &self.stats
+    }
+
+    /// State of one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of bounds.
+    pub fn frame_state(&self, frame: Frame) -> FrameState {
+        match self.slots[frame as usize] {
+            Slot::Free => FrameState::Free,
+            Slot::Head { order, owner, tag } => FrameState::AllocatedHead { order, owner, tag },
+            Slot::Tail { back } => FrameState::AllocatedTail {
+                head: frame - back as u64,
+            },
+        }
+    }
+
+    /// Attach an opaque tag to the allocation headed at `head` (the OS
+    /// stores virtual page numbers here for reverse mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not an allocation head.
+    pub fn set_tag(&mut self, head: Frame, tag: u64) {
+        match &mut self.slots[head as usize] {
+            Slot::Head { tag: t, .. } => *t = tag,
+            other => panic!("set_tag on non-head frame {head}: {other:?}"),
+        }
+    }
+
+    /// Allocate a block of `2^order` frames for `owner`.
+    ///
+    /// Prefers pageblocks grouped under the owner's migratetype and falls
+    /// back to stealing from other migratetypes (largest blocks first, as
+    /// the kernel does). Returns `None` when no free block of sufficient
+    /// order exists anywhere — the caller (the simulated OS) then decides
+    /// whether to compact, reclaim, or fall back to a smaller order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` exceeds the configured huge order.
+    pub fn alloc(&mut self, order: u8, owner: Owner) -> Option<FrameRange> {
+        assert!(order <= self.cfg.huge_order, "order above huge order");
+        let got = self.alloc_inner(order, owner);
+        self.note_alloc(order, got.is_some());
+        got.map(|base| FrameRange::new(base, 1u64 << order))
+    }
+
+    /// Allocate a single frame for `owner`.
+    pub fn alloc_frame(&mut self, owner: Owner) -> Option<Frame> {
+        self.alloc(0, owner).map(|r| r.base)
+    }
+
+    fn note_alloc(&mut self, order: u8, ok: bool) {
+        if ok {
+            self.stats.allocs += 1;
+            if order == self.cfg.huge_order {
+                self.stats.huge_allocs += 1;
+            }
+        } else {
+            self.stats.failed_allocs += 1;
+            if order == self.cfg.huge_order {
+                self.stats.huge_failed += 1;
+            }
+        }
+    }
+
+    fn alloc_inner(&mut self, order: u8, owner: Owner) -> Option<Frame> {
+        self.alloc_filtered(order, owner, &mut |_| true)
+    }
+
+    fn alloc_filtered(
+        &mut self,
+        order: u8,
+        owner: Owner,
+        allow: &mut dyn FnMut(Frame) -> bool,
+    ) -> Option<Frame> {
+        let mt = owner.migratetype();
+        // Fast path: a block from our own migratetype, smallest order first.
+        for o in order..=self.cfg.huge_order {
+            if let Some(base) = self.free.pop_smallest_where(mt, o, allow) {
+                self.split_and_mark(base, o, order, mt, owner);
+                return Some(base);
+            }
+        }
+        // Fallback: steal from other migratetypes, largest block first to
+        // minimise long-term pollution (mirrors the kernel's
+        // rmqueue_fallback). Stealing half a pageblock or more converts the
+        // whole pageblock to our type and moves its remaining free pages to
+        // our lists (steal_suitable_fallback + move_freepages_block) — so
+        // subsequent allocations drain this block contiguously instead of
+        // cherry-picking the largest chunk of a fresh block each time
+        // (which would impose a degenerate physical phase on everything).
+        for fb in mt.fallbacks() {
+            for o in (order..=self.cfg.huge_order).rev() {
+                if let Some(base) = self.free.pop_smallest_where(fb, o, allow) {
+                    self.stats.fallback_allocs += 1;
+                    let remainder_mt = if o + 1 >= self.cfg.huge_order {
+                        let block = self.block_of(base);
+                        self.pageblock_mt[block] = mt;
+                        self.stats.pageblocks_stolen += 1;
+                        let r = self.block_range(block);
+                        self.free.move_range(fb, mt, r.base, r.end());
+                        mt
+                    } else {
+                        fb
+                    };
+                    self.split_and_mark(base, o, order, remainder_mt, owner);
+                    return Some(base);
+                }
+            }
+        }
+        None
+    }
+
+    /// Split a free block of `from` order down to `to` order, putting the
+    /// upper halves back on `mt`'s free lists, then mark `[base, base+2^to)`
+    /// allocated for `owner`.
+    fn split_and_mark(&mut self, base: Frame, from: u8, to: u8, mt: MigrateType, owner: Owner) {
+        for o in (to..from).rev() {
+            self.free.insert(mt, o, base + (1u64 << o));
+        }
+        let len = 1u64 << to;
+        self.slots[base as usize] = Slot::Head {
+            order: to,
+            owner,
+            tag: 0,
+        };
+        for i in 1..len {
+            self.slots[(base + i) as usize] = Slot::Tail { back: i as u32 };
+        }
+        self.free_frames -= len;
+    }
+
+    /// Free the block of `2^order` frames headed at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not the head of an allocation of exactly `order`.
+    pub fn free(&mut self, base: Frame, order: u8) {
+        match self.slots[base as usize] {
+            Slot::Head { order: o, .. } if o == order => {}
+            other => panic!("free({base}, {order}) on {other:?}"),
+        }
+        let len = 1u64 << order;
+        for i in 0..len {
+            self.slots[(base + i) as usize] = Slot::Free;
+        }
+        self.free_frames += len;
+        self.stats.frees += 1;
+        self.merge_and_insert(base, order);
+    }
+
+    /// Free a single-frame allocation.
+    pub fn free_frame(&mut self, frame: Frame) {
+        self.free(frame, 0);
+    }
+
+    fn merge_and_insert(&mut self, mut base: Frame, mut order: u8) {
+        // Buddy merging never crosses a pageblock boundary because the
+        // maximum order equals the pageblock order, so the migratetype is
+        // constant throughout the merge.
+        let mt = self.pageblock_mt[self.block_of(base)];
+        while order < self.cfg.huge_order {
+            let buddy = base ^ (1u64 << order);
+            if !self.free.remove(mt, order, buddy) {
+                break;
+            }
+            base = base.min(buddy);
+            order += 1;
+        }
+        self.free.insert(mt, order, base);
+    }
+
+    /// Split an allocated block into individual order-0 allocations
+    /// (huge page demotion, and the second phase of the paper's `frag`
+    /// utility). Per-frame tags become `head_tag + offset`, matching the
+    /// OS convention of tagging with virtual page numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not the head of a multi-frame allocation.
+    pub fn split_allocated(&mut self, base: Frame) {
+        let (order, owner, tag) = match self.slots[base as usize] {
+            Slot::Head { order, owner, tag } if order > 0 => (order, owner, tag),
+            other => panic!("split_allocated({base}) on {other:?}"),
+        };
+        for i in 0..(1u64 << order) {
+            self.slots[(base + i) as usize] = Slot::Head {
+                order: 0,
+                owner,
+                tag: tag + i,
+            };
+        }
+        self.stats.splits += 1;
+    }
+
+    /// Migrate the single-frame allocation at `src` to a newly allocated
+    /// frame outside `forbid` (typically the huge region being vacated by
+    /// compaction). Returns `None` — leaving `src` untouched — if the frame
+    /// is not a movable order-0 allocation or no target frame is available.
+    pub fn migrate(&mut self, src: Frame, forbid: Option<FrameRange>) -> Option<MigrateTarget> {
+        match forbid {
+            Some(r) => self.migrate_filtered(src, &mut |f| !r.contains(f)),
+            None => self.migrate_filtered(src, &mut |_| true),
+        }
+    }
+
+    /// Like [`Zone::migrate`], but the target frame must satisfy
+    /// `allow_dst`. Compaction uses this to keep migration targets out of
+    /// *all* candidate pageblocks (the kernel's free scanner likewise never
+    /// hands out pages the migration scanner will want to vacate).
+    pub fn migrate_filtered(
+        &mut self,
+        src: Frame,
+        allow_dst: &mut dyn FnMut(Frame) -> bool,
+    ) -> Option<MigrateTarget> {
+        let (owner, tag) = match self.slots[src as usize] {
+            Slot::Head {
+                order: 0,
+                owner,
+                tag,
+            } if owner.is_movable() => (owner, tag),
+            _ => return None,
+        };
+        let dst = self.alloc_filtered(0, owner, allow_dst)?;
+        self.slots[dst as usize] = Slot::Head {
+            order: 0,
+            owner,
+            tag,
+        };
+        // Free the source without going through `free`'s assertions twice.
+        self.slots[src as usize] = Slot::Free;
+        self.free_frames += 1;
+        self.merge_and_insert(src, 0);
+        self.stats.migrations += 1;
+        Some(MigrateTarget {
+            src,
+            dst,
+            owner,
+            tag,
+        })
+    }
+
+    /// Pageblock index containing `frame`.
+    pub fn block_of(&self, frame: Frame) -> usize {
+        (frame >> self.cfg.huge_order) as usize
+    }
+
+    /// Frame range of pageblock `block`.
+    pub fn block_range(&self, block: usize) -> FrameRange {
+        FrameRange::new(
+            (block as u64) << self.cfg.huge_order,
+            self.cfg.huge_frames(),
+        )
+    }
+
+    /// Number of pageblocks in the zone.
+    pub fn nblocks(&self) -> usize {
+        self.pageblock_mt.len()
+    }
+
+    /// Pageblocks that compaction could turn into free huge blocks:
+    /// partially used, with every allocated frame a movable order-0
+    /// allocation. Returned highest-addressed first, the order in which
+    /// compaction should process them (it fills holes at low addresses).
+    pub fn candidate_compaction_regions(&self) -> Vec<usize> {
+        (0..self.nblocks())
+            .rev()
+            .filter(|&b| self.is_compaction_candidate(b))
+            .collect()
+    }
+
+    fn is_compaction_candidate(&self, block: usize) -> bool {
+        let r = self.block_range(block);
+        let mut any_allocated = false;
+        for f in r.iter() {
+            match self.slots[f as usize] {
+                Slot::Free => {}
+                Slot::Head {
+                    order: 0, owner, ..
+                } if owner.is_movable() => any_allocated = true,
+                _ => return false, // kernel frame, or multi-frame block
+            }
+        }
+        any_allocated
+    }
+
+    /// Free-frame count of every pageblock (index = block). O(nframes);
+    /// used by compaction to size its target capacity up front.
+    pub fn free_frames_per_block(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nblocks()];
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, Slot::Free) {
+                counts[i >> self.cfg.huge_order] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The movable allocated frames inside pageblock `block`.
+    pub fn movable_frames_in_block(&self, block: usize) -> Vec<Frame> {
+        self.block_range(block)
+            .iter()
+            .filter(|&f| {
+                matches!(
+                    self.slots[f as usize],
+                    Slot::Head { order: 0, owner, .. } if owner.is_movable()
+                )
+            })
+            .collect()
+    }
+
+    /// A rendering-friendly summary of pageblock occupancy (Fig. 6 anatomy).
+    pub fn snapshot(&self) -> ZoneSnapshot {
+        ZoneSnapshot::capture(self)
+    }
+
+    /// Verify internal invariants (free-frame accounting matches both the
+    /// slot array and the free lists). Intended for tests; O(nframes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_consistent(&self) {
+        let slot_free = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Free))
+            .count() as u64;
+        assert_eq!(slot_free, self.free_frames, "slot/counter free mismatch");
+        assert_eq!(
+            self.free.total_free_frames(),
+            self.free_frames,
+            "list/counter free mismatch"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(frames: u64, order: u8) -> Zone {
+        Zone::new(1, frames, MemConfig::with_huge_order(order))
+    }
+
+    #[test]
+    fn fresh_zone_is_all_free_huge_blocks() {
+        let z = zone(4096, 9);
+        assert_eq!(z.nframes(), 4096);
+        assert_eq!(z.free_frames(), 4096);
+        assert_eq!(z.free_huge_blocks(), 8);
+        assert_eq!(z.fragmentation_level(), 0.0);
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn rounds_down_to_pageblocks() {
+        let z = zone(1000, 9);
+        assert_eq!(z.nframes(), 512);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_huge_blocks() {
+        let mut z = zone(1024, 9);
+        let mut frames = Vec::new();
+        for _ in 0..700 {
+            frames.push(z.alloc_frame(Owner::user()).unwrap());
+        }
+        assert_eq!(z.free_frames(), 1024 - 700);
+        assert_eq!(z.free_huge_blocks(), 0);
+        for f in frames {
+            z.free_frame(f);
+        }
+        assert_eq!(z.free_frames(), 1024);
+        assert_eq!(z.free_huge_blocks(), 2);
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn allocation_prefers_low_addresses() {
+        let mut z = zone(1024, 9);
+        assert_eq!(z.alloc_frame(Owner::user()), Some(0));
+        assert_eq!(z.alloc_frame(Owner::user()), Some(1));
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_counts() {
+        let mut z = zone(512, 9);
+        assert!(z.alloc(9, Owner::user()).is_some());
+        assert!(z.alloc(9, Owner::user()).is_none());
+        assert!(z.alloc_frame(Owner::user()).is_none());
+        assert_eq!(z.stats().huge_failed, 1);
+        assert_eq!(z.stats().failed_allocs, 2);
+    }
+
+    #[test]
+    fn migratetype_grouping_separates_kernel_from_user() {
+        let mut z = zone(2048, 9);
+        let k = z.alloc_frame(Owner::Kernel).unwrap();
+        let u = z.alloc_frame(Owner::user()).unwrap();
+        // Kernel steals a whole pageblock for itself; user memory lands in a
+        // different pageblock.
+        assert_ne!(z.block_of(k), z.block_of(u));
+    }
+
+    #[test]
+    fn kernel_allocations_fill_their_own_pageblock_before_stealing_more() {
+        let mut z = zone(4096, 9);
+        let k1 = z.alloc_frame(Owner::Kernel).unwrap();
+        let k2 = z.alloc_frame(Owner::Kernel).unwrap();
+        assert_eq!(z.block_of(k1), z.block_of(k2));
+        assert_eq!(z.stats().pageblocks_stolen, 1);
+    }
+
+    #[test]
+    fn huge_alloc_skips_partially_used_pageblocks() {
+        let mut z = zone(1024, 9);
+        let f = z.alloc_frame(Owner::user()).unwrap(); // occupies block 0
+        let huge = z.alloc(9, Owner::user()).unwrap();
+        assert_eq!(huge.base, 512);
+        z.free_frame(f);
+        z.free(huge.base, 9);
+        assert_eq!(z.free_huge_blocks(), 2);
+    }
+
+    #[test]
+    fn split_allocated_demotes_and_preserves_tags() {
+        let mut z = zone(512, 4); // 16-frame huge blocks
+        let r = z.alloc(4, Owner::user()).unwrap();
+        z.set_tag(r.base, 1000);
+        z.split_allocated(r.base);
+        for (i, f) in r.iter().enumerate() {
+            match z.frame_state(f) {
+                FrameState::AllocatedHead { order, tag, .. } => {
+                    assert_eq!(order, 0);
+                    assert_eq!(tag, 1000 + i as u64);
+                }
+                other => panic!("expected head, got {other:?}"),
+            }
+        }
+        // Frames can now be freed individually.
+        for f in r.iter().skip(1) {
+            z.free_frame(f);
+        }
+        assert_eq!(z.free_frames(), 512 - 1);
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn migrate_moves_frame_out_of_forbidden_region() {
+        let mut z = zone(1024, 9);
+        // Occupy a frame in block 1 (forbidden region), plus room in block 0.
+        let frames: Vec<_> = (0..600)
+            .map(|_| z.alloc_frame(Owner::user()).unwrap())
+            .collect();
+        let src = *frames.last().unwrap();
+        assert_eq!(z.block_of(src), 1);
+        // Free some room in block 0 for the migration target.
+        z.free_frame(frames[10]);
+        let forbid = z.block_range(1);
+        let m = z.migrate(src, Some(forbid)).expect("migration target");
+        assert_eq!(m.src, src);
+        assert!(!forbid.contains(m.dst));
+        assert_eq!(z.frame_state(src), FrameState::Free);
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn migrate_refuses_kernel_frames() {
+        let mut z = zone(1024, 9);
+        let k = z.alloc_frame(Owner::Kernel).unwrap();
+        assert!(z.migrate(k, None).is_none());
+    }
+
+    #[test]
+    fn compaction_candidates_exclude_kernel_blocks_and_full_free() {
+        let mut z = zone(2048, 9);
+        let _k = z.alloc_frame(Owner::Kernel).unwrap(); // pollutes one block
+        let u = z.alloc_frame(Owner::user()).unwrap(); // candidate block
+        let cands = z.candidate_compaction_regions();
+        assert_eq!(cands, vec![z.block_of(u)]);
+        assert_eq!(z.movable_frames_in_block(z.block_of(u)), vec![u]);
+    }
+
+    #[test]
+    fn fragmentation_level_reflects_free_huge_blocks() {
+        let mut z = zone(1024, 9);
+        // Allocate one frame in each pageblock: no free huge blocks remain.
+        let f0 = z.alloc_frame(Owner::user()).unwrap();
+        let huge = z.alloc(9, Owner::user()).unwrap();
+        z.split_allocated(huge.base);
+        for f in huge.iter().skip(1) {
+            z.free_frame(f);
+        }
+        assert_eq!(z.free_huge_blocks(), 0);
+        assert!(z.fragmentation_level() > 0.99);
+        let _ = f0;
+    }
+
+    #[test]
+    fn fallback_steal_converts_block_and_drains_it_contiguously() {
+        let mut z = zone(4096, 9);
+        // Make every pageblock Unmovable with a hole pattern (frag-style).
+        for _ in 0..8 {
+            let r = z.alloc(9, Owner::Kernel).unwrap();
+            z.split_allocated(r.base);
+            for f in r.iter().skip(1) {
+                z.free_frame(f);
+            }
+        }
+        // User allocations falling back must drain one block contiguously
+        // rather than cherry-picking the same-phase chunk of each block.
+        let frames: Vec<_> = (0..100)
+            .map(|_| z.alloc_frame(Owner::user()).unwrap())
+            .collect();
+        let first_block = z.block_of(frames[0]);
+        assert!(
+            frames.iter().all(|&f| z.block_of(f) == first_block),
+            "allocations scattered across blocks: {:?}",
+            frames.iter().map(|&f| z.block_of(f)).collect::<Vec<_>>()
+        );
+        // And the physical phases are diverse (no degenerate coloring):
+        // the first 32 allocations must cover most pfn-mod-8 phases.
+        let phases: std::collections::HashSet<u64> =
+            frames.iter().take(32).map(|f| f % 8).collect();
+        assert!(phases.len() >= 6, "degenerate phases: {phases:?}");
+        z.assert_consistent();
+    }
+
+    #[test]
+    fn free_frames_per_block_accounting() {
+        let mut z = zone(1024, 9); // 2 blocks
+        let f = z.alloc_frame(Owner::user()).unwrap();
+        let counts = z.free_frames_per_block();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[z.block_of(f)], 511);
+        assert_eq!(counts[1 - z.block_of(f)], 512);
+        assert_eq!(
+            counts.iter().map(|&c| c as u64).sum::<u64>(),
+            z.free_frames()
+        );
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let mut z = zone(512, 9);
+        let f = z.alloc_frame(Owner::user()).unwrap();
+        z.set_tag(f, 42);
+        assert!(matches!(
+            z.frame_state(f),
+            FrameState::AllocatedHead { tag: 42, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "free(")]
+    fn double_free_panics() {
+        let mut z = zone(512, 9);
+        let f = z.alloc_frame(Owner::user()).unwrap();
+        z.free_frame(f);
+        z.free_frame(f);
+    }
+}

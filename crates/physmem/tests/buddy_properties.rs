@@ -1,0 +1,147 @@
+//! Property-based tests for the buddy allocator.
+//!
+//! The model under test is a random interleaving of allocations and frees of
+//! varying orders and owners; invariants are checked against a naive shadow
+//! model of allocated blocks.
+
+use graphmem_physmem::{FrameState, MemConfig, Owner, Zone};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { order: u8, owner_kind: u8 },
+    Free { idx: usize },
+    Split { idx: usize },
+    Migrate { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=4, 0u8..3).prop_map(|(order, owner_kind)| Op::Alloc { order, owner_kind }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        any::<usize>().prop_map(|idx| Op::Split { idx }),
+        any::<usize>().prop_map(|idx| Op::Migrate { idx }),
+    ]
+}
+
+fn owner(kind: u8) -> Owner {
+    match kind {
+        0 => Owner::user(),
+        1 => Owner::PageCache,
+        _ => Owner::Kernel,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free/split/migrate sequences never corrupt accounting:
+    /// no two live blocks overlap, free counts match, and freeing everything
+    /// restores a fully-free zone.
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let cfg = MemConfig::with_huge_order(4);
+        let total_frames = 64 * cfg.huge_frames();
+        let mut zone = Zone::new(0, total_frames, cfg);
+        // Shadow: live blocks as (base, order) — split/migrate keep it fresh.
+        let mut live: Vec<(u64, u8)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { order, owner_kind } => {
+                    if let Some(r) = zone.alloc(order, owner(owner_kind)) {
+                        prop_assert_eq!(r.len(), 1u64 << order);
+                        // No overlap with any live block.
+                        for &(b, o) in &live {
+                            let blen = 1u64 << o;
+                            prop_assert!(r.end() <= b || r.base >= b + blen,
+                                "overlap: new [{},{}) vs live [{},{})",
+                                r.base, r.end(), b, b + blen);
+                        }
+                        live.push((r.base, order));
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let (base, order) = live.swap_remove(idx % live.len());
+                        zone.free(base, order);
+                    }
+                }
+                Op::Split { idx } => {
+                    if !live.is_empty() {
+                        let i = idx % live.len();
+                        let (base, order) = live[i];
+                        if order > 0 {
+                            zone.split_allocated(base);
+                            live.swap_remove(i);
+                            for f in 0..(1u64 << order) {
+                                live.push((base + f, 0));
+                            }
+                        }
+                    }
+                }
+                Op::Migrate { idx } => {
+                    if !live.is_empty() {
+                        let i = idx % live.len();
+                        let (base, order) = live[i];
+                        if order == 0 {
+                            if let Some(m) = zone.migrate(base, None) {
+                                prop_assert_eq!(m.src, base);
+                                live[i] = (m.dst, 0);
+                            }
+                        }
+                    }
+                }
+            }
+            let live_frames: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(zone.free_frames(), total_frames - live_frames);
+        }
+
+        zone.assert_consistent();
+        for (base, order) in live.drain(..) {
+            zone.free(base, order);
+        }
+        prop_assert_eq!(zone.free_frames(), total_frames);
+        prop_assert_eq!(zone.free_huge_blocks(), 64);
+        zone.assert_consistent();
+    }
+
+    /// Every allocation is aligned to its order and entirely within bounds,
+    /// and its head/tail states are self-consistent.
+    #[test]
+    fn allocations_are_aligned_and_tracked(orders in proptest::collection::vec(0u8..=4, 1..64)) {
+        let cfg = MemConfig::with_huge_order(4);
+        let mut zone = Zone::new(0, 32 * cfg.huge_frames(), cfg);
+        for order in orders {
+            if let Some(r) = zone.alloc(order, Owner::user()) {
+                prop_assert_eq!(r.base % (1u64 << order), 0);
+                prop_assert!(r.end() <= zone.nframes());
+                match zone.frame_state(r.base) {
+                    FrameState::AllocatedHead { order: o, .. } => prop_assert_eq!(o, order),
+                    other => return Err(TestCaseError::fail(format!("head state {other:?}"))),
+                }
+                for f in r.iter().skip(1) {
+                    match zone.frame_state(f) {
+                        FrameState::AllocatedTail { head } => prop_assert_eq!(head, r.base),
+                        other => return Err(TestCaseError::fail(format!("tail state {other:?}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fragmenter always achieves (approximately) the requested level on
+    /// a fresh zone and never loses frames.
+    #[test]
+    fn fragmenter_level_accuracy(level in 0.0f64..=1.0, blocks in 8u64..128) {
+        let cfg = MemConfig::with_huge_order(4);
+        let mut zone = Zone::new(0, blocks * cfg.huge_frames(), cfg);
+        let frag = graphmem_physmem::Fragmenter::apply(&mut zone, level);
+        let expected = (blocks as f64 * level) as u64;
+        prop_assert_eq!(frag.blocks_fragmented(), expected);
+        prop_assert_eq!(zone.free_huge_blocks(), blocks - expected);
+        frag.release(&mut zone);
+        prop_assert_eq!(zone.free_frames(), blocks * cfg.huge_frames());
+        zone.assert_consistent();
+    }
+}

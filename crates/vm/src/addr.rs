@@ -1,0 +1,150 @@
+//! Virtual addresses, page sizes, and page geometry.
+
+use graphmem_physmem::{MemConfig, FRAME_SIZE};
+
+/// Shift of a base (4 KiB) page.
+pub const BASE_SHIFT: u8 = 12;
+
+/// A 48-bit virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Byte offset within a base page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (FRAME_SIZE - 1)
+    }
+
+    /// Base-page virtual page number.
+    pub fn vpn(self) -> u64 {
+        self.0 >> BASE_SHIFT
+    }
+
+    /// Align down to a multiple of `align` bytes (power of two).
+    pub fn align_down(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Align up to a multiple of `align` bytes (power of two).
+    pub fn align_up(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Whether the address is a multiple of `align` (power of two).
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// The address `bytes` later.
+    #[allow(clippy::should_implement_trait)] // not an Add impl: u64 offset, not VirtAddr+VirtAddr
+    pub fn add(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+/// Page size class of a mapping.
+///
+/// The byte size of [`PageSize::Huge`] depends on the
+/// [`MemConfig`](graphmem_physmem::MemConfig) huge order (2 MiB on real
+/// x86-64, smaller in scaled experiment presets); use [`PageGeometry`] to
+/// resolve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// A 4 KiB base page.
+    Base,
+    /// A transparent huge page (one buddy huge block).
+    Huge,
+}
+
+/// Resolves [`PageSize`] classes to concrete shifts and byte sizes for a
+/// given physical-memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageGeometry {
+    huge_order: u8,
+}
+
+impl PageGeometry {
+    /// Geometry for the given memory configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        PageGeometry {
+            huge_order: cfg.huge_order,
+        }
+    }
+
+    /// Address shift of the given page size.
+    pub fn shift(&self, size: PageSize) -> u8 {
+        match size {
+            PageSize::Base => BASE_SHIFT,
+            PageSize::Huge => BASE_SHIFT + self.huge_order,
+        }
+    }
+
+    /// Bytes covered by one page of the given size.
+    pub fn bytes(&self, size: PageSize) -> u64 {
+        1u64 << self.shift(size)
+    }
+
+    /// Base frames per page of the given size.
+    pub fn frames(&self, size: PageSize) -> u64 {
+        1u64 << (self.shift(size) - BASE_SHIFT)
+    }
+
+    /// Page number of `addr` at the given size.
+    pub fn page_number(&self, addr: VirtAddr, size: PageSize) -> u64 {
+        addr.0 >> self.shift(size)
+    }
+
+    /// The huge-order of the underlying configuration.
+    pub fn huge_order(&self) -> u8 {
+        self.huge_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vaddr_helpers() {
+        let a = VirtAddr(0x12345);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.vpn(), 0x12);
+        assert_eq!(a.align_down(0x1000), VirtAddr(0x12000));
+        assert_eq!(a.align_up(0x1000), VirtAddr(0x13000));
+        assert!(VirtAddr(0x2000).is_aligned(0x1000));
+        assert!(!a.is_aligned(0x1000));
+        assert_eq!(a.add(0x10), VirtAddr(0x12355));
+        assert_eq!(format!("{a}"), "0x12345");
+    }
+
+    #[test]
+    fn geometry_real_x86() {
+        let g = PageGeometry::new(MemConfig::default());
+        assert_eq!(g.bytes(PageSize::Base), 4096);
+        assert_eq!(g.bytes(PageSize::Huge), 2 * 1024 * 1024);
+        assert_eq!(g.frames(PageSize::Huge), 512);
+        assert_eq!(g.page_number(VirtAddr(0x40_0000), PageSize::Huge), 2);
+    }
+
+    #[test]
+    fn geometry_scaled() {
+        let g = PageGeometry::new(MemConfig::with_huge_order(6));
+        assert_eq!(g.bytes(PageSize::Huge), 256 * 1024);
+        assert_eq!(g.frames(PageSize::Huge), 64);
+    }
+}

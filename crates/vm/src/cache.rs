@@ -1,0 +1,281 @@
+//! Set-associative data cache hierarchy.
+//!
+//! Both application data accesses and page-walk PTE reads are charged
+//! through this model, because page walks hit the regular cache hierarchy on
+//! real x86 CPUs (paper §2.2: "Most DTLB misses result in STLB misses,
+//! incurring costly page table walks to CPU caches and DRAM").
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hash the set index over higher address bits (Intel LLCs distribute
+    /// addresses across slices with such a hash). Defeats the pathological
+    /// phase-locking that pure modulo indexing exhibits when same-sized
+    /// arrays are allocated physically contiguously.
+    pub hashed_index: bool,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non power-of-two
+    /// set count).
+    pub fn sets(&self) -> u64 {
+        assert!(self.size_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes as u64);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// First-level data cache hit.
+    L1,
+    /// Second-level cache hit.
+    L2,
+    /// Last-level cache hit.
+    L3,
+    /// Missed everywhere; serviced by DRAM.
+    Memory,
+}
+
+/// One set-associative, LRU, physically-indexed cache level.
+#[derive(Debug)]
+struct CacheArray {
+    sets: u64,
+    ways: u32,
+    line_shift: u8,
+    hashed_index: bool,
+    /// `tags[set * ways + way]` = line address, `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheArray {
+    fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        let n = (sets * geom.ways as u64) as usize;
+        CacheArray {
+            sets,
+            ways: geom.ways,
+            line_shift: geom.line_bytes.trailing_zeros() as u8,
+            hashed_index: geom.hashed_index,
+            tags: vec![u64::MAX; n],
+            stamps: vec![0; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up (and on miss, fill) the line containing `paddr`.
+    fn access(&mut self, paddr: u64) -> bool {
+        let line = paddr >> self.line_shift;
+        let index_key = if self.hashed_index {
+            // Fold higher address bits into the index (slice-hash style).
+            let b = self.sets.trailing_zeros() as u64;
+            line ^ (line >> b) ^ (line >> (2 * b))
+        } else {
+            line
+        };
+        let set = (index_key % self.sets) as usize;
+        let base = set * self.ways as usize;
+        self.clock += 1;
+        let ways = &mut self.tags[base..base + self.ways as usize];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Fill into the LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways as usize {
+            let s = self.stamps[base + w];
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+}
+
+/// A three-level inclusive-fill cache hierarchy.
+///
+/// Writes are modelled identically to reads (write-allocate, no separate
+/// write-back charge); this keeps the model simple while preserving the
+/// locality behaviour that matters for the paper's experiments.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: CacheArray,
+    l2: CacheArray,
+    l3: CacheArray,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy from three level geometries.
+    pub fn new(l1: CacheGeometry, l2: CacheGeometry, l3: CacheGeometry) -> Self {
+        CacheHierarchy {
+            l1: CacheArray::new(l1),
+            l2: CacheArray::new(l2),
+            l3: CacheArray::new(l3),
+        }
+    }
+
+    /// Access the line containing physical address `paddr`; returns the
+    /// level that serviced it, filling all levels above.
+    pub fn access(&mut self, paddr: u64) -> CacheLevel {
+        if self.l1.access(paddr) {
+            CacheLevel::L1
+        } else if self.l2.access(paddr) {
+            CacheLevel::L2
+        } else if self.l3.access(paddr) {
+            CacheLevel::L3
+        } else {
+            CacheLevel::Memory
+        }
+    }
+
+    /// Invalidate every line (used after wholesale page migrations in
+    /// tests; real kernels do not flush caches on migration, so the OS
+    /// layer does not call this on the hot path).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+
+    /// `(hits, misses)` for each level, L1 → L3.
+    pub fn level_stats(&self) -> [(u64, u64); 3] {
+        [
+            (self.l1.hits, self.l1.misses),
+            (self.l2.hits, self.l2.misses),
+            (self.l3.hits, self.l3.misses),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        // L1: 2 sets x 2 ways x 64B = 256B, L2: 512B, L3: 1KiB.
+        CacheHierarchy::new(
+            CacheGeometry {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+                hashed_index: false,
+            },
+            CacheGeometry {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+                hashed_index: false,
+            },
+            CacheGeometry {
+                size_bytes: 1024,
+                ways: 4,
+                line_bytes: 64,
+                hashed_index: false,
+            },
+        )
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hashed_index: false,
+        };
+        assert_eq!(g.sets(), 64);
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000), CacheLevel::Memory);
+        assert_eq!(c.access(0x1000), CacheLevel::L1);
+        assert_eq!(c.access(0x1004), CacheLevel::L1); // same line
+    }
+
+    #[test]
+    fn eviction_falls_back_to_outer_levels() {
+        let mut c = tiny();
+        // Fill set 0 of L1 (lines with same set index): lines 0, 2, 4 (2 sets).
+        c.access(0);
+        c.access(2 * 64);
+        c.access(4 * 64); // evicts line 0 from L1 (2 ways)
+                          // Line 0 should now be an L2 hit, not L1.
+        assert_eq!(c.access(0), CacheLevel::L2);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(2 * 64);
+        c.access(0); // touch line 0 again; line 2 is now LRU
+        c.access(4 * 64); // evicts line 2
+        assert_eq!(c.access(0), CacheLevel::L1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        let [(h1, m1), _, _] = c.level_stats();
+        assert_eq!((h1, m1), (1, 1));
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert_eq!(c.access(0), CacheLevel::Memory);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn degenerate_geometry_panics() {
+        let g = CacheGeometry {
+            size_bytes: 3 * 64,
+            ways: 1,
+            line_bytes: 64,
+            hashed_index: false,
+        };
+        let _ = g.sets();
+    }
+}

@@ -1,0 +1,138 @@
+//! Hardware performance counters, mirroring what the paper records with
+//! `perf` (TLB miss rates, STLB miss rates, page-walk activity).
+
+/// Cumulative hardware event counts for one [`MemorySystem`](crate::MemorySystem).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Data accesses performed (loads + stores).
+    pub accesses: u64,
+    /// Loads.
+    pub reads: u64,
+    /// Stores.
+    pub writes: u64,
+    /// First-level DTLB misses.
+    pub dtlb_misses: u64,
+    /// DTLB misses that hit the unified STLB.
+    pub stlb_hits: u64,
+    /// DTLB misses that also missed the STLB → hardware page walks.
+    pub stlb_misses: u64,
+    /// PTE reads issued by the page walker (after page-walk-cache skips).
+    pub walk_pte_reads: u64,
+    /// Cycles spent in address translation (STLB penalties + walk PTE
+    /// reads), i.e. the shaded overhead of the paper's Fig. 2.
+    pub translation_cycles: u64,
+    /// Cycles spent in data accesses after translation.
+    pub data_cycles: u64,
+    /// Data accesses serviced by each level: L1, L2, L3, DRAM.
+    pub data_level_hits: [u64; 4],
+    /// Faults surfaced to the OS (page not present / swapped).
+    pub faults: u64,
+}
+
+impl PerfCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DTLB miss rate: fraction of accesses missing the first-level DTLB
+    /// (the full bar height of the paper's Fig. 3).
+    pub fn dtlb_miss_rate(&self) -> f64 {
+        ratio(self.dtlb_misses, self.accesses)
+    }
+
+    /// STLB miss rate: fraction of accesses that walked the page table
+    /// (the shaded portion of the paper's Fig. 3 bars).
+    pub fn stlb_miss_rate(&self) -> f64 {
+        ratio(self.stlb_misses, self.accesses)
+    }
+
+    /// Fraction of `total_cycles` spent on address translation (Fig. 2).
+    pub fn translation_overhead(&self, total_cycles: u64) -> f64 {
+        ratio(self.translation_cycles, total_cycles)
+    }
+
+    /// Total cycles the memory system charged (translation + data).
+    pub fn memory_cycles(&self) -> u64 {
+        self.translation_cycles + self.data_cycles
+    }
+
+    /// Counter-wise difference `self - earlier` (both cumulative).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &PerfCounters) -> PerfCounters {
+        let mut lvl = [0u64; 4];
+        for (i, l) in lvl.iter_mut().enumerate() {
+            *l = self.data_level_hits[i] - earlier.data_level_hits[i];
+        }
+        PerfCounters {
+            accesses: self.accesses - earlier.accesses,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            dtlb_misses: self.dtlb_misses - earlier.dtlb_misses,
+            stlb_hits: self.stlb_hits - earlier.stlb_hits,
+            stlb_misses: self.stlb_misses - earlier.stlb_misses,
+            walk_pte_reads: self.walk_pte_reads - earlier.walk_pte_reads,
+            translation_cycles: self.translation_cycles - earlier.translation_cycles,
+            data_cycles: self.data_cycles - earlier.data_cycles,
+            data_level_hits: lvl,
+            faults: self.faults - earlier.faults,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominator() {
+        let c = PerfCounters::new();
+        assert_eq!(c.dtlb_miss_rate(), 0.0);
+        assert_eq!(c.stlb_miss_rate(), 0.0);
+        assert_eq!(c.translation_overhead(0), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let c = PerfCounters {
+            accesses: 100,
+            dtlb_misses: 25,
+            stlb_misses: 10,
+            translation_cycles: 50,
+            data_cycles: 150,
+            ..PerfCounters::default()
+        };
+        assert_eq!(c.dtlb_miss_rate(), 0.25);
+        assert_eq!(c.stlb_miss_rate(), 0.10);
+        assert_eq!(c.translation_overhead(200), 0.25);
+        assert_eq!(c.memory_cycles(), 200);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = PerfCounters {
+            accesses: 10,
+            data_level_hits: [1, 2, 3, 4],
+            ..PerfCounters::default()
+        };
+        let b = PerfCounters {
+            accesses: 25,
+            data_level_hits: [2, 4, 6, 8],
+            ..PerfCounters::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.accesses, 15);
+        assert_eq!(d.data_level_hits, [1, 2, 3, 4]);
+    }
+}

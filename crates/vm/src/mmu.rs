@@ -1,0 +1,493 @@
+//! The per-core memory system: TLB hierarchy + page walker + data caches.
+
+use std::collections::HashMap;
+
+use graphmem_physmem::{NodeId, FRAME_SIZE};
+
+use crate::addr::{PageGeometry, PageSize, VirtAddr};
+use crate::cache::{CacheHierarchy, CacheLevel};
+use crate::config::MmuConfig;
+use crate::counters::PerfCounters;
+use crate::pagetable::{PageTable, WalkResult};
+use crate::pwc::PageWalkCaches;
+use crate::tlb::{SetAssocTlb, TlbEntry};
+
+/// How a data access was translated and serviced, with its cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCost {
+    /// Total cycles charged for the access (translation + data).
+    pub cycles: u64,
+    /// Cache level that serviced the data.
+    pub level: CacheLevel,
+    /// Whether translation needed a hardware page walk.
+    pub walked: bool,
+}
+
+/// A translation fault the OS must resolve before the access can retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting virtual address.
+    pub vaddr: VirtAddr,
+    /// What the walker found.
+    pub kind: FaultKind,
+    /// Cycles already burned discovering the fault (partial walk).
+    pub cycles: u64,
+}
+
+/// Cause of a [`Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No translation exists — first touch or unmapped.
+    NotMapped,
+    /// The page is swapped out; payload is the swap slot.
+    SwappedOut(u64),
+}
+
+/// The simulated MMU + cache front end of one core.
+///
+/// See the crate-level example for typical use. All state (TLBs, page-walk
+/// caches, data caches, counters) is owned here; the page table is passed by
+/// reference on each access because it belongs to the (OS-managed) process.
+#[derive(Debug)]
+pub struct MemorySystem {
+    geom: PageGeometry,
+    cfg: MmuConfig,
+    dtlb_base: SetAssocTlb,
+    dtlb_huge: SetAssocTlb,
+    stlb: SetAssocTlb,
+    pwc: PageWalkCaches,
+    caches: CacheHierarchy,
+    counters: PerfCounters,
+    /// Optional per-huge-page utilization bitmaps (which constituent base
+    /// pages have been touched), keyed by huge page number. Emulates the
+    /// access-bit scanning that Ingens/HawkEye-style policies rely on;
+    /// disabled (None) unless the OS turns it on.
+    utilization: Option<HashMap<u64, Vec<bool>>>,
+}
+
+impl MemorySystem {
+    /// Build a memory system from a configuration.
+    pub fn new(cfg: MmuConfig) -> Self {
+        let geom = PageGeometry::new(cfg.memcfg);
+        // Widths of a page table for this geometry determine PWC prefixes.
+        let pt = PageTable::new(0, cfg.memcfg);
+        let w = pt.level_widths();
+        let shifts = [w[1] + w[2] + w[3], w[2] + w[3], w[3]];
+        MemorySystem {
+            geom,
+            cfg,
+            dtlb_base: SetAssocTlb::new(cfg.tlb.dtlb_base.entries, cfg.tlb.dtlb_base.ways),
+            dtlb_huge: SetAssocTlb::new(cfg.tlb.dtlb_huge.entries, cfg.tlb.dtlb_huge.ways),
+            stlb: SetAssocTlb::new(cfg.tlb.stlb.entries, cfg.tlb.stlb.ways),
+            pwc: PageWalkCaches::new(cfg.pwc_entries, shifts),
+            caches: CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3),
+            counters: PerfCounters::new(),
+            utilization: None,
+        }
+    }
+
+    /// Enable per-huge-page utilization tracking (the simulated analogue of
+    /// scanning page-table accessed bits, as Ingens/HawkEye do). Costs a
+    /// little host time per access; simulated timing is unaffected.
+    pub fn track_utilization(&mut self, on: bool) {
+        self.utilization = if on { Some(HashMap::new()) } else { None };
+    }
+
+    /// Fraction of the huge page `hvpn`'s base pages that have been touched
+    /// since tracking began (None if tracking is off or never touched).
+    pub fn utilization_of(&self, hvpn: u64) -> Option<f64> {
+        let map = self.utilization.as_ref()?;
+        let bits = map.get(&hvpn)?;
+        Some(bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64)
+    }
+
+    /// The touched-bitmap of huge page `hvpn` (one flag per constituent
+    /// base page), if tracking is on and the page was ever accessed.
+    pub fn utilization_bitmap(&self, hvpn: u64) -> Option<Vec<bool>> {
+        self.utilization.as_ref()?.get(&hvpn).cloned()
+    }
+
+    /// Forget the utilization history of `hvpn` (after demotion/unmap).
+    pub fn clear_utilization(&mut self, hvpn: u64) {
+        if let Some(map) = &mut self.utilization {
+            map.remove(&hvpn);
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MmuConfig {
+        &self.cfg
+    }
+
+    /// Hardware counters accumulated so far.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Reset counters (the caches and TLBs keep their contents).
+    pub fn reset_counters(&mut self) {
+        self.counters = PerfCounters::new();
+    }
+
+    /// Perform one data access at `vaddr`.
+    ///
+    /// On success returns the cycle cost; on a translation fault returns
+    /// [`Fault`] (with the cycles burned so far) for the OS to handle, after
+    /// which the caller retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault`] when no present translation covers `vaddr`.
+    pub fn access(
+        &mut self,
+        pt: &PageTable,
+        vaddr: VirtAddr,
+        is_write: bool,
+    ) -> Result<AccessCost, Fault> {
+        self.counters.accesses += 1;
+        if is_write {
+            self.counters.writes += 1;
+        } else {
+            self.counters.reads += 1;
+        }
+
+        let mut cycles = 0u64;
+        let mut walked = false;
+
+        let entry = if let Some(e) = self.lookup_l1(vaddr) {
+            e
+        } else {
+            self.counters.dtlb_misses += 1;
+            if let Some(e) = self.lookup_stlb(vaddr) {
+                self.counters.stlb_hits += 1;
+                cycles += self.cfg.cost.stlb_hit_penalty;
+                self.counters.translation_cycles += self.cfg.cost.stlb_hit_penalty;
+                self.fill_l1(e);
+                e
+            } else {
+                self.counters.stlb_misses += 1;
+                walked = true;
+                match self.walk(pt, vaddr) {
+                    Ok((e, walk_cycles)) => {
+                        cycles += walk_cycles;
+                        self.fill_l1(e);
+                        self.stlb.insert(e);
+                        e
+                    }
+                    Err((kind, walk_cycles)) => {
+                        self.counters.faults += 1;
+                        return Err(Fault {
+                            vaddr,
+                            kind,
+                            cycles: cycles + walk_cycles,
+                        });
+                    }
+                }
+            }
+        };
+
+        if self.utilization.is_some() && entry.size == PageSize::Huge {
+            let frames = self.geom.frames(PageSize::Huge) as usize;
+            let sub = (vaddr.vpn() % frames as u64) as usize;
+            if let Some(map) = &mut self.utilization {
+                map.entry(entry.vpn).or_insert_with(|| vec![false; frames])[sub] = true;
+            }
+        }
+
+        // Data access through the cache hierarchy at the physical address.
+        let paddr = self.global_paddr(entry, vaddr);
+        let level = self.caches.access(paddr);
+        let remote = entry.node != self.cfg.local_node;
+        let data_cycles = self.cfg.cost.level_cycles(level, remote);
+        cycles += data_cycles;
+        self.counters.data_cycles += data_cycles;
+        self.counters.data_level_hits[match level {
+            CacheLevel::L1 => 0,
+            CacheLevel::L2 => 1,
+            CacheLevel::L3 => 2,
+            CacheLevel::Memory => 3,
+        }] += 1;
+
+        Ok(AccessCost {
+            cycles,
+            level,
+            walked,
+        })
+    }
+
+    fn lookup_l1(&mut self, vaddr: VirtAddr) -> Option<TlbEntry> {
+        let base_vpn = self.geom.page_number(vaddr, PageSize::Base);
+        if let Some(e) = self.dtlb_base.lookup(base_vpn, PageSize::Base) {
+            return Some(e);
+        }
+        let huge_vpn = self.geom.page_number(vaddr, PageSize::Huge);
+        self.dtlb_huge.lookup(huge_vpn, PageSize::Huge)
+    }
+
+    fn lookup_stlb(&mut self, vaddr: VirtAddr) -> Option<TlbEntry> {
+        let base_vpn = self.geom.page_number(vaddr, PageSize::Base);
+        if let Some(e) = self.stlb.lookup(base_vpn, PageSize::Base) {
+            return Some(e);
+        }
+        let huge_vpn = self.geom.page_number(vaddr, PageSize::Huge);
+        self.stlb.lookup(huge_vpn, PageSize::Huge)
+    }
+
+    fn fill_l1(&mut self, e: TlbEntry) {
+        match e.size {
+            PageSize::Base => self.dtlb_base.insert(e),
+            PageSize::Huge => self.dtlb_huge.insert(e),
+        }
+    }
+
+    /// Hardware page walk: consult the page-walk caches, charge each PTE
+    /// read through the data caches, and fill the PWCs on the way out.
+    fn walk(
+        &mut self,
+        pt: &PageTable,
+        vaddr: VirtAddr,
+    ) -> Result<(TlbEntry, u64), (FaultKind, u64)> {
+        let (path, result) = pt.walk_path(vaddr);
+        let vpn = vaddr.vpn();
+        // Levels that point at tables: all but the last path element.
+        let table_levels = path.len().saturating_sub(1);
+        let skip = match self.pwc.deepest_hit(vpn, table_levels) {
+            Some(level) => level + 1,
+            None => 0,
+        };
+        let mut cycles = self.cfg.cost.walk_base;
+        for (frame, offset, node) in path.iter().skip(skip) {
+            let paddr = Self::compose_paddr(*node, *frame, *offset);
+            let level = self.caches.access(paddr);
+            let remote = *node != self.cfg.local_node;
+            cycles += self.cfg.cost.level_cycles(level, remote);
+            self.counters.walk_pte_reads += 1;
+        }
+        self.counters.translation_cycles += cycles;
+        match result {
+            WalkResult::Mapped(leaf) => {
+                self.pwc.fill(vpn, table_levels);
+                let entry = TlbEntry {
+                    vpn: self.geom.page_number(vaddr, leaf.size),
+                    size: leaf.size,
+                    frame: leaf.frame,
+                    node: leaf.node,
+                };
+                Ok((entry, cycles))
+            }
+            WalkResult::NotMapped => Err((FaultKind::NotMapped, cycles)),
+            WalkResult::Swapped(slot) => Err((FaultKind::SwappedOut(slot), cycles)),
+        }
+    }
+
+    /// Synthesize a globally unique physical address for cache indexing
+    /// from a (node, zone-local frame) pair.
+    fn compose_paddr(node: NodeId, frame: u64, offset: u64) -> u64 {
+        const NODE_SPAN_FRAMES: u64 = 1 << 26; // 256 GiB per node
+        (node as u64 * NODE_SPAN_FRAMES + frame) * FRAME_SIZE + offset
+    }
+
+    fn global_paddr(&self, entry: TlbEntry, vaddr: VirtAddr) -> u64 {
+        let page_bytes = self.geom.bytes(entry.size);
+        let offset = vaddr.0 & (page_bytes - 1);
+        Self::compose_paddr(entry.node, entry.frame, 0) + offset
+    }
+
+    /// Invalidate any TLB and paging-structure-cache entries covering
+    /// `vaddr` at `size` (single-page shootdown, e.g. after migration).
+    pub fn invalidate_page(&mut self, vaddr: VirtAddr, size: PageSize) {
+        let vpn = self.geom.page_number(vaddr, size);
+        match size {
+            PageSize::Base => {
+                self.dtlb_base.invalidate(vpn, PageSize::Base);
+                self.stlb.invalidate(vpn, PageSize::Base);
+            }
+            PageSize::Huge => {
+                self.dtlb_huge.invalidate(vpn, PageSize::Huge);
+                self.stlb.invalidate(vpn, PageSize::Huge);
+            }
+        }
+        self.pwc.invalidate_leaf_dir(vaddr.vpn());
+    }
+
+    /// Full TLB + paging-structure-cache shootdown (bulk remappings:
+    /// promotion, demotion, compaction sweeps).
+    pub fn flush_tlb(&mut self) {
+        self.dtlb_base.flush();
+        self.dtlb_huge.flush();
+        self.stlb.flush();
+        self.pwc.flush();
+    }
+
+    /// Data cache hit/miss statistics per level (L1→L3).
+    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+        self.caches.level_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_physmem::{MemConfig, Owner, Zone};
+
+    struct Rig {
+        zone: Zone,
+        pt: PageTable,
+        mmu: MemorySystem,
+    }
+
+    fn rig(order: u8) -> Rig {
+        let memcfg = MemConfig::with_huge_order(order);
+        Rig {
+            zone: Zone::new(1, 256 * memcfg.huge_frames(), memcfg),
+            pt: PageTable::new(1, memcfg),
+            mmu: MemorySystem::new(MmuConfig::haswell(memcfg)),
+        }
+    }
+
+    fn map_base(r: &mut Rig, vaddr: u64) -> u64 {
+        let f = r.zone.alloc_frame(Owner::user()).unwrap();
+        let zone = &mut r.zone;
+        r.pt.map(VirtAddr(vaddr), PageSize::Base, f, 1, &mut || {
+            zone.alloc_frame(Owner::Kernel)
+        })
+        .unwrap();
+        f
+    }
+
+    #[test]
+    fn unmapped_access_faults_with_cycles() {
+        let mut r = rig(9);
+        let err = r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NotMapped);
+        assert_eq!(r.mmu.counters().faults, 1);
+        // Empty root: no PTE reads possible, zero walk cycles is fine.
+        map_base(&mut r, 0x1000);
+        let err2 = r.mmu.access(&r.pt, VirtAddr(0x2000), false).unwrap_err();
+        // Now the walk reads real PTEs before discovering the hole.
+        assert!(err2.cycles > 0);
+    }
+
+    #[test]
+    fn second_access_hits_dtlb() {
+        let mut r = rig(9);
+        map_base(&mut r, 0x5000);
+        let first = r.mmu.access(&r.pt, VirtAddr(0x5000), false).unwrap();
+        assert!(first.walked);
+        let second = r.mmu.access(&r.pt, VirtAddr(0x5100), true).unwrap();
+        assert!(!second.walked);
+        assert!(second.cycles < first.cycles);
+        let c = r.mmu.counters();
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.dtlb_misses, 1);
+        assert_eq!(c.stlb_misses, 1);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.writes, 1);
+    }
+
+    #[test]
+    fn dtlb_capacity_evictions_hit_stlb() {
+        let mut r = rig(9);
+        // Map enough pages to overflow the 64-entry L1 DTLB but stay well
+        // inside the 1024-entry STLB.
+        for i in 0..256u64 {
+            map_base(&mut r, i * 4096);
+        }
+        // Touch all pages once (cold walks), then again (DTLB misses that
+        // hit STLB for most).
+        for i in 0..256u64 {
+            r.mmu.access(&r.pt, VirtAddr(i * 4096), false).unwrap();
+        }
+        let walks_cold = r.mmu.counters().stlb_misses;
+        assert_eq!(walks_cold, 256);
+        for i in 0..256u64 {
+            r.mmu.access(&r.pt, VirtAddr(i * 4096), false).unwrap();
+        }
+        let c = r.mmu.counters();
+        assert_eq!(c.stlb_misses, 256, "second sweep must not walk");
+        assert!(c.stlb_hits > 150, "most second-sweep misses hit STLB");
+    }
+
+    #[test]
+    fn huge_mapping_uses_huge_dtlb_and_covers_region() {
+        let mut r = rig(9);
+        let cfg = r.zone.config();
+        let hr = r.zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let hv = VirtAddr(cfg.huge_bytes() * 4);
+        let zone = &mut r.zone;
+        r.pt.map(hv, PageSize::Huge, hr.base, 1, &mut || {
+            zone.alloc_frame(Owner::Kernel)
+        })
+        .unwrap();
+        r.mmu.access(&r.pt, hv, false).unwrap();
+        // Any address within the huge page hits the DTLB now.
+        let far = hv.add(cfg.huge_bytes() - 64);
+        let cost = r.mmu.access(&r.pt, far, false).unwrap();
+        assert!(!cost.walked);
+        assert_eq!(r.mmu.counters().dtlb_misses, 1);
+    }
+
+    #[test]
+    fn swapped_page_faults_with_slot() {
+        let mut r = rig(9);
+        map_base(&mut r, 0x3000);
+        r.pt.set_swapped(VirtAddr(0x3000), 55).unwrap();
+        let err = r.mmu.access(&r.pt, VirtAddr(0x3000), false).unwrap_err();
+        assert_eq!(err.kind, FaultKind::SwappedOut(55));
+    }
+
+    #[test]
+    fn stale_tlb_after_remap_requires_invalidate() {
+        let mut r = rig(9);
+        map_base(&mut r, 0x9000);
+        r.mmu.access(&r.pt, VirtAddr(0x9000), false).unwrap();
+        // Unmap behind the TLB's back: access still "hits" (stale), which is
+        // why the OS must shoot down.
+        r.pt.unmap(VirtAddr(0x9000)).unwrap();
+        assert!(r.mmu.access(&r.pt, VirtAddr(0x9000), false).is_ok());
+        r.mmu.invalidate_page(VirtAddr(0x9000), PageSize::Base);
+        assert!(r.mmu.access(&r.pt, VirtAddr(0x9000), false).is_err());
+    }
+
+    #[test]
+    fn flush_tlb_forces_walks() {
+        let mut r = rig(9);
+        map_base(&mut r, 0x1000);
+        r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap();
+        r.mmu.flush_tlb();
+        let cost = r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap();
+        assert!(cost.walked);
+    }
+
+    #[test]
+    fn pwc_shortens_neighbouring_walks() {
+        let mut r = rig(9);
+        map_base(&mut r, 0x0000);
+        map_base(&mut r, 0x1000);
+        r.mmu.access(&r.pt, VirtAddr(0x0000), false).unwrap();
+        let reads_after_first = r.mmu.counters().walk_pte_reads;
+        assert_eq!(reads_after_first, 4);
+        r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap();
+        // Second walk skips the three upper levels via the PDE cache.
+        assert_eq!(r.mmu.counters().walk_pte_reads, reads_after_first + 1);
+    }
+
+    #[test]
+    fn remote_data_costs_more_than_local() {
+        let memcfg = MemConfig::default();
+        let mut zone0 = Zone::new(0, 1024, memcfg);
+        let mut pt = PageTable::new(0, memcfg);
+        let mut mmu = MemorySystem::new(MmuConfig::haswell(memcfg)); // local node 1
+        let f = zone0.alloc_frame(Owner::user()).unwrap();
+        pt.map(VirtAddr(0x1000), PageSize::Base, f, 0, &mut || {
+            zone0.alloc_frame(Owner::Kernel)
+        })
+        .unwrap();
+        let remote_cost = mmu.access(&pt, VirtAddr(0x1000), false).unwrap();
+        // Compare against a local-node mapping of the same shape.
+        let mut rloc = rig(9);
+        map_base(&mut rloc, 0x1000);
+        let local_cost = rloc.mmu.access(&rloc.pt, VirtAddr(0x1000), false).unwrap();
+        assert!(remote_cost.cycles > local_cost.cycles);
+    }
+}

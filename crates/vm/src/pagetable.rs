@@ -1,0 +1,930 @@
+//! Multi-level radix page tables whose table pages live in simulated
+//! physical memory.
+//!
+//! The layout generalizes the x86-64 4-level table: the leaf level covers
+//! `huge_order` bits so that a huge page is exactly one entry at the
+//! next-to-leaf level, and the remaining VPN bits are split evenly across
+//! three upper levels. With the real 2 MiB configuration this degenerates to
+//! the textbook 9-9-9-9 x86-64 layout.
+//!
+//! Table pages are allocated through a caller-supplied allocator (the
+//! simulated OS passes a closure that takes kernel frames from the buddy
+//! allocator), so page tables themselves consume — and fragment — simulated
+//! physical memory, as they do on a real machine.
+
+use graphmem_physmem::{Frame, MemConfig, NodeId, FRAME_SIZE};
+
+use crate::addr::{PageGeometry, PageSize, VirtAddr, BASE_SHIFT};
+
+/// Virtual address bits (x86-64 canonical user space).
+pub const VADDR_BITS: u8 = 48;
+
+const PTE_BYTES: u64 = 8;
+
+/// A present translation: the physical placement of one mapped page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leaf {
+    /// First base frame of the backing physical page.
+    pub frame: Frame,
+    /// NUMA node of the backing frames.
+    pub node: NodeId,
+    /// Size class of the mapping.
+    pub size: PageSize,
+}
+
+/// Result of software-walking an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkResult {
+    /// The address is mapped.
+    Mapped(Leaf),
+    /// No translation exists (never touched, or unmapped).
+    NotMapped,
+    /// The page was swapped out; the payload is the swap slot id.
+    Swapped(u64),
+}
+
+/// Errors from [`PageTable::map`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// A translation already exists for this address.
+    AlreadyMapped,
+    /// The table-page allocator returned `None` (simulated OOM).
+    OutOfTableMemory,
+    /// The virtual address is not aligned to the requested page size.
+    Misaligned,
+    /// No translation exists where one was required.
+    NotMapped,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MapError::AlreadyMapped => "translation already exists",
+            MapError::OutOfTableMemory => "out of memory for page-table pages",
+            MapError::Misaligned => "virtual address misaligned for page size",
+            MapError::NotMapped => "no translation exists",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Debug)]
+enum Entry {
+    Empty,
+    Table(Box<Node>),
+    Leaf(Leaf),
+    /// Swapped-out base page (huge pages are demoted before swap-out).
+    Swapped(u64),
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Frames backing this table (kernel memory).
+    frames: Vec<Frame>,
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn pte_paddr_frame(&self, index: usize) -> (Frame, u64) {
+        let byte = index as u64 * PTE_BYTES;
+        let frame = self.frames[(byte / FRAME_SIZE) as usize];
+        (frame, byte % FRAME_SIZE)
+    }
+}
+
+/// A process page table.
+#[derive(Debug)]
+pub struct PageTable {
+    node: NodeId,
+    geom: PageGeometry,
+    /// Entry-index bit widths, root (level 0) to leaf (level 3).
+    widths: [u8; 4],
+    root: Node,
+    /// Total frames consumed by table pages.
+    table_frames: u64,
+}
+
+/// A table-page allocator: returns one kernel frame or `None` on OOM.
+pub type TableAlloc<'a> = dyn FnMut() -> Option<Frame> + 'a;
+
+impl PageTable {
+    /// Create an empty page table on NUMA `node`.
+    ///
+    /// The root table is lazily backed: its frames are taken from the first
+    /// `map` call's allocator, so constructing a table never fails.
+    pub fn new(node: NodeId, cfg: MemConfig) -> Self {
+        let geom = PageGeometry::new(cfg);
+        let leaf_width = cfg.huge_order;
+        let rem = VADDR_BITS - BASE_SHIFT - leaf_width;
+        let w1 = rem / 3;
+        let w2 = rem / 3;
+        let w0 = rem - w1 - w2;
+        PageTable {
+            node,
+            geom,
+            widths: [w0, w1, w2, leaf_width],
+            root: Node {
+                frames: Vec::new(),
+                entries: Vec::new(),
+            },
+            table_frames: 0,
+        }
+    }
+
+    /// NUMA node table pages are allocated on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Page geometry in effect.
+    pub fn geometry(&self) -> PageGeometry {
+        self.geom
+    }
+
+    /// Entry-index widths per level, root first. The x86-64 configuration
+    /// yields `[9, 9, 9, 9]`.
+    pub fn level_widths(&self) -> [u8; 4] {
+        self.widths
+    }
+
+    /// Frames currently consumed by table pages.
+    pub fn table_frames(&self) -> u64 {
+        self.table_frames
+    }
+
+    fn entries_at(&self, level: usize) -> usize {
+        1usize << self.widths[level]
+    }
+
+    fn frames_for_level(&self, level: usize) -> u64 {
+        ((self.entries_at(level) as u64) * PTE_BYTES).div_ceil(FRAME_SIZE)
+    }
+
+    /// Bits of VPN covered below (not including) `level`'s index.
+    fn shift_below(&self, level: usize) -> u8 {
+        self.widths[level + 1..].iter().sum()
+    }
+
+    fn index(&self, vaddr: VirtAddr, level: usize) -> usize {
+        let vpn = vaddr.vpn();
+        ((vpn >> self.shift_below(level)) & ((1u64 << self.widths[level]) - 1)) as usize
+    }
+
+    /// Depth at which a leaf of `size` lives (entry level index).
+    fn leaf_level(&self, size: PageSize) -> usize {
+        match size {
+            PageSize::Base => 3,
+            PageSize::Huge => 2,
+        }
+    }
+
+    fn ensure_backed(
+        node: &mut Node,
+        entries: usize,
+        frames_needed: u64,
+        alloc: &mut TableAlloc<'_>,
+        table_frames: &mut u64,
+    ) -> Result<(), MapError> {
+        if !node.entries.is_empty() {
+            return Ok(());
+        }
+        let mut frames = Vec::with_capacity(frames_needed as usize);
+        for _ in 0..frames_needed {
+            match alloc() {
+                Some(f) => frames.push(f),
+                None => return Err(MapError::OutOfTableMemory),
+            }
+        }
+        *table_frames += frames_needed;
+        node.frames = frames;
+        node.entries = (0..entries).map(|_| Entry::Empty).collect();
+        Ok(())
+    }
+
+    /// Map `vaddr` (aligned to `size`) to the page starting at `frame` on
+    /// NUMA node `frame_node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::Misaligned`] — `vaddr` not aligned to the page size.
+    /// * [`MapError::AlreadyMapped`] — a translation (or swap entry) exists.
+    /// * [`MapError::OutOfTableMemory`] — `alloc` failed.
+    pub fn map(
+        &mut self,
+        vaddr: VirtAddr,
+        size: PageSize,
+        frame: Frame,
+        frame_node: NodeId,
+        alloc: &mut TableAlloc<'_>,
+    ) -> Result<(), MapError> {
+        if !vaddr.is_aligned(self.geom.bytes(size)) {
+            return Err(MapError::Misaligned);
+        }
+        let leaf_level = self.leaf_level(size);
+        let widths = self.widths;
+        let geom_entries: Vec<usize> = (0..4).map(|l| 1usize << widths[l]).collect();
+        let frames_per: Vec<u64> = (0..4).map(|l| self.frames_for_level(l)).collect();
+        let mut table_frames = self.table_frames;
+
+        // Manual descent to keep the borrow checker happy.
+        let mut level = 0usize;
+        let mut node = &mut self.root;
+        Self::ensure_backed(
+            node,
+            geom_entries[0],
+            frames_per[0],
+            alloc,
+            &mut table_frames,
+        )?;
+        let result = loop {
+            let idx = {
+                let vpn = vaddr.vpn();
+                let below: u8 = widths[level + 1..].iter().sum();
+                ((vpn >> below) & ((1u64 << widths[level]) - 1)) as usize
+            };
+            if level == leaf_level {
+                match node.entries[idx] {
+                    Entry::Empty => {
+                        node.entries[idx] = Entry::Leaf(Leaf {
+                            frame,
+                            node: frame_node,
+                            size,
+                        });
+                        break Ok(());
+                    }
+                    _ => break Err(MapError::AlreadyMapped),
+                }
+            }
+            match node.entries[idx] {
+                Entry::Empty => {
+                    node.entries[idx] = Entry::Table(Box::new(Node {
+                        frames: Vec::new(),
+                        entries: Vec::new(),
+                    }));
+                }
+                Entry::Table(_) => {}
+                _ => break Err(MapError::AlreadyMapped),
+            }
+            let Entry::Table(child) = &mut node.entries[idx] else {
+                unreachable!()
+            };
+            level += 1;
+            Self::ensure_backed(
+                child,
+                geom_entries[level],
+                frames_per[level],
+                alloc,
+                &mut table_frames,
+            )?;
+            node = child;
+        };
+        self.table_frames = table_frames;
+        result
+    }
+
+    fn entry_for(&self, vaddr: VirtAddr) -> Option<(&Entry, usize)> {
+        let mut node = &self.root;
+        if node.entries.is_empty() {
+            return None;
+        }
+        for level in 0..4 {
+            let idx = self.index(vaddr, level);
+            match &node.entries[idx] {
+                Entry::Table(child) => {
+                    if child.entries.is_empty() {
+                        return None;
+                    }
+                    node = child;
+                }
+                e => return Some((e, level)),
+            }
+        }
+        None
+    }
+
+    fn entry_for_mut(&mut self, vaddr: VirtAddr) -> Option<(&mut Entry, usize)> {
+        let widths = self.widths;
+        let vpn = vaddr.vpn();
+        let mut node = &mut self.root;
+        if node.entries.is_empty() {
+            return None;
+        }
+        for level in 0..4 {
+            let below: u8 = widths[level + 1..].iter().sum();
+            let idx = ((vpn >> below) & ((1u64 << widths[level]) - 1)) as usize;
+            // Split borrow via match on indexing each iteration.
+            if matches!(node.entries[idx], Entry::Table(_)) {
+                let Entry::Table(child) = &mut node.entries[idx] else {
+                    unreachable!()
+                };
+                if child.entries.is_empty() {
+                    return None;
+                }
+                node = child;
+            } else {
+                return Some((&mut node.entries[idx], level));
+            }
+        }
+        None
+    }
+
+    /// Frames one leaf table occupies — the size of the pgtable *deposit*
+    /// the OS reserves at THP-fault time so a later split never allocates.
+    pub fn leaf_table_frames(&self) -> u64 {
+        self.frames_for_level(3)
+    }
+
+    /// How many table frames a `map(vaddr, size, ..)` would need to
+    /// allocate right now (0 if all intermediate tables already exist).
+    /// Lets the OS pre-flight memory before mapping.
+    pub fn tables_needed(&self, vaddr: VirtAddr, size: PageSize) -> u64 {
+        let leaf_level = self.leaf_level(size);
+        let all_from =
+            |level: usize| -> u64 { (level..=leaf_level).map(|l| self.frames_for_level(l)).sum() };
+        let mut node = &self.root;
+        for level in 0..=leaf_level {
+            if node.entries.is_empty() {
+                return all_from(level);
+            }
+            if level == leaf_level {
+                return 0;
+            }
+            let idx = self.index(vaddr, level);
+            match &node.entries[idx] {
+                Entry::Table(child) => node = child,
+                Entry::Empty => return all_from(level + 1),
+                _ => return 0, // map will fail with AlreadyMapped anyway
+            }
+        }
+        0
+    }
+
+    /// The level-2 ("leaf directory") entry covering `vaddr`, i.e. the slot
+    /// where a huge leaf or the pointer to a leaf table lives.
+    fn dir_entry_mut(&mut self, vaddr: VirtAddr) -> Option<&mut Entry> {
+        let widths = self.widths;
+        let vpn = vaddr.vpn();
+        let mut node = &mut self.root;
+        for level in 0..2 {
+            if node.entries.is_empty() {
+                return None;
+            }
+            let below: u8 = widths[level + 1..].iter().sum();
+            let idx = ((vpn >> below) & ((1u64 << widths[level]) - 1)) as usize;
+            match &mut node.entries[idx] {
+                Entry::Table(child) => node = child,
+                _ => return None,
+            }
+        }
+        if node.entries.is_empty() {
+            return None;
+        }
+        let below: u8 = widths[3];
+        let idx = ((vpn >> below) & ((1u64 << widths[2]) - 1)) as usize;
+        Some(&mut node.entries[idx])
+    }
+
+    /// Software walk: what does `vaddr` translate to?
+    pub fn walk(&self, vaddr: VirtAddr) -> WalkResult {
+        match self.entry_for(vaddr) {
+            Some((Entry::Leaf(l), _)) => WalkResult::Mapped(*l),
+            Some((Entry::Swapped(slot), _)) => WalkResult::Swapped(*slot),
+            _ => WalkResult::NotMapped,
+        }
+    }
+
+    /// Hardware-walk path: the physical locations (frame, offset-in-frame)
+    /// of each PTE a hardware walker reads for `vaddr`, topmost first,
+    /// together with the walk result. Used by the MMU to charge PTE reads
+    /// through the cache hierarchy.
+    pub fn walk_path(&self, vaddr: VirtAddr) -> (Vec<(Frame, u64, NodeId)>, WalkResult) {
+        let mut path = Vec::with_capacity(4);
+        let mut node = &self.root;
+        if node.entries.is_empty() {
+            return (path, WalkResult::NotMapped);
+        }
+        for level in 0..4 {
+            let idx = self.index(vaddr, level);
+            let (f, off) = node.pte_paddr_frame(idx);
+            path.push((f, off, self.node));
+            match &node.entries[idx] {
+                Entry::Table(child) => {
+                    if child.entries.is_empty() {
+                        return (path, WalkResult::NotMapped);
+                    }
+                    node = child;
+                }
+                Entry::Leaf(l) => return (path, WalkResult::Mapped(*l)),
+                Entry::Swapped(slot) => return (path, WalkResult::Swapped(*slot)),
+                Entry::Empty => return (path, WalkResult::NotMapped),
+            }
+        }
+        (path, WalkResult::NotMapped)
+    }
+
+    /// Remove the translation for `vaddr`, returning its leaf.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if no present translation exists.
+    pub fn unmap(&mut self, vaddr: VirtAddr) -> Result<Leaf, MapError> {
+        match self.entry_for_mut(vaddr) {
+            Some((e @ Entry::Leaf(_), _)) => {
+                let Entry::Leaf(leaf) = std::mem::replace(e, Entry::Empty) else {
+                    unreachable!()
+                };
+                Ok(leaf)
+            }
+            _ => Err(MapError::NotMapped),
+        }
+    }
+
+    /// Point an existing **base** translation at a new frame (page
+    /// migration). The caller is responsible for the TLB shootdown.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if the address is not mapped by a base page.
+    pub fn remap(
+        &mut self,
+        vaddr: VirtAddr,
+        new_frame: Frame,
+        frame_node: NodeId,
+    ) -> Result<Leaf, MapError> {
+        match self.entry_for_mut(vaddr) {
+            Some((Entry::Leaf(leaf), _)) if leaf.size == PageSize::Base => {
+                let old = *leaf;
+                leaf.frame = new_frame;
+                leaf.node = frame_node;
+                Ok(old)
+            }
+            _ => Err(MapError::NotMapped),
+        }
+    }
+
+    /// Replace a present **base** translation with a swap marker.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if the address is not mapped by a base page
+    /// (huge pages must be demoted before swap-out).
+    pub fn set_swapped(&mut self, vaddr: VirtAddr, slot: u64) -> Result<Leaf, MapError> {
+        match self.entry_for_mut(vaddr) {
+            Some((e @ Entry::Leaf(_), _)) => {
+                let Entry::Leaf(leaf) = *e else {
+                    unreachable!()
+                };
+                if leaf.size != PageSize::Base {
+                    return Err(MapError::NotMapped);
+                }
+                *e = Entry::Swapped(slot);
+                Ok(leaf)
+            }
+            _ => Err(MapError::NotMapped),
+        }
+    }
+
+    /// Replace a swap marker with a present base translation (swap-in).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if the address holds no swap marker.
+    pub fn restore_swapped(
+        &mut self,
+        vaddr: VirtAddr,
+        frame: Frame,
+        frame_node: NodeId,
+    ) -> Result<(), MapError> {
+        match self.entry_for_mut(vaddr) {
+            Some((e @ Entry::Swapped(_), _)) => {
+                *e = Entry::Leaf(Leaf {
+                    frame,
+                    node: frame_node,
+                    size: PageSize::Base,
+                });
+                Ok(())
+            }
+            _ => Err(MapError::NotMapped),
+        }
+    }
+
+    /// Demote the huge mapping covering `vaddr` into base mappings of its
+    /// constituent frames. The new leaf table's pages come from `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::NotMapped`] — no huge mapping covers `vaddr`.
+    /// * [`MapError::OutOfTableMemory`] — `alloc` failed.
+    pub fn demote(
+        &mut self,
+        vaddr: VirtAddr,
+        alloc: &mut TableAlloc<'_>,
+    ) -> Result<Leaf, MapError> {
+        let huge_bytes = self.geom.bytes(PageSize::Huge);
+        let base = vaddr.align_down(huge_bytes);
+        let leaf_entries = self.entries_at(3);
+        let frames_needed = self.frames_for_level(3);
+        let mut table_frames = self.table_frames;
+
+        let entry = match self.entry_for_mut(base) {
+            Some((e, 2))
+                if matches!(
+                    e,
+                    Entry::Leaf(Leaf {
+                        size: PageSize::Huge,
+                        ..
+                    })
+                ) =>
+            {
+                e
+            }
+            _ => return Err(MapError::NotMapped),
+        };
+        let Entry::Leaf(old) = *entry else {
+            unreachable!()
+        };
+        let mut frames = Vec::with_capacity(frames_needed as usize);
+        for _ in 0..frames_needed {
+            match alloc() {
+                Some(f) => frames.push(f),
+                None => return Err(MapError::OutOfTableMemory),
+            }
+        }
+        table_frames += frames_needed;
+        let entries = (0..leaf_entries)
+            .map(|i| {
+                Entry::Leaf(Leaf {
+                    frame: old.frame + i as u64,
+                    node: old.node,
+                    size: PageSize::Base,
+                })
+            })
+            .collect();
+        *entry = Entry::Table(Box::new(Node { frames, entries }));
+        self.table_frames = table_frames;
+        Ok(old)
+    }
+
+    /// Promote the huge-aligned region at `vaddr` to a huge mapping backed
+    /// by `new_frame`: replaces the leaf table with a huge leaf. Returns the
+    /// previous base leaves (for the OS to copy from and free) and the freed
+    /// table frames.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] unless *every* slot of the region holds a
+    /// present base mapping (Linux khugepaged also requires this unless it
+    /// allocates fill pages; our OS pre-populates instead).
+    pub fn promote(
+        &mut self,
+        vaddr: VirtAddr,
+        new_frame: Frame,
+        frame_node: NodeId,
+    ) -> Result<(Vec<Leaf>, Vec<Frame>), MapError> {
+        let huge_bytes = self.geom.bytes(PageSize::Huge);
+        let base = vaddr.align_down(huge_bytes);
+        let entry = match self.dir_entry_mut(base) {
+            Some(e @ Entry::Table(_)) => e,
+            _ => return Err(MapError::NotMapped),
+        };
+        let Entry::Table(node) = entry else {
+            unreachable!()
+        };
+        let mut old = Vec::with_capacity(node.entries.len());
+        for e in &node.entries {
+            match e {
+                Entry::Leaf(l) if l.size == PageSize::Base => old.push(*l),
+                _ => return Err(MapError::NotMapped),
+            }
+        }
+        let Entry::Table(node) = std::mem::replace(
+            entry,
+            Entry::Leaf(Leaf {
+                frame: new_frame,
+                node: frame_node,
+                size: PageSize::Huge,
+            }),
+        ) else {
+            unreachable!()
+        };
+        self.table_frames -= node.frames.len() as u64;
+        Ok((old, node.frames))
+    }
+
+    /// Visit every present mapping in `[start, end)` as `(vaddr, leaf)`.
+    pub fn for_each_mapped(
+        &self,
+        start: VirtAddr,
+        end: VirtAddr,
+        f: &mut dyn FnMut(VirtAddr, Leaf),
+    ) {
+        self.visit(&self.root, 0, 0, start.0, end.0, f);
+    }
+
+    fn visit(
+        &self,
+        node: &Node,
+        level: usize,
+        prefix: u64,
+        start: u64,
+        end: u64,
+        f: &mut dyn FnMut(VirtAddr, Leaf),
+    ) {
+        if node.entries.is_empty() {
+            return;
+        }
+        let below_bits = self.shift_below(level) + BASE_SHIFT;
+        for (idx, e) in node.entries.iter().enumerate() {
+            let lo = prefix | ((idx as u64) << below_bits);
+            let hi = lo + (1u64 << below_bits);
+            if hi <= start || lo >= end {
+                continue;
+            }
+            match e {
+                Entry::Empty | Entry::Swapped(_) => {}
+                Entry::Leaf(l) => f(VirtAddr(lo), *l),
+                Entry::Table(child) => self.visit(child, level + 1, lo, start, end, f),
+            }
+        }
+    }
+
+    /// Count present base and huge mappings in `[start, end)`.
+    pub fn count_mapped(&self, start: VirtAddr, end: VirtAddr) -> (u64, u64) {
+        let (mut base, mut huge) = (0, 0);
+        self.for_each_mapped(start, end, &mut |_, l| match l.size {
+            PageSize::Base => base += 1,
+            PageSize::Huge => huge += 1,
+        });
+        (base, huge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_physmem::{Owner, Zone};
+
+    fn setup(order: u8) -> (Zone, PageTable) {
+        let cfg = MemConfig::with_huge_order(order);
+        let zone = Zone::new(0, 64 * cfg.huge_frames(), cfg);
+        let pt = PageTable::new(0, cfg);
+        (zone, pt)
+    }
+
+    fn kalloc(zone: &mut Zone) -> impl FnMut() -> Option<Frame> + '_ {
+        move || zone.alloc_frame(Owner::Kernel)
+    }
+
+    #[test]
+    fn widths_match_x86_for_real_config() {
+        let pt = PageTable::new(0, MemConfig::default());
+        assert_eq!(pt.level_widths(), [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn widths_cover_vaddr_for_scaled_config() {
+        for order in 1..=10 {
+            let pt = PageTable::new(0, MemConfig::with_huge_order(order));
+            let total: u8 = pt.level_widths().iter().sum();
+            assert_eq!(total, VADDR_BITS - BASE_SHIFT);
+            assert_eq!(pt.level_widths()[3], order);
+        }
+    }
+
+    #[test]
+    fn map_walk_unmap_base_page() {
+        let (mut zone, mut pt) = setup(9);
+        let frame = zone.alloc_frame(Owner::user()).unwrap();
+        pt.map(
+            VirtAddr(0x7000),
+            PageSize::Base,
+            frame,
+            0,
+            &mut kalloc(&mut zone),
+        )
+        .unwrap();
+        match pt.walk(VirtAddr(0x7abc)) {
+            WalkResult::Mapped(l) => {
+                assert_eq!(l.frame, frame);
+                assert_eq!(l.size, PageSize::Base);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(pt.walk(VirtAddr(0x8000)), WalkResult::NotMapped);
+        let leaf = pt.unmap(VirtAddr(0x7000)).unwrap();
+        assert_eq!(leaf.frame, frame);
+        assert_eq!(pt.walk(VirtAddr(0x7000)), WalkResult::NotMapped);
+    }
+
+    #[test]
+    fn map_huge_page_and_walk_interior() {
+        let (mut zone, mut pt) = setup(9);
+        let cfg = zone.config();
+        let range = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let huge_bytes = 2 * 1024 * 1024;
+        pt.map(
+            VirtAddr(huge_bytes),
+            PageSize::Huge,
+            range.base,
+            0,
+            &mut kalloc(&mut zone),
+        )
+        .unwrap();
+        match pt.walk(VirtAddr(huge_bytes + 123456)) {
+            WalkResult::Mapped(l) => assert_eq!(l.size, PageSize::Huge),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_huge_map_fails() {
+        let (mut zone, mut pt) = setup(9);
+        let err = pt
+            .map(
+                VirtAddr(0x1000),
+                PageSize::Huge,
+                0,
+                0,
+                &mut kalloc(&mut zone),
+            )
+            .unwrap_err();
+        assert_eq!(err, MapError::Misaligned);
+    }
+
+    #[test]
+    fn double_map_fails() {
+        let (mut zone, mut pt) = setup(9);
+        pt.map(VirtAddr(0), PageSize::Base, 1, 0, &mut kalloc(&mut zone))
+            .unwrap();
+        assert_eq!(
+            pt.map(VirtAddr(0), PageSize::Base, 2, 0, &mut kalloc(&mut zone)),
+            Err(MapError::AlreadyMapped)
+        );
+    }
+
+    #[test]
+    fn table_oom_is_reported() {
+        let cfg = MemConfig::default();
+        let mut pt = PageTable::new(0, cfg);
+        let mut alloc = || None;
+        assert_eq!(
+            pt.map(VirtAddr(0), PageSize::Base, 1, 0, &mut alloc),
+            Err(MapError::OutOfTableMemory)
+        );
+    }
+
+    #[test]
+    fn walk_path_has_4_levels_for_base_3_for_huge() {
+        let (mut zone, mut pt) = setup(9);
+        let f = zone.alloc_frame(Owner::user()).unwrap();
+        pt.map(
+            VirtAddr(0x1000),
+            PageSize::Base,
+            f,
+            0,
+            &mut kalloc(&mut zone),
+        )
+        .unwrap();
+        let (path, res) = pt.walk_path(VirtAddr(0x1000));
+        assert_eq!(path.len(), 4);
+        assert!(matches!(res, WalkResult::Mapped(_)));
+
+        let cfg = zone.config();
+        let hr = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let hv = VirtAddr(1u64 << 30);
+        pt.map(hv, PageSize::Huge, hr.base, 0, &mut kalloc(&mut zone))
+            .unwrap();
+        let (path, res) = pt.walk_path(hv);
+        assert_eq!(path.len(), 3);
+        assert!(matches!(res, WalkResult::Mapped(_)));
+    }
+
+    #[test]
+    fn page_tables_consume_zone_frames() {
+        let (mut zone, mut pt) = setup(9);
+        let before = zone.free_frames();
+        let f = zone.alloc_frame(Owner::user()).unwrap();
+        pt.map(
+            VirtAddr(0x1000),
+            PageSize::Base,
+            f,
+            0,
+            &mut kalloc(&mut zone),
+        )
+        .unwrap();
+        // 4 table pages + 1 data page.
+        assert_eq!(pt.table_frames(), 4);
+        assert_eq!(zone.free_frames(), before - 5);
+    }
+
+    #[test]
+    fn swap_roundtrip() {
+        let (mut zone, mut pt) = setup(9);
+        let f = zone.alloc_frame(Owner::user()).unwrap();
+        let v = VirtAddr(0x4000);
+        pt.map(v, PageSize::Base, f, 0, &mut kalloc(&mut zone))
+            .unwrap();
+        let leaf = pt.set_swapped(v, 7).unwrap();
+        assert_eq!(leaf.frame, f);
+        assert_eq!(pt.walk(v), WalkResult::Swapped(7));
+        pt.restore_swapped(v, 42, 0).unwrap();
+        assert_eq!(
+            pt.walk(v),
+            WalkResult::Mapped(Leaf {
+                frame: 42,
+                node: 0,
+                size: PageSize::Base
+            })
+        );
+    }
+
+    #[test]
+    fn demote_splits_huge_into_bases() {
+        let (mut zone, mut pt) = setup(4); // 16-frame huge pages
+        let cfg = zone.config();
+        let hr = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let hv = VirtAddr(cfg.huge_bytes() * 3);
+        pt.map(hv, PageSize::Huge, hr.base, 0, &mut kalloc(&mut zone))
+            .unwrap();
+        let old = pt.demote(hv.add(5000), &mut kalloc(&mut zone)).unwrap();
+        assert_eq!(old.frame, hr.base);
+        for i in 0..cfg.huge_frames() {
+            match pt.walk(hv.add(i * 4096)) {
+                WalkResult::Mapped(l) => {
+                    assert_eq!(l.size, PageSize::Base);
+                    assert_eq!(l.frame, hr.base + i);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn promote_rebuilds_huge_leaf_and_returns_table_frames() {
+        let (mut zone, mut pt) = setup(4);
+        let cfg = zone.config();
+        let hv = VirtAddr(cfg.huge_bytes());
+        // Map every base page of the region.
+        let mut frames = Vec::new();
+        for i in 0..cfg.huge_frames() {
+            let f = zone.alloc_frame(Owner::user()).unwrap();
+            frames.push(f);
+            pt.map(
+                hv.add(i * 4096),
+                PageSize::Base,
+                f,
+                0,
+                &mut kalloc(&mut zone),
+            )
+            .unwrap();
+        }
+        let tf_before = pt.table_frames();
+        let hr = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let (old, table_frames) = pt.promote(hv, hr.base, 0).unwrap();
+        assert_eq!(old.len(), cfg.huge_frames() as usize);
+        assert_eq!(old.iter().map(|l| l.frame).collect::<Vec<_>>(), frames);
+        assert_eq!(pt.table_frames(), tf_before - table_frames.len() as u64);
+        match pt.walk(hv.add(999)) {
+            WalkResult::Mapped(l) => assert_eq!((l.frame, l.size), (hr.base, PageSize::Huge)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn promote_refuses_partial_regions() {
+        let (mut zone, mut pt) = setup(4);
+        let cfg = zone.config();
+        let hv = VirtAddr(cfg.huge_bytes());
+        let f = zone.alloc_frame(Owner::user()).unwrap();
+        pt.map(hv, PageSize::Base, f, 0, &mut kalloc(&mut zone))
+            .unwrap();
+        assert_eq!(pt.promote(hv, 0, 0), Err(MapError::NotMapped));
+    }
+
+    #[test]
+    fn for_each_mapped_respects_range() {
+        let (mut zone, mut pt) = setup(9);
+        for i in 0..8u64 {
+            let f = zone.alloc_frame(Owner::user()).unwrap();
+            pt.map(
+                VirtAddr(i * 4096),
+                PageSize::Base,
+                f,
+                0,
+                &mut kalloc(&mut zone),
+            )
+            .unwrap();
+        }
+        let mut seen = Vec::new();
+        pt.for_each_mapped(VirtAddr(2 * 4096), VirtAddr(5 * 4096), &mut |v, _| {
+            seen.push(v.vpn())
+        });
+        assert_eq!(seen, vec![2, 3, 4]);
+        assert_eq!(
+            pt.count_mapped(VirtAddr(0), VirtAddr(u64::MAX >> 16)),
+            (8, 0)
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Set-associative translation lookaside buffers.
+
+use crate::addr::PageSize;
+
+/// An entry cached by a TLB: a virtual page number translated to the base
+/// frame of its backing physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TlbEntry {
+    /// Page number at this entry's page size.
+    pub vpn: u64,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// First base frame of the backing physical page.
+    pub frame: u64,
+    /// NUMA node holding the frame.
+    pub node: u32,
+}
+
+/// A set-associative, LRU TLB array.
+///
+/// A single array holds entries of one page size (L1 DTLBs) or of several
+/// page sizes (the unified STLB — looked up once per size by the caller,
+/// matching how hardware probes a unified L2 TLB with multiple hash
+/// functions).
+#[derive(Debug)]
+pub struct SetAssocTlb {
+    sets: u64,
+    ways: u32,
+    entries: Vec<Option<TlbEntry>>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl SetAssocTlb {
+    /// Build a TLB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways` or the set count is
+    /// not a power of two.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(entries > 0 && ways > 0, "TLB must have entries");
+        assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
+        let sets = (entries / ways) as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocTlb {
+            sets,
+            ways,
+            entries: vec![None; entries as usize],
+            stamps: vec![0; entries as usize],
+            clock: 0,
+        }
+    }
+
+    /// Total entry count.
+    pub fn capacity(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    fn set_base(&self, vpn: u64) -> usize {
+        ((vpn % self.sets) as usize) * self.ways as usize
+    }
+
+    /// Look up `vpn` of page size `size`; refreshes LRU on hit.
+    pub(crate) fn lookup(&mut self, vpn: u64, size: PageSize) -> Option<TlbEntry> {
+        let base = self.set_base(vpn);
+        self.clock += 1;
+        for w in 0..self.ways as usize {
+            if let Some(e) = self.entries[base + w] {
+                if e.vpn == vpn && e.size == size {
+                    self.stamps[base + w] = self.clock;
+                    return Some(e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert an entry, evicting the LRU way of its set.
+    pub(crate) fn insert(&mut self, entry: TlbEntry) {
+        let base = self.set_base(entry.vpn);
+        self.clock += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways as usize {
+            match self.entries[base + w] {
+                None => {
+                    victim = w;
+                    break;
+                }
+                Some(e) if e.vpn == entry.vpn && e.size == entry.size => {
+                    victim = w;
+                    break;
+                }
+                Some(_) => {
+                    if self.stamps[base + w] < oldest {
+                        oldest = self.stamps[base + w];
+                        victim = w;
+                    }
+                }
+            }
+        }
+        self.entries[base + victim] = Some(entry);
+        self.stamps[base + victim] = self.clock;
+    }
+
+    /// Drop the entry for `vpn`/`size` if present.
+    pub(crate) fn invalidate(&mut self, vpn: u64, size: PageSize) {
+        let base = self.set_base(vpn);
+        for w in 0..self.ways as usize {
+            if let Some(e) = self.entries[base + w] {
+                if e.vpn == vpn && e.size == size {
+                    self.entries[base + w] = None;
+                }
+            }
+        }
+    }
+
+    /// Diagnostic lookup: whether `vpn`/`size` is resident (refreshes LRU,
+    /// like a real probe). Exposed for tests and model checking; the MMU
+    /// uses the richer crate-internal entry API.
+    pub fn probe(&mut self, vpn: u64, size: PageSize) -> bool {
+        self.lookup(vpn, size).is_some()
+    }
+
+    /// Diagnostic insert of a translation with placeholder physical
+    /// placement. Exposed for tests and model checking.
+    pub fn fill_for_test(&mut self, vpn: u64, size: PageSize) {
+        self.insert(TlbEntry {
+            vpn,
+            size,
+            frame: 0,
+            node: 0,
+        });
+    }
+
+    /// Drop everything (full TLB shootdown / context switch).
+    pub fn flush(&mut self) {
+        self.entries.fill(None);
+        self.stamps.fill(0);
+    }
+
+    /// Number of currently valid entries (diagnostics).
+    pub fn occupancy(&self) -> u32 {
+        self.entries.iter().flatten().count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            vpn,
+            size: PageSize::Base,
+            frame: vpn * 10,
+            node: 0,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = SetAssocTlb::new(8, 2);
+        t.insert(e(5));
+        assert_eq!(t.lookup(5, PageSize::Base).unwrap().frame, 50);
+        assert!(t.lookup(5, PageSize::Huge).is_none());
+        assert!(t.lookup(6, PageSize::Base).is_none());
+    }
+
+    #[test]
+    fn conflict_eviction_is_lru() {
+        let mut t = SetAssocTlb::new(8, 2); // 4 sets
+                                            // vpns 0, 4, 8 all map to set 0.
+        t.insert(e(0));
+        t.insert(e(4));
+        t.lookup(0, PageSize::Base); // refresh 0; 4 becomes LRU
+        t.insert(e(8)); // evicts 4
+        assert!(t.lookup(0, PageSize::Base).is_some());
+        assert!(t.lookup(4, PageSize::Base).is_none());
+        assert!(t.lookup(8, PageSize::Base).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut t = SetAssocTlb::new(4, 4);
+        t.insert(e(1));
+        let mut e2 = e(1);
+        e2.frame = 99;
+        t.insert(e2);
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(1, PageSize::Base).unwrap().frame, 99);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = SetAssocTlb::new(4, 2);
+        t.insert(e(1));
+        t.insert(e(2));
+        t.invalidate(1, PageSize::Base);
+        assert!(t.lookup(1, PageSize::Base).is_none());
+        assert!(t.lookup(2, PageSize::Base).is_some());
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn mixed_sizes_coexist_in_unified_array() {
+        let mut t = SetAssocTlb::new(8, 4);
+        t.insert(e(3));
+        t.insert(TlbEntry {
+            vpn: 3,
+            size: PageSize::Huge,
+            frame: 512,
+            node: 1,
+        });
+        assert_eq!(t.lookup(3, PageSize::Base).unwrap().frame, 30);
+        assert_eq!(t.lookup(3, PageSize::Huge).unwrap().frame, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocTlb::new(7, 2);
+    }
+}

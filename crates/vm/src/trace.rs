@@ -1,0 +1,156 @@
+//! Memory access traces: capture once, replay against many MMU
+//! configurations.
+//!
+//! A full experiment re-executes the graph kernel through the OS model.
+//! When only the *translation hardware* varies (TLB sizes, walk caches,
+//! cache geometry), the virtual access stream is identical — so it can be
+//! recorded once and replayed against fresh [`MemorySystem`]s in a tight
+//! loop, orders of magnitude faster than re-simulating the kernel.
+
+use crate::addr::VirtAddr;
+use crate::counters::PerfCounters;
+use crate::mmu::MemorySystem;
+use crate::pagetable::PageTable;
+
+/// A recorded stream of data accesses (packed: bit 0 = write flag).
+#[derive(Debug, Clone, Default)]
+pub struct AccessTrace {
+    packed: Vec<u64>,
+}
+
+impl AccessTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one access. Addresses are 48-bit, so the write flag packs
+    /// into bit 63.
+    pub fn push(&mut self, vaddr: VirtAddr, is_write: bool) {
+        debug_assert!(vaddr.0 < (1 << 63));
+        self.packed.push(vaddr.0 | ((is_write as u64) << 63));
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Iterate over `(vaddr, is_write)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, bool)> + '_ {
+        self.packed
+            .iter()
+            .map(|&p| (VirtAddr(p & !(1 << 63)), p >> 63 == 1))
+    }
+
+    /// Replay the trace through `mmu` against the (fixed) page table.
+    /// Accesses whose translation faults are counted in
+    /// [`PerfCounters::faults`] and skipped — replay never mutates
+    /// mappings, so record traces after the address space is populated.
+    /// Returns the counters accumulated by the replay alone.
+    pub fn replay(&self, mmu: &mut MemorySystem, pt: &PageTable) -> PerfCounters {
+        let before = *mmu.counters();
+        for (vaddr, is_write) in self.iter() {
+            let _ = mmu.access(pt, vaddr, is_write);
+        }
+        mmu.counters().since(&before)
+    }
+}
+
+impl Extend<(VirtAddr, bool)> for AccessTrace {
+    fn extend<T: IntoIterator<Item = (VirtAddr, bool)>>(&mut self, iter: T) {
+        for (v, w) in iter {
+            self.push(v, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MmuConfig;
+    use crate::PageSize;
+    use graphmem_physmem::{MemConfig, Owner, Zone};
+
+    #[test]
+    fn push_iter_roundtrip() {
+        let mut t = AccessTrace::new();
+        t.push(VirtAddr(0x1234), false);
+        t.push(VirtAddr(0xdead_beef), true);
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(VirtAddr(0x1234), false), (VirtAddr(0xdead_beef), true)]
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replay_reproduces_tlb_behaviour() {
+        let memcfg = MemConfig::default();
+        let mut zone = Zone::new(1, 4096, memcfg);
+        let mut pt = PageTable::new(1, memcfg);
+        for i in 0..512u64 {
+            let f = zone.alloc_frame(Owner::user()).unwrap();
+            pt.map(VirtAddr(i * 4096), PageSize::Base, f, 1, &mut || {
+                zone.alloc_frame(Owner::Kernel)
+            })
+            .unwrap();
+        }
+        // A strided stream that thrashes the 64-entry DTLB.
+        let mut trace = AccessTrace::new();
+        for k in 0..20_000u64 {
+            trace.push(VirtAddr(((k * 97) % 512) * 4096), k % 3 == 0);
+        }
+        // Live run and replay must agree exactly.
+        let mut live = MemorySystem::new(MmuConfig::haswell(memcfg));
+        for (v, w) in trace.iter() {
+            live.access(&pt, v, w).unwrap();
+        }
+        let mut replayed = MemorySystem::new(MmuConfig::haswell(memcfg));
+        let counters = trace.replay(&mut replayed, &pt);
+        assert_eq!(counters, *live.counters());
+        assert!(counters.dtlb_misses > 0);
+    }
+
+    #[test]
+    fn replay_counts_faults_without_crashing() {
+        let memcfg = MemConfig::default();
+        let pt = PageTable::new(1, memcfg);
+        let mut trace = AccessTrace::new();
+        trace.push(VirtAddr(0x5000), false);
+        let mut mmu = MemorySystem::new(MmuConfig::haswell(memcfg));
+        let c = trace.replay(&mut mmu, &pt);
+        assert_eq!(c.faults, 1);
+    }
+
+    #[test]
+    fn bigger_stlb_cuts_walks_on_the_same_trace() {
+        let memcfg = MemConfig::default();
+        let mut zone = Zone::new(1, 1 << 14, memcfg);
+        let mut pt = PageTable::new(1, memcfg);
+        for i in 0..2048u64 {
+            let f = zone.alloc_frame(Owner::user()).unwrap();
+            pt.map(VirtAddr(i * 4096), PageSize::Base, f, 1, &mut || {
+                zone.alloc_frame(Owner::Kernel)
+            })
+            .unwrap();
+        }
+        let mut trace = AccessTrace::new();
+        for k in 0..50_000u64 {
+            trace.push(VirtAddr(((k * 1231) % 2048) * 4096), false);
+        }
+        let walks_with = |entries: u32| {
+            let mut cfg = MmuConfig::haswell(memcfg);
+            cfg.tlb.stlb.entries = entries;
+            let mut mmu = MemorySystem::new(cfg);
+            trace.replay(&mut mmu, &pt).stlb_misses
+        };
+        assert!(walks_with(4096) < walks_with(1024));
+    }
+}

@@ -1,0 +1,146 @@
+//! Behavioural tests of the MMU beyond the unit level: cost ordering,
+//! cache statistics, invalidation coverage.
+
+use graphmem_physmem::{MemConfig, Owner, Zone};
+use graphmem_vm::{CostModel, MemorySystem, MmuConfig, PageSize, PageTable, VirtAddr};
+
+struct Rig {
+    zone: Zone,
+    pt: PageTable,
+    mmu: MemorySystem,
+}
+
+fn rig() -> Rig {
+    let memcfg = MemConfig::default();
+    Rig {
+        zone: Zone::new(1, 1 << 15, memcfg),
+        pt: PageTable::new(1, memcfg),
+        mmu: MemorySystem::new(MmuConfig::haswell(memcfg)),
+    }
+}
+
+fn map_pages(r: &mut Rig, n: u64) {
+    for i in 0..n {
+        let f = r.zone.alloc_frame(Owner::user()).unwrap();
+        let zone = &mut r.zone;
+        r.pt.map(VirtAddr(i * 4096), PageSize::Base, f, 1, &mut || {
+            zone.alloc_frame(Owner::Kernel)
+        })
+        .unwrap();
+    }
+}
+
+/// An STLB-hit access costs more than a DTLB hit but less than a walk, and
+/// walks carry the fixed walker latency even when every PTE is L1-resident.
+#[test]
+fn translation_cost_ordering() {
+    let mut r = rig();
+    map_pages(&mut r, 512);
+    // Warm everything: touch all pages twice.
+    for round in 0..2 {
+        for i in 0..512u64 {
+            r.mmu.access(&r.pt, VirtAddr(i * 4096), false).unwrap();
+        }
+        let _ = round;
+    }
+    // DTLB hit: bring page 0 back into the DTLB, then measure repeats.
+    r.mmu.access(&r.pt, VirtAddr(0), false).unwrap();
+    let dtlb_hit = r.mmu.access(&r.pt, VirtAddr(0), false).unwrap().cycles;
+    let again = r.mmu.access(&r.pt, VirtAddr(0), false).unwrap().cycles;
+    assert_eq!(dtlb_hit, again);
+    // STLB hit: a page not touched for 64+ distinct pages (evicted from
+    // the 64-entry DTLB, resident in the 1024-entry STLB).
+    for i in 100..200u64 {
+        r.mmu.access(&r.pt, VirtAddr(i * 4096), false).unwrap();
+    }
+    let stlb_hit = r.mmu.access(&r.pt, VirtAddr(0), false).unwrap();
+    assert!(!stlb_hit.walked);
+    assert!(stlb_hit.cycles > again);
+    // Walk: flush TLBs (PWCs too) and re-touch.
+    r.mmu.flush_tlb();
+    let walked = r.mmu.access(&r.pt, VirtAddr(0), false).unwrap();
+    assert!(walked.walked);
+    let cost = MmuConfig::haswell(MemConfig::default()).cost;
+    assert!(
+        walked.cycles >= stlb_hit.cycles + cost.walk_base - cost.stlb_hit_penalty,
+        "walk {} vs stlb-hit {}",
+        walked.cycles,
+        stlb_hit.cycles
+    );
+}
+
+/// The fixed walker latency is configurable and visible in costs.
+#[test]
+fn walk_base_is_charged() {
+    let run = |walk_base: u64| {
+        let memcfg = MemConfig::default();
+        let mut cfg = MmuConfig::haswell(memcfg);
+        cfg.cost = CostModel {
+            walk_base,
+            ..cfg.cost
+        };
+        let mut r = Rig {
+            zone: Zone::new(1, 4096, memcfg),
+            pt: PageTable::new(1, memcfg),
+            mmu: MemorySystem::new(cfg),
+        };
+        map_pages(&mut r, 1);
+        r.mmu.access(&r.pt, VirtAddr(0), false).unwrap().cycles
+    };
+    assert_eq!(run(100) - run(0), 100);
+}
+
+/// Cache statistics accumulate across data and walk traffic.
+#[test]
+fn cache_stats_accumulate() {
+    let mut r = rig();
+    map_pages(&mut r, 16);
+    for i in 0..16u64 {
+        r.mmu.access(&r.pt, VirtAddr(i * 4096), false).unwrap();
+    }
+    let [(h1, m1), (h2, m2), (h3, m3)] = r.mmu.cache_stats();
+    assert!(m1 > 0, "cold caches must miss");
+    assert!(h1 + m1 >= 16, "data + PTE reads flow through L1");
+    assert!(h2 + m2 > 0 && h3 + m3 > 0);
+}
+
+/// Invalidating a huge mapping removes both DTLB and STLB entries.
+#[test]
+fn huge_invalidation_covers_both_levels() {
+    let memcfg = MemConfig::default();
+    let mut zone = Zone::new(1, 4096, memcfg);
+    let mut pt = PageTable::new(1, memcfg);
+    let mut mmu = MemorySystem::new(MmuConfig::haswell(memcfg));
+    let hr = zone.alloc(9, Owner::user()).unwrap();
+    let hv = VirtAddr(1 << 30);
+    pt.map(hv, PageSize::Huge, hr.base, 1, &mut || {
+        zone.alloc_frame(Owner::Kernel)
+    })
+    .unwrap();
+    mmu.access(&pt, hv, false).unwrap();
+    pt.unmap(hv).unwrap();
+    mmu.invalidate_page(hv, PageSize::Huge);
+    assert!(
+        mmu.access(&pt, hv.add(4096), false).is_err(),
+        "stale huge entry survived invalidation"
+    );
+}
+
+/// Counter deltas through `since` match a fresh system run of the same
+/// access pattern (no hidden state leaks into the counters).
+#[test]
+fn counters_since_matches_fresh_run() {
+    let mut a = rig();
+    map_pages(&mut a, 64);
+    for i in 0..64u64 {
+        a.mmu.access(&a.pt, VirtAddr(i * 4096), false).unwrap();
+    }
+    let cp = *a.mmu.counters();
+    for i in 0..64u64 {
+        a.mmu.access(&a.pt, VirtAddr(i * 4096), true).unwrap();
+    }
+    let delta = a.mmu.counters().since(&cp);
+    assert_eq!(delta.accesses, 64);
+    assert_eq!(delta.writes, 64);
+    assert_eq!(delta.reads, 0);
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the TLB arrays and page tables.
+
+use graphmem_physmem::{MemConfig, Owner, Zone};
+use graphmem_vm::{MapError, PageSize, PageTable, SetAssocTlb, VirtAddr, WalkResult};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fully-associative TLB (ways == entries) behaves exactly like an
+    /// LRU-ordered map: after any access sequence, the resident set is the
+    /// `capacity` most recently used pages.
+    #[test]
+    fn fully_assoc_tlb_is_exact_lru(accesses in proptest::collection::vec(0u64..32, 1..200)) {
+        let capacity = 8usize;
+        let mut tlb = SetAssocTlb::new(capacity as u32, capacity as u32);
+        let mut shadow: Vec<u64> = Vec::new(); // most recent last
+
+        // Emulate the hardware fill-on-miss protocol against the shadow.
+        for &vpn in &accesses {
+            let hw_hit = tlb.probe(vpn, PageSize::Base);
+            if !hw_hit {
+                tlb.fill_for_test(vpn, PageSize::Base);
+            }
+            let sw_hit = shadow.contains(&vpn);
+            prop_assert_eq!(hw_hit, sw_hit, "vpn {} divergence", vpn);
+            shadow.retain(|&v| v != vpn);
+            shadow.push(vpn);
+            if shadow.len() > capacity {
+                shadow.remove(0);
+            }
+        }
+    }
+
+    /// Random non-overlapping mappings walk back to exactly what was mapped,
+    /// and unmapped addresses stay unmapped.
+    #[test]
+    fn pagetable_walks_match_mappings(pages in proptest::collection::btree_set(0u64..10_000, 1..150)) {
+        let cfg = MemConfig::default();
+        let mut zone = Zone::new(0, 8192, cfg);
+        let mut pt = PageTable::new(0, cfg);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for &vpn in &pages {
+            let frame = zone.alloc_frame(Owner::user()).unwrap();
+            let r = pt.map(VirtAddr(vpn * 4096), PageSize::Base, frame, 0, &mut || {
+                zone.alloc_frame(Owner::Kernel)
+            });
+            prop_assert_eq!(r, Ok(()));
+            expected.insert(vpn, frame);
+        }
+        for vpn in 0..10_000u64 {
+            match (pt.walk(VirtAddr(vpn * 4096)), expected.get(&vpn)) {
+                (WalkResult::Mapped(l), Some(&f)) => prop_assert_eq!(l.frame, f),
+                (WalkResult::NotMapped, None) => {}
+                (got, want) => return Err(TestCaseError::fail(
+                    format!("vpn {vpn}: walk {got:?}, expected {want:?}"))),
+            }
+        }
+        // Re-mapping any mapped page fails.
+        if let Some((&vpn, _)) = expected.iter().next() {
+            let r = pt.map(VirtAddr(vpn * 4096), PageSize::Base, 1, 0, &mut || None);
+            prop_assert_eq!(r, Err(MapError::AlreadyMapped));
+        }
+    }
+
+    /// Demote followed by promote restores a huge mapping covering the same
+    /// frames, for every huge order.
+    #[test]
+    fn demote_promote_roundtrip(order in 2u8..=9, region in 0u64..16) {
+        let cfg = MemConfig::with_huge_order(order);
+        let mut zone = Zone::new(0, 64 * cfg.huge_frames(), cfg);
+        let mut pt = PageTable::new(0, cfg);
+        let hr = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let hv = VirtAddr(region * cfg.huge_bytes());
+        pt.map(hv, PageSize::Huge, hr.base, 0, &mut || zone.alloc_frame(Owner::Kernel)).unwrap();
+
+        pt.demote(hv, &mut || zone.alloc_frame(Owner::Kernel)).unwrap();
+        let (base_count, huge_count) = pt.count_mapped(hv, hv.add(cfg.huge_bytes()));
+        prop_assert_eq!((base_count, huge_count), (cfg.huge_frames(), 0));
+
+        let hr2 = zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+        let (old, table_frames) = pt.promote(hv, hr2.base, 0).unwrap();
+        prop_assert_eq!(old.len() as u64, cfg.huge_frames());
+        prop_assert!(old.iter().enumerate().all(|(i, l)| l.frame == hr.base + i as u64));
+        prop_assert!(!table_frames.is_empty());
+        match pt.walk(hv.add(123)) {
+            WalkResult::Mapped(l) => {
+                prop_assert_eq!(l.frame, hr2.base);
+                prop_assert_eq!(l.size, PageSize::Huge);
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Layout and initialization of the four graph data structures in
+//! simulated memory.
+
+use graphmem_graph::Csr;
+use graphmem_os::System;
+
+use crate::kernels::Kernel;
+use crate::profile::AccessProfile;
+use crate::simarray::SimArray;
+
+/// The order in which arrays are *first touched* (and therefore compete
+/// for huge pages at fault time) — the variable of paper §4.3.1 / Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocOrder {
+    /// The natural program order: CSR data is loaded from files first, the
+    /// property array is initialized last — so under pressure it is the
+    /// property array that loses the huge-page race.
+    #[default]
+    Natural,
+    /// Graph-analytics-optimized: the property array is initialized first,
+    /// prioritizing it for huge pages.
+    PropertyFirst,
+}
+
+/// The paper's data structures (Fig. 5) laid out in a [`System`]:
+/// vertex array (u64 offsets), edge array (u32 neighbor IDs), optional
+/// values array (u32 weights), and one or two property arrays (u64),
+/// depending on the kernel.
+#[derive(Debug)]
+pub struct GraphArrays {
+    /// Vertex (offset) array.
+    pub vertex: SimArray<u64>,
+    /// Edge (neighbor) array.
+    pub edge: SimArray<u32>,
+    /// Values (weight) array, present for SSSP.
+    pub values: Option<SimArray<u32>>,
+    /// Property array(s): `[dist]` for BFS/SSSP, `[rank, next_rank]`
+    /// (f64 bit patterns) for PageRank.
+    pub prop: Vec<SimArray<u64>>,
+    initialized: bool,
+}
+
+impl GraphArrays {
+    /// `mmap` all arrays for running `kernel` on `csr`. Nothing is touched
+    /// yet: call [`GraphArrays::initialize`] after applying any `madvise`
+    /// policy to the regions (the real program order: reserve, advise,
+    /// then fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is SSSP and `csr` has no weights.
+    pub fn map(sys: &mut System, csr: &Csr, kernel: Kernel) -> Self {
+        Self::map_with(sys, csr, kernel, false)
+    }
+
+    /// Like [`GraphArrays::map`], optionally placing the property array(s)
+    /// in hugetlbfs-backed regions (the caller must have reserved enough
+    /// pool pages via [`System::hugetlb_reserve`]).
+    pub fn map_with(sys: &mut System, csr: &Csr, kernel: Kernel, hugetlb_property: bool) -> Self {
+        let n = csr.num_vertices() as usize;
+        let vertex = SimArray::attach(sys, "vertex_array", csr.offsets().to_vec());
+        let edge = SimArray::attach(sys, "edge_array", csr.edges().to_vec());
+        let values = if kernel.needs_weights() {
+            let w = csr
+                .values()
+                .expect("SSSP requires a weighted graph")
+                .to_vec();
+            Some(SimArray::attach(sys, "values_array", w))
+        } else {
+            None
+        };
+        let prop = kernel
+            .property_names()
+            .iter()
+            .map(|name| {
+                if hugetlb_property {
+                    SimArray::attach_hugetlb(sys, name, vec![0u64; n])
+                } else {
+                    SimArray::attach(sys, name, vec![0u64; n])
+                }
+            })
+            .collect();
+        GraphArrays {
+            vertex,
+            edge,
+            values,
+            prop,
+            initialized: false,
+        }
+    }
+
+    /// First-touch everything in the given order: CSR arrays are loaded
+    /// from "files" (charging I/O and occupying page cache per the
+    /// system's placement policy), property arrays are zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn initialize(&mut self, sys: &mut System, order: AllocOrder) {
+        assert!(!self.initialized, "arrays already initialized");
+        self.initialized = true;
+        match order {
+            AllocOrder::Natural => {
+                self.load_csr(sys);
+                self.init_props(sys);
+            }
+            AllocOrder::PropertyFirst => {
+                self.init_props(sys);
+                self.load_csr(sys);
+            }
+        }
+    }
+
+    fn load_csr(&mut self, sys: &mut System) {
+        self.vertex.load_from_file(sys);
+        self.edge.load_from_file(sys);
+        if let Some(v) = &mut self.values {
+            v.load_from_file(sys);
+        }
+    }
+
+    fn init_props(&mut self, sys: &mut System) {
+        for p in &mut self.prop {
+            p.populate(sys);
+        }
+    }
+
+    /// Total footprint in bytes (the paper's per-configuration "Footprint"
+    /// column of Table 2).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.vertex.bytes()
+            + self.edge.bytes()
+            + self.values.as_ref().map_or(0, |v| v.bytes())
+            + self.prop.iter().map(|p| p.bytes()).sum::<u64>()
+    }
+
+    /// Bytes of the property array(s) only.
+    pub fn property_bytes(&self) -> u64 {
+        self.prop.iter().map(|p| p.bytes()).sum()
+    }
+
+    /// Per-array access profile (Fig. 4).
+    pub fn profile(&self) -> AccessProfile {
+        let mut arrays = vec![
+            (
+                self.vertex.name(),
+                self.vertex.counters(),
+                self.vertex.bytes(),
+            ),
+            (self.edge.name(), self.edge.counters(), self.edge.bytes()),
+        ];
+        if let Some(v) = &self.values {
+            arrays.push((v.name(), v.counters(), v.bytes()));
+        }
+        for p in &self.prop {
+            arrays.push((p.name(), p.counters(), p.bytes()));
+        }
+        AccessProfile::from_raw(arrays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_graph::Dataset;
+    use graphmem_os::{SystemSpec, ThpMode};
+
+    fn csr() -> Csr {
+        Dataset::Wiki.generate_with_scale(10)
+    }
+
+    #[test]
+    fn map_creates_expected_arrays() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let g = csr();
+        let a = GraphArrays::map(&mut sys, &g, Kernel::Bfs);
+        assert_eq!(a.vertex.len(), g.num_vertices() as usize + 1);
+        assert_eq!(a.edge.len() as u64, g.num_edges());
+        assert!(a.values.is_none());
+        assert_eq!(a.prop.len(), 1);
+
+        let pr = GraphArrays::map(&mut sys, &g, Kernel::Pagerank);
+        assert_eq!(pr.prop.len(), 2);
+    }
+
+    #[test]
+    fn sssp_requires_weights() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let g = Dataset::Wiki.generate_weighted_with_scale(10);
+        let a = GraphArrays::map(&mut sys, &g, Kernel::Sssp);
+        assert!(a.values.is_some());
+        let (v, e, w) = g.array_bytes();
+        assert_eq!(
+            a.footprint_bytes(),
+            v + e + w + (g.num_vertices() as u64) * 8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted")]
+    fn sssp_on_unweighted_panics() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let _ = GraphArrays::map(&mut sys, &csr(), Kernel::Sssp);
+    }
+
+    #[test]
+    fn natural_order_props_faulted_last() {
+        // Under THP Always with constrained huge blocks, natural order
+        // gives the huge pages to the CSR arrays; property-first flips it.
+        let mut spec = SystemSpec::scaled(64);
+        spec.thp.mode = ThpMode::Always;
+        spec.thp.fault_defrag = false;
+        // Large enough that the property array spans multiple huge pages.
+        let g = Dataset::Wiki.generate_with_scale(16);
+        for (order, prop_should_win) in [
+            (AllocOrder::Natural, false),
+            (AllocOrder::PropertyFirst, true),
+        ] {
+            let mut sys = System::new(spec.clone());
+            // Leave only enough pristine blocks for roughly the property
+            // array.
+            let mut a = GraphArrays::map(&mut sys, &g, Kernel::Bfs);
+            let prop_bytes = a.property_bytes();
+            let keep = prop_bytes + sys.geometry().bytes(graphmem_vm::PageSize::Huge);
+            let nblocks = (sys.zone(1).free_bytes() - keep)
+                / sys.geometry().bytes(graphmem_vm::PageSize::Huge);
+            let _noise = graphmem_physmem::Noise::sprinkle(sys.zone_mut(1), nblocks, 0.03125);
+            a.initialize(&mut sys, order);
+            let prop_rep = sys.mapping_report(a.prop[0].base());
+            if prop_should_win {
+                assert!(
+                    prop_rep.huge_fraction() > 0.5,
+                    "property-first should huge-back the property array, got {}",
+                    prop_rep.huge_fraction()
+                );
+            } else {
+                assert!(
+                    prop_rep.huge_fraction() < 0.5,
+                    "natural order should starve the property array, got {}",
+                    prop_rep.huge_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already initialized")]
+    fn double_initialize_panics() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let g = csr();
+        let mut a = GraphArrays::map(&mut sys, &g, Kernel::Bfs);
+        a.initialize(&mut sys, AllocOrder::Natural);
+        a.initialize(&mut sys, AllocOrder::Natural);
+    }
+}

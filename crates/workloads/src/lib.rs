@@ -1,0 +1,46 @@
+//! # graphmem-workloads — graph kernels over simulated virtual memory
+//!
+//! The paper's three applications (§3.2) — **BFS**, **PageRank**, and
+//! **SSSP** — implemented twice:
+//!
+//! * *simulated*: every load/store of the CSR and property arrays goes
+//!   through the full [`graphmem_os::System`] translation + cache + fault
+//!   pipeline via [`SimArray`], producing the TLB behaviour, page faults,
+//!   and cycle costs the paper measures;
+//! * *native*: plain in-memory reference twins used to verify that the
+//!   simulated runs compute correct results.
+//!
+//! [`GraphArrays`] lays the four data structures of paper Fig. 5 (vertex
+//! array, edge array, values array, property array) out in the simulated
+//! address space, supporting both initialization orders the paper studies
+//! (§4.3.1): *natural* (property array touched last) and *optimized*
+//! (property array touched first, so it wins the huge-page race).
+//!
+//! ## Example
+//!
+//! ```
+//! use graphmem_graph::Dataset;
+//! use graphmem_os::{System, SystemSpec};
+//! use graphmem_workloads::{AllocOrder, GraphArrays, Kernel};
+//!
+//! let csr = Dataset::Wiki.generate_with_scale(10);
+//! let mut sys = System::new(SystemSpec::scaled_demo());
+//! let mut arrays = GraphArrays::map(&mut sys, &csr, Kernel::Bfs);
+//! arrays.initialize(&mut sys, AllocOrder::Natural);
+//! let root = graphmem_workloads::default_root(&csr);
+//! let dist = Kernel::Bfs.run_simulated(&mut sys, &mut arrays, root);
+//! assert_eq!(dist, Kernel::Bfs.run_native(&csr, root));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arrays;
+mod kernels;
+mod profile;
+mod simarray;
+
+pub use arrays::{AllocOrder, GraphArrays};
+pub use kernels::{default_root, Kernel};
+pub use profile::{AccessProfile, ArrayProfile};
+pub use simarray::{Element, SimArray};

@@ -1,0 +1,111 @@
+//! Per-data-structure access profiles (the paper's Fig. 4).
+
+/// Access statistics of one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayProfile {
+    name: &'static str,
+    reads: u64,
+    writes: u64,
+    seq_breaks: u64,
+    bytes: u64,
+}
+
+impl ArrayProfile {
+    /// Array name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Array size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Fraction of accesses that were *not* near-sequential (jumped more
+    /// than 16 elements from the previous access): ~0 for streaming
+    /// arrays, ~1 for pointer-indirect ones.
+    pub fn irregularity(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.seq_breaks as f64 / a as f64
+        }
+    }
+}
+
+/// Profiles for all arrays of a workload instance.
+#[derive(Debug, Clone)]
+pub struct AccessProfile {
+    arrays: Vec<ArrayProfile>,
+}
+
+impl AccessProfile {
+    pub(crate) fn from_raw(raw: Vec<(&'static str, (u64, u64, u64), u64)>) -> Self {
+        AccessProfile {
+            arrays: raw
+                .into_iter()
+                .map(|(name, (reads, writes, seq_breaks), bytes)| ArrayProfile {
+                    name,
+                    reads,
+                    writes,
+                    seq_breaks,
+                    bytes,
+                })
+                .collect(),
+        }
+    }
+
+    /// All array profiles.
+    pub fn arrays(&self) -> &[ArrayProfile] {
+        &self.arrays
+    }
+
+    /// Profile of the array named `name`.
+    pub fn array(&self, name: &str) -> Option<&ArrayProfile> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Total accesses across all arrays.
+    pub fn total_accesses(&self) -> u64 {
+        self.arrays.iter().map(|a| a.accesses()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accessors() {
+        let p =
+            AccessProfile::from_raw(vec![("edge", (100, 0, 2), 400), ("prop", (50, 50, 90), 80)]);
+        assert_eq!(p.total_accesses(), 200);
+        let prop = p.array("prop").unwrap();
+        assert_eq!(prop.accesses(), 100);
+        assert_eq!(prop.irregularity(), 0.9);
+        assert!(p.array("edge").unwrap().irregularity() < 0.05);
+        assert!(p.array("nope").is_none());
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = AccessProfile::from_raw(vec![("x", (0, 0, 0), 0)]);
+        assert_eq!(p.array("x").unwrap().irregularity(), 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Arrays whose every element access runs through the simulated MMU.
+
+use std::cell::{Cell, RefCell};
+
+use graphmem_os::System;
+use graphmem_vm::VirtAddr;
+
+/// Element types a [`SimArray`] may hold.
+///
+/// Sealed by construction: implemented for the fixed-width types the
+/// workloads use. `BYTES` must equal the host size so host indexing and
+/// simulated addresses stay congruent.
+pub trait Element: Copy + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Size of one element in the simulated layout.
+    const BYTES: u64;
+}
+
+impl Element for u32 {
+    const BYTES: u64 = 4;
+}
+impl Element for u64 {
+    const BYTES: u64 = 8;
+}
+impl Element for f64 {
+    const BYTES: u64 = 8;
+}
+
+/// A typed array living at a fixed virtual range of the simulated process,
+/// with element *values* stored host-side (the simulator models placement
+/// and timing, not bytes).
+///
+/// Every [`SimArray::get`] / [`SimArray::set`] issues one simulated memory
+/// access at the element's virtual address — triggering TLB lookups, page
+/// walks, faults, and cache traffic — then reads/writes the host-side
+/// value. Per-array counters feed the paper's Fig. 4-style access
+/// profiles.
+#[derive(Debug)]
+pub struct SimArray<T: Element> {
+    name: &'static str,
+    base: VirtAddr,
+    data: Vec<T>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    seq_breaks: Cell<u64>,
+    last_idx: Cell<u64>,
+    /// Optional per-chunk access histogram: (chunk bytes, counts).
+    page_counts: RefCell<Option<(u64, Vec<u64>)>>,
+}
+
+impl<T: Element> SimArray<T> {
+    /// Map a new array in `sys` holding `data`.
+    pub fn attach(sys: &mut System, name: &'static str, data: Vec<T>) -> Self {
+        let bytes = (data.len() as u64 * T::BYTES).max(1);
+        let base = sys.mmap(bytes, name);
+        Self::with_base(name, base, data)
+    }
+
+    /// Map a new array backed by the hugetlbfs reservation pool
+    /// (`MAP_HUGETLB`); the caller must have reserved enough pages.
+    pub fn attach_hugetlb(sys: &mut System, name: &'static str, data: Vec<T>) -> Self {
+        let bytes = (data.len() as u64 * T::BYTES).max(1);
+        let base = sys.mmap_hugetlb(bytes, name);
+        Self::with_base(name, base, data)
+    }
+
+    fn with_base(name: &'static str, base: VirtAddr, data: Vec<T>) -> Self {
+        SimArray {
+            name,
+            base,
+            data,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            seq_breaks: Cell::new(0),
+            last_idx: Cell::new(u64::MAX),
+            page_counts: RefCell::new(None),
+        }
+    }
+
+    /// Start recording a per-chunk access histogram at `chunk_bytes`
+    /// granularity (e.g. the huge-page size, for empirical hot-page
+    /// identification). Resets any previous histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn profile_pages(&self, chunk_bytes: u64) {
+        assert!(chunk_bytes > 0, "chunk_bytes must be positive");
+        let chunks = self.bytes().div_ceil(chunk_bytes).max(1);
+        *self.page_counts.borrow_mut() = Some((chunk_bytes, vec![0; chunks as usize]));
+    }
+
+    /// The recorded per-chunk access histogram, if profiling was enabled.
+    pub fn page_profile(&self) -> Option<Vec<u64>> {
+        self.page_counts.borrow().as_ref().map(|(_, c)| c.clone())
+    }
+
+    /// Array name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes of the simulated layout.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * T::BYTES
+    }
+
+    /// Virtual address of element `idx`.
+    pub fn addr(&self, idx: usize) -> VirtAddr {
+        self.base.add(idx as u64 * T::BYTES)
+    }
+
+    fn note(&self, idx: usize, write: bool) {
+        if write {
+            self.writes.set(self.writes.get() + 1);
+        } else {
+            self.reads.set(self.reads.get() + 1);
+        }
+        let last = self.last_idx.get();
+        let idx = idx as u64;
+        if last != u64::MAX && idx.abs_diff(last) > 16 {
+            self.seq_breaks.set(self.seq_breaks.get() + 1);
+        }
+        self.last_idx.set(idx);
+        if let Some((chunk, counts)) = self.page_counts.borrow_mut().as_mut() {
+            counts[(idx * T::BYTES / *chunk) as usize] += 1;
+        }
+    }
+
+    /// Simulated load of element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, sys: &mut System, idx: usize) -> T {
+        self.note(idx, false);
+        sys.read(self.addr(idx));
+        self.data[idx]
+    }
+
+    /// Simulated store of element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set(&mut self, sys: &mut System, idx: usize, value: T) {
+        self.note(idx, true);
+        sys.write(self.addr(idx));
+        self.data[idx] = value;
+    }
+
+    /// First-touch the whole range with initialization stores (`memset`).
+    pub fn populate(&mut self, sys: &mut System) {
+        sys.populate(self.base, self.bytes());
+    }
+
+    /// Load the whole range from a file per the system's
+    /// [`FilePlacement`](graphmem_os::FilePlacement) policy.
+    pub fn load_from_file(&mut self, sys: &mut System) {
+        sys.load_file(self.base, self.bytes());
+    }
+
+    /// Host-side view of the values (no simulated accesses).
+    pub fn host_data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// `(reads, writes, sequential-breaks)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.reads.get(), self.writes.get(), self.seq_breaks.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmem_os::SystemSpec;
+
+    #[test]
+    fn get_set_roundtrip_with_simulated_accesses() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let mut a = SimArray::attach(&mut sys, "a", vec![0u64; 1024]);
+        a.set(&mut sys, 10, 7); // first touch: faults and retries
+        let perf0 = sys.perf().accesses;
+        a.set(&mut sys, 10, 99);
+        assert_eq!(a.get(&mut sys, 10), 99);
+        assert_eq!(sys.perf().accesses, perf0 + 2);
+        assert_eq!(a.counters().0, 1, "one read");
+        assert_eq!(a.counters().1, 2, "two writes");
+    }
+
+    #[test]
+    fn addresses_are_element_strided() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u32; 16]);
+        assert_eq!(a.addr(3).0, a.base().0 + 12);
+        let b = SimArray::attach(&mut sys, "b", vec![0u64; 16]);
+        assert_eq!(b.addr(3).0, b.base().0 + 24);
+    }
+
+    #[test]
+    fn arrays_get_disjoint_regions() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u64; 4096]);
+        let b = SimArray::attach(&mut sys, "b", vec![0u64; 4096]);
+        assert!(a.addr(a.len() - 1) < b.base() || b.addr(b.len() - 1) < a.base());
+    }
+
+    #[test]
+    fn sequential_break_tracking() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u64; 4096]);
+        for i in 0..100 {
+            a.get(&mut sys, i);
+        }
+        assert_eq!(a.counters().2, 0);
+        a.get(&mut sys, 4000);
+        a.get(&mut sys, 17);
+        assert_eq!(a.counters().2, 2);
+    }
+
+    #[test]
+    fn populate_faults_whole_array() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let mut a = SimArray::attach(&mut sys, "a", vec![0u64; 64 * 1024]);
+        a.populate(&mut sys);
+        let rep = sys.mapping_report(a.base());
+        assert_eq!(rep.mapped_bytes, a.bytes());
+    }
+
+    #[test]
+    fn page_profile_counts_per_chunk() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u64; 2048]); // 16 KiB
+        a.profile_pages(4096); // 4 chunks of 512 elements
+        for _ in 0..3 {
+            a.get(&mut sys, 0);
+        }
+        a.get(&mut sys, 600); // chunk 1
+        a.get(&mut sys, 2047); // chunk 3
+        assert_eq!(a.page_profile().unwrap(), vec![3, 1, 0, 1]);
+    }
+
+    #[test]
+    fn page_profile_absent_until_enabled() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u64; 8]);
+        assert!(a.page_profile().is_none());
+        a.get(&mut sys, 0);
+        a.profile_pages(4096);
+        a.get(&mut sys, 0);
+        assert_eq!(a.page_profile().unwrap(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        let a = SimArray::attach(&mut sys, "a", vec![0u64; 4]);
+        a.get(&mut sys, 4);
+    }
+}

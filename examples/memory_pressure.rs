@@ -1,0 +1,71 @@
+//! Datacenter scenario: how memory pressure erodes THP gains, and how
+//! graph-aware allocation ordering rescues them (paper §4.3.1, Fig. 7).
+//!
+//! Sweeps the free-memory surplus from oversubscribed (−6 % of WSS, the
+//! swap-thrashing regime) to +35 %, comparing Linux THP with the natural
+//! allocation order against the property-array-first order.
+//!
+//! ```sh
+//! cargo run --release --bin memory_pressure
+//! ```
+
+use graphmem_core::{sweep, Experiment, MemoryCondition, PagePolicy, Surplus};
+use graphmem_examples::{example_scale, print_sweep};
+use graphmem_graph::Dataset;
+use graphmem_workloads::{AllocOrder, Kernel};
+
+fn main() {
+    let scale = example_scale();
+    let proto = Experiment::new(Dataset::Twitter, Kernel::Bfs)
+        .scale(scale)
+        .policy(PagePolicy::ThpSystemWide);
+
+    println!(
+        "memory_pressure: BFS on {} (scale {scale})",
+        Dataset::Twitter
+    );
+
+    let baseline = proto.clone().policy(PagePolicy::BaseOnly).run();
+    println!(
+        "4KB baseline: {:.2} Mcycles (pressure barely affects it)",
+        baseline.compute_cycles as f64 / 1e6
+    );
+
+    // Skip the oversubscribed point in the quick sweep unless asked; it is
+    // slow by design (every access can page through swap).
+    let levels: &[f64] = if std::env::var("GRAPHMEM_SWAP").is_ok() {
+        &sweep::PRESSURE_LADDER
+    } else {
+        &sweep::PRESSURE_LADDER[1..]
+    };
+
+    let natural = sweep::pressure(&proto, levels);
+    print_sweep(
+        "Linux THP, natural allocation order (property array last)",
+        "surplus",
+        &natural,
+        &baseline,
+    );
+
+    let optimized = sweep::pressure(
+        &proto.clone().alloc_order(AllocOrder::PropertyFirst),
+        levels,
+    );
+    print_sweep(
+        "Linux THP, graph-optimized order (property array first)",
+        "surplus",
+        &optimized,
+        &baseline,
+    );
+
+    let ideal = proto
+        .clone()
+        .condition(MemoryCondition::pressured(Surplus::Unbounded))
+        .run();
+    println!(
+        "\nunbounded THP reference: {:.2}x over 4KB",
+        ideal.speedup_over(&baseline)
+    );
+    println!("note how property-first ordering holds most of that speedup even at low surplus,");
+    println!("while the natural order decays toward the 4KB baseline (paper Fig. 7).");
+}

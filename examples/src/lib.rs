@@ -1,0 +1,55 @@
+//! Shared helpers for the graphmem examples: scale selection and simple
+//! table rendering.
+
+use graphmem_core::RunReport;
+
+/// Graph scale for examples: `GRAPHMEM_SCALE=tiny|small|default` (examples
+/// default to `small` so they finish in seconds).
+pub fn example_scale() -> u8 {
+    match std::env::var("GRAPHMEM_SCALE").as_deref() {
+        Ok("tiny") => 13,
+        Ok("default") => 18,
+        _ => 16,
+    }
+}
+
+/// Render a comparison table of runs against the first entry as baseline.
+pub fn print_comparison(title: &str, runs: &[(&str, &RunReport)]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<28} {:>12} {:>9} {:>8} {:>8} {:>10} {:>8}",
+        "configuration", "compute Mcy", "speedup", "dtlb%", "walk%", "huge-mem%", "verified"
+    );
+    let baseline = runs[0].1;
+    for (name, r) in runs {
+        println!(
+            "{:<28} {:>12.2} {:>8.2}x {:>7.1}% {:>7.1}% {:>9.2}% {:>8}",
+            name,
+            r.compute_cycles as f64 / 1e6,
+            r.speedup_over(baseline),
+            r.dtlb_miss_rate() * 100.0,
+            r.stlb_miss_rate() * 100.0,
+            r.huge_memory_fraction() * 100.0,
+            if r.verified { "yes" } else { "NO" },
+        );
+    }
+}
+
+/// Render a one-parameter sweep.
+pub fn print_sweep(title: &str, param: &str, rows: &[(f64, RunReport)], baseline: &RunReport) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>10} {:>12} {:>9} {:>8} {:>10}",
+        param, "compute Mcy", "speedup", "walk%", "huge-mem%"
+    );
+    for (p, r) in rows {
+        println!(
+            "{:>10.2} {:>12.2} {:>8.2}x {:>7.1}% {:>9.2}%",
+            p,
+            r.compute_cycles as f64 / 1e6,
+            r.speedup_over(baseline),
+            r.stlb_miss_rate() * 100.0,
+            r.huge_memory_fraction() * 100.0,
+        );
+    }
+}

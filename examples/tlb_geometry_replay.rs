@@ -1,0 +1,62 @@
+//! Record once, replay everywhere: capture the memory-access trace of one
+//! BFS run, then replay it against a ladder of TLB geometries in
+//! milliseconds each — the paper's §3.1 claim ("even with more capacity,
+//! the TLB's total coverage is still significantly smaller than the memory
+//! footprint") made interactive.
+//!
+//! ```sh
+//! cargo run --release --bin tlb_geometry_replay
+//! ```
+
+use graphmem_examples::example_scale;
+use graphmem_graph::Dataset;
+use graphmem_os::{System, SystemSpec};
+use graphmem_vm::MemorySystem;
+use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
+
+fn main() {
+    let scale = example_scale();
+    let csr = Dataset::Kron25.generate_with_scale(scale);
+    println!(
+        "recording one BFS run on kron (scale {scale}, {} edges)…",
+        csr.num_edges()
+    );
+
+    let spec = SystemSpec::scaled(((csr.num_edges() * 12) >> 20).max(64) * 3);
+    let mmu_base = spec.mmu;
+    let mut sys = System::new(spec);
+    let mut arrays = GraphArrays::map(&mut sys, &csr, Kernel::Bfs);
+    arrays.initialize(&mut sys, AllocOrder::Natural);
+    sys.start_tracing();
+    let root = default_root(&csr);
+    Kernel::Bfs.run_simulated(&mut sys, &mut arrays, root);
+    let trace = sys.take_trace();
+    println!(
+        "captured {} accesses; replaying against TLB ladders:\n",
+        trace.len()
+    );
+
+    println!(
+        "{:>14} {:>12} {:>10} {:>10}",
+        "stlb_entries", "reach(KiB)", "dtlb-miss%", "walk%"
+    );
+    for entries in [32u32, 64, 128, 192, 256, 512, 1024] {
+        let mut cfg = mmu_base;
+        cfg.tlb.stlb.entries = entries;
+        cfg.tlb.stlb.ways = [8u32, 12, 6, 4, 16, 2, 1]
+            .into_iter()
+            .find(|&w| entries % w == 0 && ((entries / w) as u64).is_power_of_two())
+            .unwrap_or(entries);
+        let mut mmu = MemorySystem::new(cfg);
+        let c = trace.replay(&mut mmu, sys.page_table());
+        println!(
+            "{:>14} {:>12} {:>9.1}% {:>9.1}%",
+            entries,
+            entries as u64 * 4096 / 1024,
+            c.dtlb_miss_rate() * 100.0,
+            c.stlb_miss_rate() * 100.0
+        );
+    }
+    println!("\neven 8x the STLB leaves the miss rates high: footprint >> reach (paper §3.1);");
+    println!("page size management, not TLB growth, closes the gap.");
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Full paper-scale figure regeneration. Output tees to bench_output.txt.
+set -u
+export CARGO_TARGET_DIR=/root/repo/target-bench
+cd /root/repo
+{
+  echo "== graphmem full benchmark run (GRAPHMEM_SCALE=paper default) =="
+  date
+  cargo bench --workspace 2>&1
+  echo "== done =="
+  date
+} | tee /root/repo/bench_output.txt

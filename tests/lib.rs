@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for graphmem live under `tests/`.
+//!
+//! This library target is intentionally empty; see the sibling test files
+//! for end-to-end scenarios spanning the physmem → vm → os → workloads →
+//! core stack.

@@ -1,0 +1,62 @@
+//! Robustness across random graph instances: the paper's qualitative
+//! orderings must hold for any seed, not just the canonical one.
+
+use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Preprocessing};
+use graphmem_graph::Dataset;
+use graphmem_workloads::Kernel;
+
+fn exp(seed: u64) -> Experiment {
+    Experiment::new(Dataset::Kron25, Kernel::Bfs)
+        .scale(14)
+        .huge_order(4)
+        .seed_offset(seed)
+}
+
+#[test]
+fn seed_offset_changes_the_instance_deterministically() {
+    let a = Dataset::Kron25.generate_with_seed(12, false, 1);
+    let b = Dataset::Kron25.generate_with_seed(12, false, 1);
+    let c = Dataset::Kron25.generate_with_seed(12, false, 2);
+    assert_eq!(a, b, "same seed must reproduce");
+    assert_ne!(a, c, "different seeds must differ");
+    assert_eq!(
+        Dataset::Kron25.generate_with_seed(12, false, 0),
+        Dataset::Kron25.generate_with_scale(12),
+        "offset 0 is the canonical instance"
+    );
+}
+
+#[test]
+fn thp_beats_baseline_on_every_seed() {
+    for seed in [0u64, 1, 2] {
+        let base = exp(seed).run();
+        let thp = exp(seed).policy(PagePolicy::ThpSystemWide).run();
+        assert!(base.verified && thp.verified, "seed {seed}");
+        assert!(
+            thp.compute_cycles < base.compute_cycles,
+            "seed {seed}: THP {} vs base {}",
+            thp.compute_cycles,
+            base.compute_cycles
+        );
+        assert!(thp.dtlb_miss_rate() < base.dtlb_miss_rate());
+    }
+}
+
+#[test]
+fn dbg_selective_beats_constrained_baseline_on_every_seed() {
+    let cond = MemoryCondition::fragmented(0.5);
+    for seed in [0u64, 7, 42] {
+        let base = exp(seed).condition(cond).run();
+        let sel = exp(seed)
+            .condition(cond)
+            .preprocessing(Preprocessing::Dbg)
+            .policy(PagePolicy::SelectiveProperty { fraction: 0.5 })
+            .run();
+        assert!(sel.verified, "seed {seed}");
+        assert!(
+            sel.speedup_over(&base) > 1.05,
+            "seed {seed}: speedup {:.3}",
+            sel.speedup_over(&base)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based integration tests: random configurations through the
+//! full stack must stay correct and conserve resources.
+
+use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Preprocessing, Surplus};
+use graphmem_graph::Dataset;
+use graphmem_os::{PageSize, System, SystemSpec, ThpMode};
+use graphmem_workloads::{AllocOrder, Kernel};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = PagePolicy> {
+    prop_oneof![
+        Just(PagePolicy::BaseOnly),
+        Just(PagePolicy::ThpSystemWide),
+        Just(PagePolicy::property_only()),
+        (0.0f64..=1.0).prop_map(|fraction| PagePolicy::SelectiveProperty { fraction }),
+    ]
+}
+
+fn arb_condition() -> impl Strategy<Value = MemoryCondition> {
+    prop_oneof![
+        Just(MemoryCondition::unbounded()),
+        (0.0f64..=0.75).prop_map(MemoryCondition::fragmented),
+        (0.0f64..=0.3).prop_map(|f| MemoryCondition::pressured(Surplus::FractionOfWss(f))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (policy, condition, order, preprocessing) combination yields a
+    /// verified run with sane accounting.
+    #[test]
+    fn random_configurations_stay_correct(
+        policy in arb_policy(),
+        cond in arb_condition(),
+        property_first in any::<bool>(),
+        preprocess in prop_oneof![
+            Just(Preprocessing::None),
+            Just(Preprocessing::Dbg),
+            Just(Preprocessing::DegreeSort),
+        ],
+        kernel_idx in 0usize..3,
+    ) {
+        let kernel = Kernel::ALL[kernel_idx];
+        let order = if property_first {
+            AllocOrder::PropertyFirst
+        } else {
+            AllocOrder::Natural
+        };
+        let r = Experiment::new(Dataset::Wiki, kernel)
+            .scale(12)
+            .huge_order(4)
+            .policy(policy)
+            .condition(cond)
+            .alloc_order(order)
+            .preprocessing(preprocess)
+            .run();
+        prop_assert!(r.verified, "wrong result under {policy:?} {cond:?}");
+        prop_assert!(r.compute_cycles > 0);
+        prop_assert!(r.total_huge_bytes <= r.footprint_bytes + 2 * r.property_bytes);
+        prop_assert!(r.property_huge_bytes <= r.total_huge_bytes);
+        let f = r.huge_memory_fraction();
+        prop_assert!((0.0..=1.5).contains(&f), "huge fraction {f}");
+        if matches!(policy, PagePolicy::BaseOnly) {
+            prop_assert_eq!(r.total_huge_bytes, 0);
+        }
+    }
+
+    /// Memory conservation across arbitrary touch/release cycles: after
+    /// releasing every region, only page-table frames remain allocated.
+    #[test]
+    fn release_conserves_frames(sizes in proptest::collection::vec(1u64..64, 1..8)) {
+        let mut spec = SystemSpec::scaled_demo();
+        spec.thp.mode = ThpMode::Always;
+        let mut sys = System::new(spec);
+        let free0 = sys.zone(1).free_frames();
+        let huge = sys.geometry().bytes(PageSize::Huge);
+        let regions: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &blocks)| {
+                let a = sys.mmap(blocks * huge / 2, &format!("r{i}"));
+                sys.populate(a, blocks * huge / 2);
+                a
+            })
+            .collect();
+        for a in regions {
+            sys.release_region(a);
+        }
+        let table_frames = free0 - sys.zone(1).free_frames();
+        // Page tables (incl. leftover interior nodes) remain; nothing else.
+        prop_assert!(
+            table_frames < 600,
+            "leaked {table_frames} frames beyond page tables"
+        );
+        sys.zone(1).assert_consistent();
+    }
+}
