@@ -44,8 +44,15 @@ OPTIONS (run and sweep):
     --file    <tmpfs|cache|direct>           graph loading    [tmpfs]
     --no-verify                              skip native-twin verification
 
+TELEMETRY (run only):
+    --telemetry <PATH>                       stream kernel events to PATH (JSONL)
+    --sample-interval <N>                    snapshot metrics every N cycles
+    --series <PATH>                          write the sampled series to PATH (CSV)
+    --json                                   print the report as one JSON object
+
 EXAMPLES:
     graphmem run --dataset kron --kernel bfs --policy thp --surplus 0.12
     graphmem run --policy selective:0.2 --preprocess dbg --frag 0.5 --surplus 0.35
+    graphmem run --policy thp --telemetry t.jsonl --sample-interval 100000 --json
     graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
 ";

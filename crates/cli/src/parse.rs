@@ -50,6 +50,14 @@ pub struct RunSpec {
     pub file: FilePlacement,
     /// Verify against the native twin.
     pub verify: bool,
+    /// Stream telemetry events to this JSONL file.
+    pub telemetry: Option<String>,
+    /// Epoch-sample metrics every N simulated cycles.
+    pub sample_interval: Option<u64>,
+    /// Write the sampled metrics series to this CSV file.
+    pub series: Option<String>,
+    /// Print the report as one JSON object instead of prose.
+    pub json: bool,
 }
 
 impl Default for RunSpec {
@@ -64,6 +72,10 @@ impl Default for RunSpec {
             condition: MemoryCondition::unbounded(),
             file: FilePlacement::TmpfsRemote,
             verify: true,
+            telemetry: None,
+            sample_interval: None,
+            series: None,
+            json: false,
         }
     }
 }
@@ -193,6 +205,18 @@ fn parse_spec(args: &[String]) -> Result<RunSpec, ParseError> {
                 }
             }
             "--no-verify" => spec.verify = false,
+            "--telemetry" => spec.telemetry = Some(value()?.clone()),
+            "--sample-interval" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--sample-interval needs an integer".into()))?;
+                if n == 0 {
+                    return err("--sample-interval must be positive");
+                }
+                spec.sample_interval = Some(n);
+            }
+            "--series" => spec.series = Some(value()?.clone()),
+            "--json" => spec.json = true,
             other => return err(format!("unknown option '{other}'")),
         }
     }
@@ -301,6 +325,23 @@ mod tests {
         );
         assert!(parse_policy("selective:1.5").is_err());
         assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let Command::Run(s) = parse(&args(
+            "run --telemetry /tmp/t.jsonl --sample-interval 100000 --series /tmp/s.csv --json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(s.sample_interval, Some(100_000));
+        assert_eq!(s.series.as_deref(), Some("/tmp/s.csv"));
+        assert!(s.json);
+        assert!(parse(&args("run --sample-interval 0")).is_err());
+        assert!(parse(&args("run --sample-interval many")).is_err());
+        assert!(parse(&args("run --telemetry")).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use graphmem_core::{sweep, Experiment, RunReport};
 use graphmem_graph::Dataset;
+use graphmem_telemetry::{JsonlSink, TraceConfig, Tracer};
 
 use crate::parse::{Command, RunSpec, SweepKind};
 use crate::USAGE;
@@ -12,11 +13,35 @@ pub fn execute(cmd: Command) {
     match cmd {
         Command::Help => println!("{USAGE}"),
         Command::Datasets => datasets(),
-        Command::Run(spec) => {
-            let report = build(&spec).run();
-            print_report(&report);
-        }
+        Command::Run(spec) => run_cmd(&spec),
         Command::Sweep(kind, spec) => sweep_cmd(kind, &spec),
+    }
+}
+
+fn run_cmd(spec: &RunSpec) {
+    let mut experiment = build(spec);
+    if let Some(path) = &spec.telemetry {
+        let sink = match JsonlSink::create(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot create telemetry file {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        experiment =
+            experiment.telemetry(Tracer::enabled(TraceConfig::default().sink(Box::new(sink))));
+    }
+    let report = experiment.run();
+    if let (Some(path), Some(series)) = (&spec.series, &report.series) {
+        if let Err(e) = series.write_csv(path) {
+            eprintln!("cannot write series file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if spec.json {
+        println!("{}", report.to_json());
+    } else {
+        print_report(&report);
     }
 }
 
@@ -32,6 +57,9 @@ fn build(spec: &RunSpec) -> Experiment {
     }
     if !spec.verify {
         e = e.skip_verification();
+    }
+    if let Some(interval) = spec.sample_interval {
+        e = e.sample_interval(interval);
     }
     e
 }

@@ -2,6 +2,7 @@
 
 use graphmem_graph::{reorder, Csr, Dataset};
 use graphmem_os::{FilePlacement, System, SystemSpec, ThpMode};
+use graphmem_telemetry::Tracer;
 use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
 use crate::autotune::HotnessProfile;
@@ -31,6 +32,8 @@ pub struct Experiment {
     defrag_scan_blocks: Option<usize>,
     stlb_entries: Option<u32>,
     seed_offset: u64,
+    telemetry: Tracer,
+    sample_interval: Option<u64>,
 }
 
 impl Experiment {
@@ -53,6 +56,8 @@ impl Experiment {
             defrag_scan_blocks: None,
             stlb_entries: None,
             seed_offset: 0,
+            telemetry: Tracer::disabled(),
+            sample_interval: None,
         }
     }
 
@@ -142,6 +147,26 @@ impl Experiment {
     /// same trends on newer parts).
     pub fn stlb_entries(mut self, entries: u32) -> Self {
         self.stlb_entries = Some(entries);
+        self
+    }
+
+    /// Attach a telemetry [`Tracer`]: the handle is installed across the
+    /// simulated system (MMU, zones, kernel) for this run, so events from
+    /// every layer land in one cycle-stamped stream. Hold on to a clone of
+    /// the handle (or configure a sink) to observe the run.
+    pub fn telemetry(mut self, tracer: Tracer) -> Self {
+        self.telemetry = tracer;
+        self
+    }
+
+    /// Sample epoch metrics every `interval` simulated cycles; the series
+    /// is attached to the resulting [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if `interval` is zero.
+    pub fn sample_interval(mut self, interval: u64) -> Self {
+        self.sample_interval = Some(interval);
         self
     }
 
@@ -237,6 +262,12 @@ impl Experiment {
             | PagePolicy::AutoSelective { .. } => ThpMode::Madvise,
         };
         let mut sys = System::new(spec);
+        if self.telemetry.is_enabled() {
+            sys.attach_telemetry(self.telemetry.clone());
+        }
+        if let Some(interval) = self.sample_interval {
+            sys.enable_sampling(interval);
+        }
         let hugetlb_property = matches!(policy, PagePolicy::HugetlbProperty);
         if hugetlb_property {
             // Boot-time reservation: before any pressure or fragmentation
@@ -281,6 +312,9 @@ impl Experiment {
             total_huge_bytes += huge_bytes_of(&sys, v.base());
         }
 
+        let series = sys.take_series();
+        let _ = self.telemetry.flush();
+
         RunReport {
             labels: [
                 self.dataset.name().to_string(),
@@ -303,6 +337,7 @@ impl Experiment {
             property_huge_bytes,
             total_huge_bytes,
             verified,
+            series,
         }
     }
 

@@ -1,6 +1,8 @@
 //! Results of one measured experiment run.
 
 use graphmem_os::OsStats;
+use graphmem_telemetry::json::JsonObject;
+use graphmem_telemetry::MetricsSeries;
 use graphmem_vm::PerfCounters;
 
 /// Everything measured during one [`Experiment`](crate::Experiment) run —
@@ -34,6 +36,9 @@ pub struct RunReport {
     pub total_huge_bytes: u64,
     /// Whether the simulated output matched the native reference.
     pub verified: bool,
+    /// Epoch-sampled metrics time series, when sampling was enabled (see
+    /// [`Experiment::sample_interval`](crate::Experiment::sample_interval)).
+    pub series: Option<MetricsSeries>,
 }
 
 impl RunReport {
@@ -87,6 +92,67 @@ impl RunReport {
         }
     }
 
+    /// Render the full report as one JSON object (no external deps — uses
+    /// the telemetry crate's tiny writer). Includes the sampled series when
+    /// present.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("dataset", &self.labels[0]);
+        o.field_str("kernel", &self.labels[1]);
+        o.field_str("policy", &self.labels[2]);
+        o.field_str("preprocessing", &self.labels[3]);
+        o.field_str("condition", &self.labels[4]);
+        o.field_u64("init_cycles", self.init_cycles);
+        o.field_u64("compute_cycles", self.compute_cycles);
+        o.field_u64("preprocess_cycles", self.preprocess_cycles);
+        o.field_u64("total_cycles", self.total_cycles());
+        let mut perf = JsonObject::new();
+        perf.field_u64("accesses", self.perf.accesses);
+        perf.field_u64("reads", self.perf.reads);
+        perf.field_u64("writes", self.perf.writes);
+        perf.field_u64("dtlb_misses", self.perf.dtlb_misses);
+        perf.field_u64("stlb_hits", self.perf.stlb_hits);
+        perf.field_u64("stlb_misses", self.perf.stlb_misses);
+        perf.field_u64("walk_pte_reads", self.perf.walk_pte_reads);
+        perf.field_u64("translation_cycles", self.perf.translation_cycles);
+        perf.field_u64("data_cycles", self.perf.data_cycles);
+        perf.field_u64("faults", self.perf.faults);
+        perf.field_f64("dtlb_miss_rate", self.dtlb_miss_rate());
+        perf.field_f64("stlb_miss_rate", self.stlb_miss_rate());
+        perf.field_f64("translation_overhead", self.translation_overhead());
+        o.field_raw("perf", &perf.finish());
+        let mut os = JsonObject::new();
+        os.field_u64("faults", self.os.faults);
+        os.field_u64("huge_faults", self.os.huge_faults);
+        os.field_u64("base_faults", self.os.base_faults);
+        os.field_u64("huge_fallbacks", self.os.huge_fallbacks);
+        os.field_u64("direct_compactions", self.os.direct_compactions);
+        os.field_u64("blocks_compacted", self.os.blocks_compacted);
+        os.field_u64("frames_migrated", self.os.frames_migrated);
+        os.field_u64("promotions", self.os.promotions);
+        os.field_u64("khugepaged_scans", self.os.khugepaged_scans);
+        os.field_u64("demotions", self.os.demotions);
+        os.field_u64("util_demotions", self.os.util_demotions);
+        os.field_u64("bloat_frames_reclaimed", self.os.bloat_frames_reclaimed);
+        os.field_u64("swap_outs", self.os.swap_outs);
+        os.field_u64("swap_ins", self.os.swap_ins);
+        os.field_u64("cache_reclaims", self.os.cache_reclaims);
+        os.field_u64("cache_fills", self.os.cache_fills);
+        os.field_u64("kernel_cycles", self.os.kernel_cycles);
+        o.field_raw("os", &os.finish());
+        o.field_u64("footprint_bytes", self.footprint_bytes);
+        o.field_u64("property_bytes", self.property_bytes);
+        o.field_u64("property_huge_bytes", self.property_huge_bytes);
+        o.field_u64("total_huge_bytes", self.total_huge_bytes);
+        o.field_f64("huge_memory_fraction", self.huge_memory_fraction());
+        o.field_f64("property_huge_fraction", self.property_huge_fraction());
+        o.field_bool("verified", self.verified);
+        if let Some(series) = &self.series {
+            o.field_raw("series", &series.to_json());
+        }
+        o.finish()
+    }
+
     /// One-line summary for harness output.
     pub fn summary(&self) -> String {
         format!(
@@ -134,6 +200,7 @@ mod tests {
             property_huge_bytes: 50,
             total_huge_bytes: 50,
             verified: true,
+            series: None,
         }
     }
 
@@ -147,5 +214,18 @@ mod tests {
         assert_eq!(fast.property_huge_fraction(), 0.5);
         assert_eq!(fast.total_cycles(), 610);
         assert!(fast.summary().contains("ok"));
+    }
+
+    #[test]
+    fn json_export_is_one_object_with_nested_sections() {
+        let mut r = report(500);
+        let j = r.to_json();
+        assert!(j.starts_with(r#"{"dataset":"kron","kernel":"bfs""#));
+        assert!(j.contains(r#""perf":{"accesses":0"#));
+        assert!(j.contains(r#""os":{"faults":0"#));
+        assert!(j.contains(r#""verified":true"#));
+        assert!(!j.contains(r#""series""#));
+        r.series = Some(MetricsSeries::new(100));
+        assert!(r.to_json().contains(r#""series":{"interval":100"#));
     }
 }

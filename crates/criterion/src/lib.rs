@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a minimal wall-clock benchmarking harness with the API
+//! surface graphmem's `micro` bench uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Reporting is intentionally simple: per benchmark it prints the median,
+//! minimum, and maximum time per iteration over `sample_size` samples. There
+//! is no statistical regression analysis, HTML report, or warm-up tuning —
+//! the paper-figure benches in this workspace use their own `harness = false`
+//! mains and only `micro.rs` goes through this harness.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// this harness always runs one routine call per setup call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many batches would fit in memory.
+    SmallInput,
+    /// Large input: batch memory footprint dominates.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Measure `f` repeatedly; iteration counts are auto-calibrated so each
+    /// sample spans at least ~1 ms of wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill ~1ms?
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Benchmark registry/runner, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mut s = b.samples_ns;
+        if s.is_empty() {
+            println!("{id:<40} (no samples recorded)");
+            return self;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(s[0]),
+            fmt_ns(median),
+            fmt_ns(s[s.len() - 1]),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Group benchmark target functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion__ = $cfg;
+            $($target(&mut criterion__);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 7);
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

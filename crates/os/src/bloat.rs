@@ -12,6 +12,7 @@
 //! splits pages below the threshold, and — optionally — unmaps and frees
 //! the never-touched base pages (zero-page bloat recovery).
 
+use graphmem_telemetry::{DemotionReason, EventKind};
 use graphmem_vm::{Leaf, PageSize, VirtAddr};
 
 use crate::system::System;
@@ -92,6 +93,10 @@ impl System {
         self.charge(self.cost.tlb_shootdown);
         self.stats.demotions += 1;
         self.stats.util_demotions += 1;
+        self.telemetry.emit(EventKind::Demotion {
+            vaddr: va.0,
+            reason: DemotionReason::Utilization,
+        });
 
         let hvpn = self.geom.page_number(va, PageSize::Huge);
         let bitmap = self.mmu.utilization_bitmap(hvpn);

@@ -2,6 +2,7 @@
 //! regions, with page-table and page-cache fix-ups.
 
 use graphmem_physmem::{FrameRange, MigrateTarget, Owner};
+use graphmem_telemetry::EventKind;
 use graphmem_vm::{PageSize, VirtAddr};
 
 use crate::system::{System, TAG_CACHE, TAG_PAYLOAD, TAG_VPN};
@@ -16,6 +17,16 @@ impl System {
     /// process of locating free huge page regions becomes more time
     /// consuming").
     pub(crate) fn direct_compact_for_huge(&mut self, owner: Owner) -> Option<FrameRange> {
+        let migrated_before = self.stats.frames_migrated;
+        let range = self.direct_compact_inner(owner);
+        self.telemetry.emit(EventKind::CompactionPass {
+            frames_migrated: (self.stats.frames_migrated - migrated_before) as u32,
+            freed: range.is_some(),
+        });
+        range
+    }
+
+    fn direct_compact_inner(&mut self, owner: Owner) -> Option<FrameRange> {
         self.stats.direct_compactions += 1;
         let ln = self.local_node as usize;
         let candidates = self.zones[ln].candidate_compaction_regions();

@@ -1,6 +1,7 @@
 //! Demand-paging fault handling and fault-time THP allocation.
 
 use graphmem_physmem::{Frame, Owner};
+use graphmem_telemetry::{EventKind, FaultOutcome};
 use graphmem_vm::{PageSize, VirtAddr};
 
 use crate::system::{System, TAG_VPN};
@@ -18,16 +19,30 @@ impl System {
         };
         if vma.hugetlb() {
             self.hugetlb_fault(vaddr);
+            self.emit_fault(vaddr, FaultOutcome::Hugetlb);
             return;
         }
         let locked = vma.locked();
         if self.thp.fault_huge && self.huge_eligible(id, vaddr) {
             if self.try_huge_fault(vaddr, locked) {
+                self.emit_fault(vaddr, FaultOutcome::Huge);
                 return;
             }
             self.stats.huge_fallbacks += 1;
+            self.base_fault(vaddr, locked);
+            self.emit_fault(vaddr, FaultOutcome::HugeFallback);
+            return;
         }
         self.base_fault(vaddr, locked);
+        self.emit_fault(vaddr, FaultOutcome::Base);
+    }
+
+    /// Record how a demand fault (or swap-in) was resolved.
+    pub(crate) fn emit_fault(&self, vaddr: VirtAddr, outcome: FaultOutcome) {
+        self.telemetry.emit(EventKind::PageFault {
+            vaddr: vaddr.0,
+            outcome,
+        });
     }
 
     /// Back a hugetlbfs region from the reservation pool. The pool was

@@ -1,6 +1,7 @@
 //! khugepaged: background promotion of base-page regions to huge pages.
 
 use graphmem_physmem::Owner;
+use graphmem_telemetry::EventKind;
 use graphmem_vm::{PageSize, VirtAddr, WalkResult};
 
 use crate::config::ThpMode;
@@ -37,6 +38,7 @@ impl System {
         let per_scan = self.thp.khugepaged.regions_per_scan;
         let (mut vi, mut off) = self.kh.cursor;
         let mut examined = 0;
+        let mut promoted = 0u32;
         let mut hops = 0; // VMA switches; 2*nvmas bounds a full wrap
         while examined < per_scan && hops <= 2 * nvmas {
             if vi >= nvmas {
@@ -56,9 +58,15 @@ impl System {
             off += huge_bytes;
             examined += 1;
             self.charge(self.cost.compact_scan_block);
-            self.try_promote_region(VmaId(vi), lo);
+            if self.try_promote_region(VmaId(vi), lo) {
+                promoted += 1;
+            }
         }
         self.kh.cursor = (vi, off);
+        self.telemetry.emit(EventKind::KhugepagedScan {
+            regions_scanned: examined as u32,
+            promoted,
+        });
     }
 
     /// Promote `[lo, lo + huge)` if it is eligible, sufficiently populated
@@ -114,8 +122,10 @@ impl System {
         };
         let huge_order = self.zones[ln].config().huge_order;
         let mut range = self.zones[ln].alloc(huge_order, owner);
+        let mut compacted = false;
         if range.is_none() && self.thp.fault_defrag {
             range = self.direct_compact_for_huge(owner);
+            compacted = range.is_some();
         }
         let Some(range) = range else {
             return false;
@@ -135,6 +145,10 @@ impl System {
         self.zones[ln].set_tag(range.base, TAG_VPN | lo.vpn());
         self.mmu.flush_tlb();
         self.stats.promotions += 1;
+        self.telemetry.emit(EventKind::Promotion {
+            vaddr: lo.0,
+            compacted,
+        });
         self.resident.push_back((lo.vpn(), PageSize::Huge));
         true
     }

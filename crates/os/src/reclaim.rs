@@ -6,6 +6,7 @@
 //! does.
 
 use graphmem_physmem::Owner;
+use graphmem_telemetry::{DemotionReason, EventKind, FaultOutcome, ReclaimKind};
 use graphmem_vm::{PageSize, VirtAddr, WalkResult};
 
 use crate::system::{System, TAG_VPN};
@@ -18,6 +19,10 @@ impl System {
             self.zones[ln].free_frame(frame);
             self.charge(self.cost.reclaim_frame);
             self.stats.cache_reclaims += 1;
+            self.telemetry.emit(EventKind::Reclaim {
+                kind: ReclaimKind::CacheDrop,
+                frames: 1,
+            });
             true
         } else {
             false
@@ -63,6 +68,10 @@ impl System {
                     self.mmu.invalidate_page(va, PageSize::Base);
                     self.charge(self.cost.swap_out_frame);
                     self.stats.swap_outs += 1;
+                    self.telemetry.emit(EventKind::Reclaim {
+                        kind: ReclaimKind::SwapOut,
+                        frames: 1,
+                    });
                     return true;
                 }
             }
@@ -113,6 +122,10 @@ impl System {
         self.mmu.invalidate_page(va, PageSize::Huge);
         self.charge(self.cost.tlb_shootdown);
         self.stats.demotions += 1;
+        self.telemetry.emit(EventKind::Demotion {
+            vaddr: va.0,
+            reason: DemotionReason::Swap,
+        });
         let frames = self.geom.frames(PageSize::Huge);
         let base_vpn = va.vpn();
         for i in (0..frames).rev() {
@@ -134,6 +147,11 @@ impl System {
         self.swap.free_slot(slot);
         self.charge(self.cost.swap_in_frame);
         self.stats.swap_ins += 1;
+        self.telemetry.emit(EventKind::Reclaim {
+            kind: ReclaimKind::SwapIn,
+            frames: 1,
+        });
+        self.emit_fault(va, FaultOutcome::SwapIn);
         self.resident.push_back((va.vpn(), PageSize::Base));
     }
 }

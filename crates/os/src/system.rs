@@ -3,6 +3,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use graphmem_physmem::{Frame, FrameRange, NodeId, Owner, Zone, FRAME_SIZE};
+use graphmem_telemetry::{
+    EpochSampler, EventKind, MetricsSample, MetricsSeries, ReclaimKind, Tracer,
+};
 use graphmem_vm::{
     AccessTrace, Fault, FaultKind, MemorySystem, PageGeometry, PageSize, PageTable, PerfCounters,
     VirtAddr,
@@ -95,6 +98,11 @@ pub struct System {
     pub(crate) bloat_next_run: u64,
     /// Optional access-trace recorder (see [`System::start_tracing`]).
     pub(crate) tracer: Option<AccessTrace>,
+    /// Telemetry event tracer, cloned into the MMU and zones (see
+    /// [`System::attach_telemetry`]). Disabled by default.
+    pub(crate) telemetry: Tracer,
+    /// Epoch metrics sampler (see [`System::enable_sampling`]).
+    pub(crate) sampler: Option<EpochSampler>,
     /// Boot-time-reserved hugetlbfs pool (paper §2.3's explicit huge
     /// pages): guaranteed huge frames, immune to later fragmentation.
     pub(crate) hugetlb_pool: Vec<FrameRange>,
@@ -154,6 +162,8 @@ impl System {
                 .utilization_demotion
                 .map_or(u64::MAX, |p| p.scan_interval_cycles),
             tracer: None,
+            telemetry: Tracer::disabled(),
+            sampler: None,
             hugetlb_pool: Vec::new(),
             deposits: HashMap::new(),
         }
@@ -267,9 +277,17 @@ impl System {
     /// Drop the entire page cache (`echo 1 > /proc/sys/vm/drop_caches`).
     pub fn drop_caches(&mut self) {
         self.charge(self.cost.syscall);
+        let mut dropped = 0u32;
         for (node, frame) in self.cache.drop_all() {
             self.zones[node as usize].free_frame(frame);
             self.stats.cache_reclaims += 1;
+            dropped += 1;
+        }
+        if dropped > 0 {
+            self.telemetry.emit(EventKind::Reclaim {
+                kind: ReclaimKind::CacheDrop,
+                frames: dropped,
+            });
         }
     }
 
@@ -292,16 +310,21 @@ impl System {
             t.push(addr, is_write);
         }
         for _attempt in 0..4 {
+            self.telemetry.set_clock(self.clock);
             match self.mmu.access(&self.pt, addr, is_write) {
                 Ok(cost) => {
                     self.clock += cost.cycles;
+                    self.telemetry.set_clock(self.clock);
                     self.maybe_khugepaged();
                     self.maybe_kbloatd();
+                    self.maybe_sample();
                     return;
                 }
                 Err(fault) => {
                     self.clock += fault.cycles;
+                    self.telemetry.set_clock(self.clock);
                     self.handle_fault(fault);
+                    self.maybe_sample();
                 }
             }
         }
@@ -375,6 +398,87 @@ impl System {
     /// started).
     pub fn take_trace(&mut self) -> AccessTrace {
         self.tracer.take().unwrap_or_default()
+    }
+
+    /// Attach a telemetry [`Tracer`]: clones of the handle are installed
+    /// in the MMU and every zone, so hardware, buddy-allocator, and kernel
+    /// events all stamp against the one simulated clock. Pass
+    /// [`Tracer::disabled()`] to detach. Observation never perturbs the
+    /// simulation: the clock and every counter advance identically whether
+    /// or not a tracer is attached.
+    pub fn attach_telemetry(&mut self, tracer: Tracer) {
+        tracer.set_clock(self.clock);
+        self.mmu.set_tracer(tracer.clone());
+        for zone in &mut self.zones {
+            zone.set_tracer(tracer.clone());
+        }
+        self.telemetry = tracer;
+    }
+
+    /// The telemetry handle currently attached (disabled by default).
+    pub fn telemetry(&self) -> &Tracer {
+        &self.telemetry
+    }
+
+    /// Snapshot counters and memory-state gauges every `interval`
+    /// simulated cycles into a [`MetricsSeries`] (collect it with
+    /// [`System::take_series`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_sampling(&mut self, interval: u64) {
+        self.sampler = Some(EpochSampler::new(interval));
+    }
+
+    /// Stop sampling and take the series, closing it with a final snapshot
+    /// of the current counters. `None` if sampling was never enabled.
+    pub fn take_series(&mut self) -> Option<MetricsSeries> {
+        let mut sampler = self.sampler.take()?;
+        sampler.record_final(self.metrics_sample());
+        Some(sampler.into_series())
+    }
+
+    /// Build an epoch snapshot of the cumulative counters plus
+    /// instantaneous gauges of the local zone and address space.
+    pub fn metrics_sample(&self) -> MetricsSample {
+        let perf = self.mmu.counters();
+        let zone = &self.zones[self.local_node as usize];
+        let map = self.mapping_report_total();
+        MetricsSample {
+            cycle: self.clock,
+            accesses: perf.accesses,
+            dtlb_misses: perf.dtlb_misses,
+            stlb_misses: perf.stlb_misses,
+            walk_pte_reads: perf.walk_pte_reads,
+            translation_cycles: perf.translation_cycles,
+            faults: self.stats.faults,
+            huge_faults: self.stats.huge_faults,
+            huge_fallbacks: self.stats.huge_fallbacks,
+            promotions: self.stats.promotions,
+            demotions: self.stats.demotions,
+            khugepaged_scans: self.stats.khugepaged_scans,
+            direct_compactions: self.stats.direct_compactions,
+            frames_migrated: self.stats.frames_migrated,
+            swap_outs: self.stats.swap_outs,
+            swap_ins: self.stats.swap_ins,
+            kernel_cycles: self.stats.kernel_cycles,
+            free_frames: zone.free_frames(),
+            free_huge_blocks: zone.free_huge_blocks(),
+            base_pages_mapped: map.base_pages,
+            huge_pages_mapped: map.huge_pages,
+            fragmentation_index: zone.fragmentation_level(),
+            huge_coverage: map.huge_fraction(),
+        }
+    }
+
+    fn maybe_sample(&mut self) {
+        if self.sampler.as_ref().is_some_and(|s| s.due(self.clock)) {
+            let sample = self.metrics_sample();
+            if let Some(s) = self.sampler.as_mut() {
+                s.record(sample);
+            }
+        }
     }
 
     /// The current page table (for trace replay against this process's
@@ -499,6 +603,7 @@ impl System {
     pub(crate) fn charge(&mut self, cycles: u64) {
         self.clock += cycles;
         self.stats.kernel_cycles += cycles;
+        self.telemetry.set_clock(self.clock);
     }
 
     pub(crate) fn fault_dispatch(&mut self, fault: Fault) {

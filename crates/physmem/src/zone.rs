@@ -1,5 +1,7 @@
 //! A per-NUMA-node physical memory zone with a buddy allocator.
 
+use graphmem_telemetry::{EventKind, EventMask, Tracer};
+
 use crate::buddy::BuddyLists;
 use crate::config::MemConfig;
 use crate::frame::{Frame, FrameRange, FrameState, MigrateType, Owner, Slot};
@@ -36,6 +38,7 @@ pub struct Zone {
     free: BuddyLists,
     free_frames: u64,
     stats: ZoneStats,
+    tracer: Tracer,
 }
 
 impl Zone {
@@ -65,7 +68,14 @@ impl Zone {
             free,
             free_frames: nframes,
             stats: ZoneStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a telemetry tracer; the zone emits buddy split/merge events
+    /// through it. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// NUMA node this zone belongs to.
@@ -239,6 +249,13 @@ impl Zone {
     /// upper halves back on `mt`'s free lists, then mark `[base, base+2^to)`
     /// allocated for `owner`.
     fn split_and_mark(&mut self, base: Frame, from: u8, to: u8, mt: MigrateType, owner: Owner) {
+        if from > to && self.tracer.wants(EventMask::BUDDY_SPLIT) {
+            self.tracer.emit(EventKind::BuddySplit {
+                order_from: from,
+                order_to: to,
+                base,
+            });
+        }
         for o in (to..from).rev() {
             self.free.insert(mt, o, base + (1u64 << o));
         }
@@ -282,6 +299,7 @@ impl Zone {
         // Buddy merging never crosses a pageblock boundary because the
         // maximum order equals the pageblock order, so the migratetype is
         // constant throughout the merge.
+        let freed_order = order;
         let mt = self.pageblock_mt[self.block_of(base)];
         while order < self.cfg.huge_order {
             let buddy = base ^ (1u64 << order);
@@ -290,6 +308,13 @@ impl Zone {
             }
             base = base.min(buddy);
             order += 1;
+        }
+        if order > freed_order && self.tracer.wants(EventMask::BUDDY_MERGE) {
+            self.tracer.emit(EventKind::BuddyMerge {
+                order_from: freed_order,
+                order_to: order,
+                base,
+            });
         }
         self.free.insert(mt, order, base);
     }

@@ -1,0 +1,70 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy generating between `len.start` and `len.end - 1` elements
+/// of `elem`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { elem, len }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a size drawn from a range.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = sample_len(rng, &self.len);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set below target; retry with a bounded budget
+        // so small element domains can't spin forever.
+        let attempts = 32 + target * 16;
+        for _ in 0..attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.elem.generate(rng));
+        }
+        set
+    }
+}
+
+/// A `BTreeSet` strategy targeting between `len.start` and `len.end - 1`
+/// distinct elements of `elem` (best effort for small domains).
+pub fn btree_set<S: Strategy>(elem: S, len: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    assert!(len.start < len.end, "empty set size range");
+    BTreeSetStrategy { elem, len }
+}
+
+fn sample_len(rng: &mut TestRng, len: &Range<usize>) -> usize {
+    len.start + rng.below((len.end - len.start) as u64) as usize
+}

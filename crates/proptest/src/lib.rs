@@ -1,0 +1,519 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a minimal deterministic property-testing harness with
+//! the API surface graphmem's tests use:
+//!
+//! - the [`proptest!`] macro (`#![proptest_config(..)]`, `#[test]` fns with
+//!   `pattern in strategy` parameters),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] returning
+//!   [`TestCaseError`] instead of panicking,
+//! - [`prop_oneof!`], [`Just`], [`any`], integer/float range strategies,
+//!   tuple strategies, `.prop_map`, and [`collection::vec`] /
+//!   [`collection::btree_set`].
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (stable across runs and machines), and there is **no
+//! shrinking** — a failing case reports its case index and message as-is.
+
+use std::marker::PhantomData;
+
+pub mod collection;
+
+/// Deterministic RNG driving case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator for `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, offset per case by the golden ratio.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h.wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Error raised by a failing property-test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold; the payload explains why.
+    Fail(String),
+    /// The generated input was rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Build a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Result type of a property-test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is honored by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// Object-safe core (`generate`) plus sized combinators, so heterogeneous
+/// strategies can be unified behind `Box<dyn Strategy<Value = V>>` (see
+/// [`prop_oneof!`]).
+pub trait Strategy {
+    /// Type of values produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a default whole-domain strategy, via [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Whole-domain strategy for `T` (see [`any`]).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Scalars samplable from range strategies (`0u32..64`, `0.0f64..=1.0`).
+pub trait RangeValue: Copy + PartialOrd {
+    /// Uniform draw in `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_between(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_between(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "empty range strategy");
+                (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn sample_between(rng: &mut TestRng, low: Self, high: Self, _inclusive: bool) -> Self {
+        assert!(low <= high, "empty range strategy");
+        low + rng.unit_f64() * (high - low)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Uniform choice among boxed strategies of one value type (see
+/// [`prop_oneof!`]).
+pub struct Union<V> {
+    variants: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from pre-boxed variants; must be non-empty.
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+/// Box a strategy as a trait object; helps `prop_oneof!` unify arm types.
+pub fn boxed_dyn<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Execute `case` for `cfg.cases` deterministic cases, panicking on the first
+/// failure. Called by the expansion of [`proptest!`]; not part of the real
+/// proptest API.
+pub fn run_proptest(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    for i in 0..cfg.cases {
+        let mut rng = TestRng::for_case(name, i);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case {i}/{} failed: {msg}", cfg.cases)
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(binding in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(&$cfg, stringify!($name), |rng__| {
+                $(let $p = $crate::Strategy::generate(&($s), rng__);)+
+                #[allow(unreachable_code)]
+                let result__ = (move || -> $crate::TestCaseResult {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                result__
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test, failing the case (with
+/// formatted context) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property test (non-panicking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ == *r__,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l__,
+            r__
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ == *r__,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l__,
+            r__,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a property test (non-panicking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ != *r__,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l__
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_dyn($s)),+])
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed_dyn, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        ArbitraryValue, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::run_proptest;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (2u32..64).generate(&mut rng);
+            assert!((2..64).contains(&v));
+            let (a, b) = (0u8..=4, 0.0f64..=1.0).generate(&mut rng);
+            assert!(a <= 4);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![
+            Just(0u32),
+            (10u32..20).prop_map(|x| x),
+            any::<u32>().prop_map(|x| 1000 + x % 10),
+        ];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                0 => seen[0] = true,
+                10..=19 => seen[1] = true,
+                1000..=1009 => seen[2] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn collections_honor_size_ranges() {
+        let mut rng = TestRng::for_case("coll", 0);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u64..32, 1..200).generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 200);
+            let s = crate::collection::btree_set(0u64..10_000, 1..150).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 150);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::collection::vec(any::<u64>(), 5..6);
+        let a = s.generate(&mut TestRng::for_case("det", 3));
+        let b = s.generate(&mut TestRng::for_case("det", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, early return, and prop_assert forms.
+        #[test]
+        fn macro_smoke(x in 0u32..100, flip in any::<bool>(), f in 0.0f64..=1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..=1.0).contains(&f), "f out of range: {f}");
+            if flip {
+                return Ok(());
+            }
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        run_proptest(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

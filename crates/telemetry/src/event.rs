@@ -1,0 +1,481 @@
+//! Typed, cycle-stamped simulator events.
+//!
+//! Payloads are plain integers/enums (no references into simulator state), so
+//! this crate sits below `graphmem-physmem`/`-vm`/`-os` in the dependency
+//! graph and every layer can emit without cycles.
+
+use crate::json::JsonObject;
+
+/// Which TLB array an entry moved in or out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLevel {
+    /// A first-level (per-page-size) DTLB.
+    L1,
+    /// The unified second-level TLB.
+    Stlb,
+}
+
+impl TlbLevel {
+    fn name(self) -> &'static str {
+        match self {
+            TlbLevel::L1 => "l1",
+            TlbLevel::Stlb => "stlb",
+        }
+    }
+}
+
+/// How a page fault was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Mapped a base page.
+    Base,
+    /// Mapped a huge page.
+    Huge,
+    /// Wanted a huge page but fell back to a base page.
+    HugeFallback,
+    /// Brought a page back from swap.
+    SwapIn,
+    /// Mapped a pre-reserved hugetlbfs page.
+    Hugetlb,
+}
+
+impl FaultOutcome {
+    fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Base => "base",
+            FaultOutcome::Huge => "huge",
+            FaultOutcome::HugeFallback => "huge_fallback",
+            FaultOutcome::SwapIn => "swap_in",
+            FaultOutcome::Hugetlb => "hugetlb",
+        }
+    }
+}
+
+/// Why a huge mapping was demoted to base pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// Demoted so individual base pages could be swapped out.
+    Swap,
+    /// Demoted by the utilization daemon (bloat recovery).
+    Utilization,
+}
+
+impl DemotionReason {
+    fn name(self) -> &'static str {
+        match self {
+            DemotionReason::Swap => "swap",
+            DemotionReason::Utilization => "utilization",
+        }
+    }
+}
+
+/// What a reclaim step recovered or moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimKind {
+    /// Dropped a clean page-cache frame.
+    CacheDrop,
+    /// Wrote an anonymous page out to swap.
+    SwapOut,
+    /// Read a page back in from swap.
+    SwapIn,
+}
+
+impl ReclaimKind {
+    fn name(self) -> &'static str {
+        match self {
+            ReclaimKind::CacheDrop => "cache_drop",
+            ReclaimKind::SwapOut => "swap_out",
+            ReclaimKind::SwapIn => "swap_in",
+        }
+    }
+}
+
+/// The typed payload of one simulator event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A translation was inserted into a TLB array.
+    TlbFill {
+        /// Array filled.
+        level: TlbLevel,
+        /// Whether the entry maps a huge page.
+        huge: bool,
+        /// Virtual page number at the entry's page size.
+        vpn: u64,
+    },
+    /// A valid entry was displaced from a TLB array by a fill.
+    TlbEvict {
+        /// Array evicted from.
+        level: TlbLevel,
+        /// Whether the victim mapped a huge page.
+        huge: bool,
+        /// Victim's virtual page number.
+        vpn: u64,
+    },
+    /// The page-table walker resolved a translation.
+    PageWalk {
+        /// Faulting/translated virtual address.
+        vaddr: u64,
+        /// PTE reads charged to the walk.
+        pte_reads: u32,
+        /// Simulated cycles the walk cost.
+        cycles: u32,
+        /// Whether the walk ended at a huge leaf.
+        huge_leaf: bool,
+    },
+    /// A page fault was taken and resolved.
+    PageFault {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// How it was resolved.
+        outcome: FaultOutcome,
+    },
+    /// khugepaged woke up and scanned for promotion candidates.
+    KhugepagedScan {
+        /// Candidate regions examined this scan.
+        regions_scanned: u32,
+        /// Regions promoted this scan.
+        promoted: u32,
+    },
+    /// A base-page region was promoted to a huge mapping.
+    Promotion {
+        /// Virtual address of the promoted region.
+        vaddr: u64,
+        /// Whether compaction ran to make the huge frame.
+        compacted: bool,
+    },
+    /// A huge mapping was demoted to base pages.
+    Demotion {
+        /// Virtual address of the demoted region.
+        vaddr: u64,
+        /// Why it was demoted.
+        reason: DemotionReason,
+    },
+    /// A compaction pass over one pageblock finished.
+    CompactionPass {
+        /// Frames migrated out of the block.
+        frames_migrated: u32,
+        /// Whether the block ended fully free.
+        freed: bool,
+    },
+    /// A reclaim step ran (cache drop / swap traffic).
+    Reclaim {
+        /// What was reclaimed.
+        kind: ReclaimKind,
+        /// Frames affected.
+        frames: u32,
+    },
+    /// The buddy allocator split a free block.
+    BuddySplit {
+        /// Order of the block that was split.
+        order_from: u8,
+        /// Order the allocation actually needed.
+        order_to: u8,
+        /// Base frame of the split block.
+        base: u64,
+    },
+    /// The buddy allocator merged two free buddies.
+    BuddyMerge {
+        /// Order of each merged buddy.
+        order_from: u8,
+        /// Order of the resulting block.
+        order_to: u8,
+        /// Base frame of the resulting block.
+        base: u64,
+    },
+}
+
+/// One traced occurrence: a payload stamped with the simulated cycle clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TlbFill { .. } => "tlb_fill",
+            EventKind::TlbEvict { .. } => "tlb_evict",
+            EventKind::PageWalk { .. } => "page_walk",
+            EventKind::PageFault { .. } => "page_fault",
+            EventKind::KhugepagedScan { .. } => "khugepaged_scan",
+            EventKind::Promotion { .. } => "promotion",
+            EventKind::Demotion { .. } => "demotion",
+            EventKind::CompactionPass { .. } => "compaction_pass",
+            EventKind::Reclaim { .. } => "reclaim",
+            EventKind::BuddySplit { .. } => "buddy_split",
+            EventKind::BuddyMerge { .. } => "buddy_merge",
+        }
+    }
+
+    /// The mask bit selecting this kind of event.
+    pub fn mask_bit(&self) -> EventMask {
+        match self {
+            EventKind::TlbFill { .. } => EventMask::TLB_FILL,
+            EventKind::TlbEvict { .. } => EventMask::TLB_EVICT,
+            EventKind::PageWalk { .. } => EventMask::PAGE_WALK,
+            EventKind::PageFault { .. } => EventMask::PAGE_FAULT,
+            EventKind::KhugepagedScan { .. } => EventMask::KHUGEPAGED_SCAN,
+            EventKind::Promotion { .. } => EventMask::PROMOTION,
+            EventKind::Demotion { .. } => EventMask::DEMOTION,
+            EventKind::CompactionPass { .. } => EventMask::COMPACTION,
+            EventKind::Reclaim { .. } => EventMask::RECLAIM,
+            EventKind::BuddySplit { .. } => EventMask::BUDDY_SPLIT,
+            EventKind::BuddyMerge { .. } => EventMask::BUDDY_MERGE,
+        }
+    }
+}
+
+impl Event {
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("cycle", self.cycle);
+        o.field_str("event", self.kind.name());
+        match self.kind {
+            EventKind::TlbFill { level, huge, vpn } | EventKind::TlbEvict { level, huge, vpn } => {
+                o.field_str("level", level.name());
+                o.field_bool("huge", huge);
+                o.field_u64("vpn", vpn);
+            }
+            EventKind::PageWalk {
+                vaddr,
+                pte_reads,
+                cycles,
+                huge_leaf,
+            } => {
+                o.field_u64("vaddr", vaddr);
+                o.field_u64("pte_reads", pte_reads as u64);
+                o.field_u64("cycles", cycles as u64);
+                o.field_bool("huge_leaf", huge_leaf);
+            }
+            EventKind::PageFault { vaddr, outcome } => {
+                o.field_u64("vaddr", vaddr);
+                o.field_str("outcome", outcome.name());
+            }
+            EventKind::KhugepagedScan {
+                regions_scanned,
+                promoted,
+            } => {
+                o.field_u64("regions_scanned", regions_scanned as u64);
+                o.field_u64("promoted", promoted as u64);
+            }
+            EventKind::Promotion { vaddr, compacted } => {
+                o.field_u64("vaddr", vaddr);
+                o.field_bool("compacted", compacted);
+            }
+            EventKind::Demotion { vaddr, reason } => {
+                o.field_u64("vaddr", vaddr);
+                o.field_str("reason", reason.name());
+            }
+            EventKind::CompactionPass {
+                frames_migrated,
+                freed,
+            } => {
+                o.field_u64("frames_migrated", frames_migrated as u64);
+                o.field_bool("freed", freed);
+            }
+            EventKind::Reclaim { kind, frames } => {
+                o.field_str("kind", kind.name());
+                o.field_u64("frames", frames as u64);
+            }
+            EventKind::BuddySplit {
+                order_from,
+                order_to,
+                base,
+            }
+            | EventKind::BuddyMerge {
+                order_from,
+                order_to,
+                base,
+            } => {
+                o.field_u64("order_from", order_from as u64);
+                o.field_u64("order_to", order_to as u64);
+                o.field_u64("base", base);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// Bitmask selecting which event kinds a tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// No events.
+    pub const NONE: EventMask = EventMask(0);
+    /// TLB fills.
+    pub const TLB_FILL: EventMask = EventMask(1 << 0);
+    /// TLB evictions.
+    pub const TLB_EVICT: EventMask = EventMask(1 << 1);
+    /// Page-table walks.
+    pub const PAGE_WALK: EventMask = EventMask(1 << 2);
+    /// Page faults.
+    pub const PAGE_FAULT: EventMask = EventMask(1 << 3);
+    /// khugepaged scan wake-ups.
+    pub const KHUGEPAGED_SCAN: EventMask = EventMask(1 << 4);
+    /// Huge-page promotions.
+    pub const PROMOTION: EventMask = EventMask(1 << 5);
+    /// Huge-page demotions.
+    pub const DEMOTION: EventMask = EventMask(1 << 6);
+    /// Compaction passes.
+    pub const COMPACTION: EventMask = EventMask(1 << 7);
+    /// Reclaim / swap traffic.
+    pub const RECLAIM: EventMask = EventMask(1 << 8);
+    /// Buddy-allocator splits.
+    pub const BUDDY_SPLIT: EventMask = EventMask(1 << 9);
+    /// Buddy-allocator merges.
+    pub const BUDDY_MERGE: EventMask = EventMask(1 << 10);
+
+    /// Per-translation hardware events — enormous volume on real runs.
+    pub const HARDWARE: EventMask =
+        EventMask(Self::TLB_FILL.0 | Self::TLB_EVICT.0 | Self::PAGE_WALK.0);
+    /// OS-level management events — the interesting, low-volume stream.
+    pub const OS: EventMask = EventMask(
+        Self::PAGE_FAULT.0
+            | Self::KHUGEPAGED_SCAN.0
+            | Self::PROMOTION.0
+            | Self::DEMOTION.0
+            | Self::COMPACTION.0
+            | Self::RECLAIM.0
+            | Self::BUDDY_SPLIT.0
+            | Self::BUDDY_MERGE.0,
+    );
+    /// Everything.
+    pub const ALL: EventMask = EventMask(Self::HARDWARE.0 | Self::OS.0);
+
+    /// The raw bit representation (stable only within a process).
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a mask from [`Self::bits`]. Unknown bits are kept but match
+    /// no event kind.
+    pub const fn from_bits(bits: u32) -> EventMask {
+        EventMask(bits)
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    pub fn contains(self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any bit of `other` is set in `self`.
+    pub fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        self.union(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_cleanly() {
+        assert!(EventMask::ALL.contains(EventMask::HARDWARE));
+        assert!(EventMask::ALL.contains(EventMask::OS));
+        assert!(!EventMask::OS.intersects(EventMask::HARDWARE));
+        assert!(!EventMask::NONE.intersects(EventMask::ALL));
+        let m = EventMask::PAGE_FAULT | EventMask::PROMOTION;
+        assert!(m.contains(EventMask::PAGE_FAULT));
+        assert!(!m.contains(EventMask::DEMOTION));
+    }
+
+    #[test]
+    fn every_kind_maps_to_its_own_bit() {
+        let kinds = [
+            EventKind::TlbFill {
+                level: TlbLevel::L1,
+                huge: false,
+                vpn: 0,
+            },
+            EventKind::TlbEvict {
+                level: TlbLevel::Stlb,
+                huge: true,
+                vpn: 1,
+            },
+            EventKind::PageWalk {
+                vaddr: 0,
+                pte_reads: 4,
+                cycles: 120,
+                huge_leaf: false,
+            },
+            EventKind::PageFault {
+                vaddr: 4096,
+                outcome: FaultOutcome::Huge,
+            },
+            EventKind::KhugepagedScan {
+                regions_scanned: 2,
+                promoted: 1,
+            },
+            EventKind::Promotion {
+                vaddr: 1 << 21,
+                compacted: true,
+            },
+            EventKind::Demotion {
+                vaddr: 0,
+                reason: DemotionReason::Utilization,
+            },
+            EventKind::CompactionPass {
+                frames_migrated: 8,
+                freed: true,
+            },
+            EventKind::Reclaim {
+                kind: ReclaimKind::SwapOut,
+                frames: 1,
+            },
+            EventKind::BuddySplit {
+                order_from: 9,
+                order_to: 0,
+                base: 512,
+            },
+            EventKind::BuddyMerge {
+                order_from: 0,
+                order_to: 1,
+                base: 2,
+            },
+        ];
+        let mut seen = 0u32;
+        for k in kinds {
+            let bit = k.mask_bit();
+            assert!(
+                EventMask::ALL.contains(bit),
+                "{} missing from ALL",
+                k.name()
+            );
+            assert!(!EventMask(seen).intersects(bit), "{} bit reused", k.name());
+            seen |= bit.0;
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_one_flat_object() {
+        let e = Event {
+            cycle: 1234,
+            kind: EventKind::PageFault {
+                vaddr: 0x20_0000,
+                outcome: FaultOutcome::HugeFallback,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"cycle":1234,"event":"page_fault","vaddr":2097152,"outcome":"huge_fallback"}"#
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Observability substrate for the graphmem simulator.
+//!
+//! Three pieces, all deterministic and all zero-cost when disabled:
+//!
+//! 1. **Event tracing** ([`Tracer`], [`Event`], [`EventSink`]): typed,
+//!    cycle-stamped events emitted from the hardware model (TLB fills and
+//!    evictions, page walks), the OS model (page faults, khugepaged scans,
+//!    promotions/demotions, compaction, reclaim, swap), and the physical
+//!    memory model (buddy splits and merges). Events land in a bounded ring
+//!    buffer and/or stream to a pluggable sink such as a JSONL file.
+//! 2. **Epoch sampling** ([`EpochSampler`], [`MetricsSample`],
+//!    [`MetricsSeries`]): a cumulative metrics snapshot taken every N
+//!    simulated cycles, forming a time series that rides along on the run
+//!    report. Per-epoch deltas (miss rates, faults/cycle) are derived from
+//!    adjacent cumulative samples, so the series always sums back to the
+//!    final aggregate counters.
+//! 3. **Exporters**: JSONL for events, CSV for the time series, plus a tiny
+//!    dependency-free JSON writer ([`json`]) shared with
+//!    `RunReport::to_json`.
+//!
+//! The handle type [`Tracer`] is a cheap clone (`Option<Arc<..>>`): a
+//! disabled tracer is `None`, so instrumented hot paths pay one branch and no
+//! allocation. Emitting an event never touches the simulated clock or any
+//! performance counter — observation cannot perturb the simulation.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use event::{DemotionReason, Event, EventKind, EventMask, FaultOutcome, ReclaimKind, TlbLevel};
+pub use metrics::{EpochSampler, MetricsSample, MetricsSeries};
+pub use trace::{EventSink, JsonlSink, TraceConfig, TraceStats, Tracer};

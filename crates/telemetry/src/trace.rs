@@ -1,0 +1,382 @@
+//! The event tracer: a cheap-clone handle shared by every simulator layer.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind, EventMask};
+
+/// Destination for traced events (e.g. a JSONL file).
+///
+/// Sinks receive events in emission order. `record` must not touch simulator
+/// state; it only serializes. Sinks are `Send` so a tracer handle can ride
+/// inside experiment configurations that cross threads (sweep runners).
+pub trait EventSink: Send {
+    /// Consume one event.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Sink writing one JSON object per line (JSON Lines).
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            out: BufWriter::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // Serialization errors must not abort a simulation; drop the line.
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Counters describing what a tracer has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Events that passed the mask and were recorded.
+    pub emitted: u64,
+    /// Events displaced from the ring buffer by capacity pressure
+    /// (still delivered to the sink, if one is attached).
+    pub dropped_from_ring: u64,
+}
+
+/// Tracer configuration.
+pub struct TraceConfig {
+    /// Which event kinds to record.
+    pub mask: EventMask,
+    /// Ring-buffer capacity in events.
+    pub ring_capacity: usize,
+    /// Optional streaming sink.
+    pub sink: Option<Box<dyn EventSink>>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mask: EventMask::OS,
+            ring_capacity: 65_536,
+            sink: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Select which event kinds to record.
+    pub fn mask(mut self, mask: EventMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Bound the in-memory ring buffer.
+    pub fn ring_capacity(mut self, events: usize) -> Self {
+        self.ring_capacity = events;
+        self
+    }
+
+    /// Stream events to `sink` as they are emitted.
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+struct TraceBuffer {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    sink: Option<Box<dyn EventSink>>,
+    stats: TraceStats,
+}
+
+struct Shared {
+    clock: AtomicU64,
+    mask: AtomicU32,
+    buf: Mutex<TraceBuffer>,
+}
+
+/// Handle to a trace session, cloned into every instrumented layer.
+///
+/// A disabled tracer (the default) is a `None` — instrumentation sites pay a
+/// single branch and emit nothing. All clones share one clock, mask, ring
+/// buffer, and sink; the simulation driver advances the clock, the layers
+/// emit. The handle is `Send`, so an experiment configuration carrying one
+/// can be dispatched to a worker thread; each simulation remains
+/// single-threaded, the atomics only make the handoff sound.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(s) => write!(
+                f,
+                "Tracer(clock={}, emitted={})",
+                s.clock.load(Ordering::Relaxed),
+                s.buf.lock().map_or(0, |b| b.stats.emitted)
+            ),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing and costs one branch per emit site.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An active tracer with the given configuration.
+    pub fn enabled(config: TraceConfig) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Shared {
+                clock: AtomicU64::new(0),
+                mask: AtomicU32::new(config.mask.bits()),
+                buf: Mutex::new(TraceBuffer {
+                    ring: VecDeque::with_capacity(config.ring_capacity.min(4096)),
+                    capacity: config.ring_capacity,
+                    sink: config.sink,
+                    stats: TraceStats::default(),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Cheap pre-check for hot paths: is any bit of `mask` being recorded?
+    ///
+    /// Call this before constructing an event payload so a disabled (or
+    /// masked-off) tracer costs no payload construction.
+    #[inline]
+    pub fn wants(&self, mask: EventMask) -> bool {
+        match &self.inner {
+            None => false,
+            Some(s) => EventMask::from_bits(s.mask.load(Ordering::Relaxed)).intersects(mask),
+        }
+    }
+
+    /// Advance the shared cycle clock (driver only).
+    #[inline]
+    pub fn set_clock(&self, cycle: u64) {
+        if let Some(s) = &self.inner {
+            s.clock.store(cycle, Ordering::Relaxed);
+        }
+    }
+
+    /// Current cycle stamp.
+    pub fn clock(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.clock.load(Ordering::Relaxed))
+    }
+
+    /// Replace the recording mask.
+    pub fn set_mask(&self, mask: EventMask) {
+        if let Some(s) = &self.inner {
+            s.mask.store(mask.bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current recording mask ([`EventMask::NONE`] when disabled).
+    pub fn mask(&self) -> EventMask {
+        self.inner.as_ref().map_or(EventMask::NONE, |s| {
+            EventMask::from_bits(s.mask.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Record `kind` at the current clock, if enabled and selected.
+    pub fn emit(&self, kind: EventKind) {
+        let Some(s) = &self.inner else { return };
+        if !EventMask::from_bits(s.mask.load(Ordering::Relaxed)).intersects(kind.mask_bit()) {
+            return;
+        }
+        let event = Event {
+            cycle: s.clock.load(Ordering::Relaxed),
+            kind,
+        };
+        let mut buf = s.buf.lock().expect("tracer buffer poisoned");
+        buf.stats.emitted += 1;
+        if let Some(sink) = buf.sink.as_mut() {
+            sink.record(&event);
+        }
+        if buf.capacity > 0 {
+            if buf.ring.len() == buf.capacity {
+                buf.ring.pop_front();
+                buf.stats.dropped_from_ring += 1;
+            }
+            buf.ring.push_back(event);
+        }
+    }
+
+    /// Snapshot of the ring buffer, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |s| {
+            s.buf
+                .lock()
+                .expect("tracer buffer poisoned")
+                .ring
+                .iter()
+                .copied()
+                .collect()
+        })
+    }
+
+    /// Emission counters.
+    pub fn stats(&self) -> TraceStats {
+        self.inner.as_ref().map_or_else(TraceStats::default, |s| {
+            s.buf.lock().expect("tracer buffer poisoned").stats
+        })
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.inner {
+            None => Ok(()),
+            Some(s) => match s.buf.lock().expect("tracer buffer poisoned").sink.as_mut() {
+                None => Ok(()),
+                Some(sink) => sink.flush(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultOutcome;
+    use std::sync::mpsc;
+
+    fn fault(vaddr: u64) -> EventKind {
+        EventKind::PageFault {
+            vaddr,
+            outcome: FaultOutcome::Base,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.wants(EventMask::ALL));
+        t.set_clock(99);
+        t.emit(fault(0));
+        assert!(t.events().is_empty());
+        assert_eq!(t.stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn events_are_cycle_stamped_and_shared_across_clones() {
+        let t = Tracer::enabled(TraceConfig::default());
+        let layer = t.clone();
+        t.set_clock(10);
+        layer.emit(fault(4096));
+        t.set_clock(20);
+        layer.emit(fault(8192));
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].cycle, ev[1].cycle), (10, 20));
+        assert_eq!(t.stats().emitted, 2);
+    }
+
+    #[test]
+    fn mask_filters_events() {
+        let t = Tracer::enabled(TraceConfig::default().mask(EventMask::PROMOTION));
+        assert!(t.wants(EventMask::PROMOTION | EventMask::PAGE_FAULT));
+        assert!(!t.wants(EventMask::PAGE_FAULT));
+        t.emit(fault(0));
+        t.emit(EventKind::Promotion {
+            vaddr: 0,
+            compacted: false,
+        });
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.stats().emitted, 1);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let t = Tracer::enabled(TraceConfig::default().ring_capacity(3));
+        for i in 0..10 {
+            t.set_clock(i);
+            t.emit(fault(i * 4096));
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].cycle, 7);
+        assert_eq!(ev[2].cycle, 9);
+        let s = t.stats();
+        assert_eq!(s.emitted, 10);
+        assert_eq!(s.dropped_from_ring, 7);
+    }
+
+    struct ChannelSink(mpsc::Sender<Event>);
+    impl EventSink for ChannelSink {
+        fn record(&mut self, event: &Event) {
+            self.0.send(*event).unwrap();
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_emitted_event_even_past_ring_capacity() {
+        let (tx, rx) = mpsc::channel();
+        let t = Tracer::enabled(
+            TraceConfig::default()
+                .ring_capacity(2)
+                .sink(Box::new(ChannelSink(tx))),
+        );
+        for i in 0..5 {
+            t.set_clock(i);
+            t.emit(fault(i));
+        }
+        drop(t);
+        assert_eq!(rx.iter().count(), 5);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&Event {
+            cycle: 1,
+            kind: fault(4096),
+        });
+        sink.record(&Event {
+            cycle: 2,
+            kind: fault(8192),
+        });
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"cycle":1,"event":"page_fault""#));
+    }
+}

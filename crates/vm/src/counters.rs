@@ -120,6 +120,63 @@ mod tests {
     }
 
     #[test]
+    fn rates_are_zero_when_no_accesses_even_with_miss_counts() {
+        // A counter snapshot taken mid-fault can have miss events charged
+        // before the access retires; rates must not divide by zero.
+        let c = PerfCounters {
+            dtlb_misses: 7,
+            stlb_misses: 3,
+            translation_cycles: 90,
+            ..PerfCounters::default()
+        };
+        assert_eq!(c.accesses, 0);
+        assert_eq!(c.dtlb_miss_rate(), 0.0);
+        assert_eq!(c.stlb_miss_rate(), 0.0);
+        assert_eq!(c.translation_overhead(0), 0.0);
+        assert_eq!(c.memory_cycles(), 90);
+    }
+
+    #[test]
+    fn since_self_is_zero() {
+        let c = PerfCounters {
+            accesses: 42,
+            reads: 30,
+            writes: 12,
+            dtlb_misses: 9,
+            stlb_hits: 5,
+            stlb_misses: 4,
+            walk_pte_reads: 11,
+            translation_cycles: 77,
+            data_cycles: 123,
+            data_level_hits: [6, 5, 4, 3],
+            faults: 2,
+        };
+        assert_eq!(c.since(&c), PerfCounters::default());
+    }
+
+    #[test]
+    fn since_then_rates_give_interval_rates() {
+        let earlier = PerfCounters {
+            accesses: 100,
+            dtlb_misses: 50,
+            stlb_misses: 25,
+            ..PerfCounters::default()
+        };
+        let later = PerfCounters {
+            accesses: 300,
+            dtlb_misses: 70,
+            stlb_misses: 35,
+            ..PerfCounters::default()
+        };
+        let d = later.since(&earlier);
+        // Cumulative rates (later) differ from the interval rates (delta):
+        // the delta isolates the most recent phase.
+        assert_eq!(d.dtlb_miss_rate(), 0.10);
+        assert_eq!(d.stlb_miss_rate(), 0.05);
+        assert!(later.dtlb_miss_rate() > d.dtlb_miss_rate());
+    }
+
+    #[test]
     fn since_subtracts() {
         let a = PerfCounters {
             accesses: 10,

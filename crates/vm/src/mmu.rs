@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use graphmem_physmem::{NodeId, FRAME_SIZE};
+use graphmem_telemetry::{EventKind, EventMask, TlbLevel, Tracer};
 
 use crate::addr::{PageGeometry, PageSize, VirtAddr};
 use crate::cache::{CacheHierarchy, CacheLevel};
@@ -63,6 +64,8 @@ pub struct MemorySystem {
     /// access-bit scanning that Ingens/HawkEye-style policies rely on;
     /// disabled (None) unless the OS turns it on.
     utilization: Option<HashMap<u64, Vec<bool>>>,
+    /// Telemetry handle (disabled by default: one branch per emit site).
+    tracer: Tracer,
 }
 
 impl MemorySystem {
@@ -83,7 +86,14 @@ impl MemorySystem {
             caches: CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3),
             counters: PerfCounters::new(),
             utilization: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a telemetry tracer; the MMU emits TLB fill/evict and page-walk
+    /// events through it. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Enable per-huge-page utilization tracking (the simulated analogue of
@@ -171,7 +181,7 @@ impl MemorySystem {
                     Ok((e, walk_cycles)) => {
                         cycles += walk_cycles;
                         self.fill_l1(e);
-                        self.stlb.insert(e);
+                        self.fill_stlb(e);
                         e
                     }
                     Err((kind, walk_cycles)) => {
@@ -234,9 +244,39 @@ impl MemorySystem {
     }
 
     fn fill_l1(&mut self, e: TlbEntry) {
-        match e.size {
+        let victim = match e.size {
             PageSize::Base => self.dtlb_base.insert(e),
             PageSize::Huge => self.dtlb_huge.insert(e),
+        };
+        self.trace_fill(TlbLevel::L1, e, victim);
+    }
+
+    fn fill_stlb(&mut self, e: TlbEntry) {
+        let victim = self.stlb.insert(e);
+        self.trace_fill(TlbLevel::Stlb, e, victim);
+    }
+
+    /// Emit fill/evict events for one TLB insertion. The mask pre-check
+    /// keeps this to a single branch when tracing is off or these
+    /// (per-access volume) hardware events are masked out.
+    fn trace_fill(&self, level: TlbLevel, e: TlbEntry, victim: Option<TlbEntry>) {
+        if !self
+            .tracer
+            .wants(EventMask::TLB_FILL | EventMask::TLB_EVICT)
+        {
+            return;
+        }
+        self.tracer.emit(EventKind::TlbFill {
+            level,
+            huge: e.size == PageSize::Huge,
+            vpn: e.vpn,
+        });
+        if let Some(v) = victim {
+            self.tracer.emit(EventKind::TlbEvict {
+                level,
+                huge: v.size == PageSize::Huge,
+                vpn: v.vpn,
+            });
         }
     }
 
@@ -256,17 +296,27 @@ impl MemorySystem {
             None => 0,
         };
         let mut cycles = self.cfg.cost.walk_base;
+        let mut pte_reads = 0u32;
         for (frame, offset, node) in path.iter().skip(skip) {
             let paddr = Self::compose_paddr(*node, *frame, *offset);
             let level = self.caches.access(paddr);
             let remote = *node != self.cfg.local_node;
             cycles += self.cfg.cost.level_cycles(level, remote);
             self.counters.walk_pte_reads += 1;
+            pte_reads += 1;
         }
         self.counters.translation_cycles += cycles;
         match result {
             WalkResult::Mapped(leaf) => {
                 self.pwc.fill(vpn, table_levels);
+                if self.tracer.wants(EventMask::PAGE_WALK) {
+                    self.tracer.emit(EventKind::PageWalk {
+                        vaddr: vaddr.0,
+                        pte_reads,
+                        cycles: cycles as u32,
+                        huge_leaf: leaf.size == PageSize::Huge,
+                    });
+                }
                 let entry = TlbEntry {
                     vpn: self.geom.page_number(vaddr, leaf.size),
                     size: leaf.size,

@@ -76,32 +76,40 @@ impl SetAssocTlb {
         None
     }
 
-    /// Insert an entry, evicting the LRU way of its set.
-    pub(crate) fn insert(&mut self, entry: TlbEntry) {
+    /// Insert an entry, evicting the LRU way of its set. Returns the
+    /// displaced entry when a *different* valid translation was evicted
+    /// (telemetry uses this; an in-place update or fill of an empty way
+    /// returns `None`).
+    pub(crate) fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         let base = self.set_base(entry.vpn);
         self.clock += 1;
         let mut victim = 0;
         let mut oldest = u64::MAX;
+        let mut displaced = None;
         for w in 0..self.ways as usize {
             match self.entries[base + w] {
                 None => {
                     victim = w;
+                    displaced = None;
                     break;
                 }
                 Some(e) if e.vpn == entry.vpn && e.size == entry.size => {
                     victim = w;
+                    displaced = None;
                     break;
                 }
-                Some(_) => {
+                Some(e) => {
                     if self.stamps[base + w] < oldest {
                         oldest = self.stamps[base + w];
                         victim = w;
+                        displaced = Some(e);
                     }
                 }
             }
         }
         self.entries[base + victim] = Some(entry);
         self.stamps[base + victim] = self.clock;
+        displaced
     }
 
     /// Drop the entry for `vpn`/`size` if present.

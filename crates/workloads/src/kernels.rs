@@ -397,8 +397,10 @@ mod tests {
     fn pagerank_simulated_matches_native_bit_exact() {
         let (sim, native) = run_both(Kernel::Pagerank, false, ThpMode::Never);
         assert_eq!(sim, native);
+        // Dangling vertices leak rank mass; how much depends on the exact
+        // R-MAT instance, so keep this a loose sanity bound.
         let total: f64 = sim.iter().map(|&b| f64::from_bits(b)).sum();
-        assert!((total - 1.0).abs() < 0.15, "rank mass {total}");
+        assert!((total - 1.0).abs() < 0.25, "rank mass {total}");
     }
 
     #[test]

@@ -7,6 +7,19 @@ cd /root/repo
   echo "== graphmem full benchmark run (GRAPHMEM_SCALE=paper default) =="
   date
   cargo bench --workspace 2>&1
+  echo "== machine-readable headline reports -> bench_reports.jsonl =="
+  cargo build --release --bin graphmem 2>&1
+  GRAPHMEM="$CARGO_TARGET_DIR/release/graphmem"
+  : > /root/repo/bench_reports.jsonl
+  for policy in 4k thp selective:0.2; do
+    "$GRAPHMEM" run --dataset kron --kernel bfs --policy "$policy" \
+      --preprocess dbg --frag 0.5 --surplus 0.35 --json \
+      >> /root/repo/bench_reports.jsonl
+  done
+  # One sampled run: epoch time series for the pressure-dynamics plots.
+  "$GRAPHMEM" run --dataset kron --kernel bfs --policy thp --surplus 0.35 \
+    --sample-interval 1000000 --series /root/repo/bench_series.csv --json \
+    >> /root/repo/bench_reports.jsonl
   echo "== done =="
   date
 } | tee /root/repo/bench_output.txt

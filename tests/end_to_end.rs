@@ -7,6 +7,7 @@
 
 use graphmem_core::{sweep, Experiment, MemoryCondition, PagePolicy, Preprocessing, Surplus};
 use graphmem_graph::Dataset;
+use graphmem_telemetry::{EventMask, TraceConfig, Tracer};
 use graphmem_workloads::{AllocOrder, Kernel};
 
 fn exp(dataset: Dataset, kernel: Kernel) -> Experiment {
@@ -242,6 +243,49 @@ fn reordering_ablation() {
         dbg.compute_cycles,
         random.compute_cycles
     );
+}
+
+/// Telemetry is pure observation: tracing every event kind and sampling
+/// metrics every epoch must leave the simulation byte-identical — same
+/// cycles, same hardware counters, same kernel statistics.
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let cond = MemoryCondition::pressured(Surplus::FractionOfWss(0.2));
+    let proto = exp(Dataset::Wiki, Kernel::Bfs)
+        .policy(PagePolicy::ThpSystemWide)
+        .condition(cond);
+
+    let plain = proto.clone().run();
+    let tracer = Tracer::enabled(TraceConfig::default().mask(EventMask::ALL));
+    let traced = proto
+        .clone()
+        .telemetry(tracer.clone())
+        .sample_interval(50_000)
+        .run();
+
+    assert!(plain.verified && traced.verified);
+    assert_eq!(plain.preprocess_cycles, traced.preprocess_cycles);
+    assert_eq!(plain.init_cycles, traced.init_cycles);
+    assert_eq!(plain.compute_cycles, traced.compute_cycles);
+    assert_eq!(plain.perf, traced.perf, "hardware counters must not move");
+    assert_eq!(plain.os, traced.os, "kernel statistics must not move");
+    assert_eq!(plain.total_huge_bytes, traced.total_huge_bytes);
+    assert_eq!(plain.property_huge_bytes, traced.property_huge_bytes);
+
+    // The instrumented run actually observed something.
+    assert!(tracer.stats().emitted > 0, "no events were traced");
+    assert!(plain.series.is_none());
+    let series = traced.series.as_ref().expect("sampled series missing");
+    assert!(!series.is_empty());
+
+    // The series' final cumulative sample reconciles with the report's
+    // end-of-run aggregates.
+    let last = series.last().unwrap();
+    assert_eq!(last.faults, traced.os.faults);
+    assert_eq!(last.huge_faults, traced.os.huge_faults);
+    assert_eq!(last.promotions, traced.os.promotions);
+    assert_eq!(last.swap_ins, traced.os.swap_ins);
+    assert_eq!(last.kernel_cycles, traced.os.kernel_cycles);
 }
 
 /// Extension (paper §2.3): explicit hugetlbfs reservation survives even

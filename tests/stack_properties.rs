@@ -96,3 +96,65 @@ proptest! {
         sys.zone(1).assert_consistent();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Epoch sampling at any interval yields a well-ordered series whose
+    /// per-epoch deltas telescope back to the final cumulative sample, and
+    /// that final sample reconciles with the run's aggregate counters.
+    #[test]
+    fn sampled_series_reconciles_with_aggregates(
+        interval in 20_000u64..2_000_000,
+        policy in arb_policy(),
+        kernel_idx in 0usize..3,
+    ) {
+        let r = Experiment::new(Dataset::Wiki, Kernel::ALL[kernel_idx])
+            .scale(12)
+            .huge_order(4)
+            .policy(policy)
+            .sample_interval(interval)
+            .run();
+        prop_assert!(r.verified);
+        let series = r.series.as_ref().expect("sampling was enabled");
+        prop_assert!(!series.is_empty());
+        prop_assert_eq!(series.interval, interval);
+
+        // Samples are time-ordered and cumulative counters never decrease.
+        let samples = series.samples();
+        for w in samples.windows(2) {
+            prop_assert!(w[0].cycle < w[1].cycle);
+            prop_assert!(w[0].accesses <= w[1].accesses);
+            prop_assert!(w[0].faults <= w[1].faults);
+            prop_assert!(w[0].kernel_cycles <= w[1].kernel_cycles);
+        }
+
+        // Telescoping: delta sums reproduce the final cumulative sample.
+        let deltas = series.deltas();
+        let last = series.last().unwrap();
+        prop_assert_eq!(deltas.iter().map(|d| d.cycle).sum::<u64>(), last.cycle);
+        prop_assert_eq!(deltas.iter().map(|d| d.accesses).sum::<u64>(), last.accesses);
+        prop_assert_eq!(deltas.iter().map(|d| d.faults).sum::<u64>(), last.faults);
+        prop_assert_eq!(
+            deltas.iter().map(|d| d.translation_cycles).sum::<u64>(),
+            last.translation_cycles
+        );
+        prop_assert_eq!(
+            deltas.iter().map(|d| d.kernel_cycles).sum::<u64>(),
+            last.kernel_cycles
+        );
+
+        // The closing sample equals the report's end-of-run OS aggregates.
+        prop_assert_eq!(last.faults, r.os.faults);
+        prop_assert_eq!(last.huge_faults, r.os.huge_faults);
+        prop_assert_eq!(last.huge_fallbacks, r.os.huge_fallbacks);
+        prop_assert_eq!(last.promotions, r.os.promotions);
+        prop_assert_eq!(last.demotions, r.os.demotions);
+        prop_assert_eq!(last.khugepaged_scans, r.os.khugepaged_scans);
+        prop_assert_eq!(last.direct_compactions, r.os.direct_compactions);
+        prop_assert_eq!(last.frames_migrated, r.os.frames_migrated);
+        prop_assert_eq!(last.swap_outs, r.os.swap_outs);
+        prop_assert_eq!(last.swap_ins, r.os.swap_ins);
+        prop_assert_eq!(last.kernel_cycles, r.os.kernel_cycles);
+    }
+}
