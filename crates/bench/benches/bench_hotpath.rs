@@ -1,0 +1,126 @@
+//! Hot-path headline benchmark: simulated accesses per host second, legacy
+//! vs. batched engine, on the `fig01_thp_speedup` workload (the PR's
+//! end-to-end wall-clock target) plus raw access streams.
+//!
+//! Writes `BENCH_hotpath.json` into the current directory so the perf
+//! trajectory is recorded run over run (`run_benches.sh` invokes this at
+//! `GRAPHMEM_SCALE=small` from the repo root). `--smoke` cuts the grid to
+//! one configuration for CI.
+
+use std::time::Instant;
+
+use graphmem_bench::{all_configs, scale_for};
+use graphmem_core::{AccessEngine, Experiment, MemoryCondition, PagePolicy, Surplus};
+use graphmem_os::{System, SystemSpec};
+use graphmem_telemetry::json::JsonObject;
+
+/// Run the fig01 grid (4 runs per kernel × dataset config) on one engine;
+/// returns (wall seconds, simulated compute-phase accesses).
+fn fig01_grid(engine: AccessEngine, smoke: bool) -> (f64, u64) {
+    let pressure = MemoryCondition::pressured(Surplus::FractionOfWss(0.12));
+    let configs = if smoke {
+        all_configs().into_iter().take(1).collect()
+    } else {
+        all_configs()
+    };
+    let mut accesses = 0u64;
+    let start = Instant::now();
+    for (kernel, dataset) in configs {
+        let proto = Experiment::new(dataset, kernel)
+            .scale(scale_for(dataset))
+            .access_engine(engine);
+        for run in [
+            proto.clone().policy(PagePolicy::BaseOnly),
+            proto.clone().policy(PagePolicy::ThpSystemWide),
+            proto
+                .clone()
+                .policy(PagePolicy::BaseOnly)
+                .condition(pressure),
+            proto
+                .clone()
+                .policy(PagePolicy::ThpSystemWide)
+                .condition(pressure),
+        ] {
+            let r = run.run();
+            assert!(r.verified, "benchmark run produced a wrong result");
+            accesses += r.perf.accesses;
+        }
+    }
+    (start.elapsed().as_secs_f64(), accesses)
+}
+
+/// Raw hit-dominated stream throughput (accesses per host second).
+fn stream_rate(engine: AccessEngine, passes: u64) -> f64 {
+    let mut sys = System::new(SystemSpec::scaled_demo());
+    sys.set_access_engine(engine);
+    let base = sys.mmap(32 * 1024, "stream");
+    sys.populate(base, 32 * 1024);
+    let per_pass = 4096u64;
+    let start = Instant::now();
+    for _ in 0..passes {
+        sys.access_run(base, 8, per_pass, false);
+    }
+    std::hint::black_box(sys.clock());
+    passes as f64 * per_pass as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = std::env::var("GRAPHMEM_SCALE").unwrap_or_else(|_| "paper".into());
+
+    println!(
+        "== bench_hotpath (scale {scale}{}) ==",
+        if smoke { ", smoke" } else { "" }
+    );
+    let stream_passes = if smoke { 200 } else { 2000 };
+    let legacy_rate = stream_rate(AccessEngine::Legacy, stream_passes);
+    let batched_rate = stream_rate(AccessEngine::Batched, stream_passes);
+    println!("hit-stream legacy:  {legacy_rate:>12.0} accesses/s");
+    println!("hit-stream batched: {batched_rate:>12.0} accesses/s");
+
+    let (legacy_s, legacy_acc) = fig01_grid(AccessEngine::Legacy, smoke);
+    let (batched_s, batched_acc) = fig01_grid(AccessEngine::Batched, smoke);
+    assert_eq!(
+        legacy_acc, batched_acc,
+        "engines must simulate the identical access stream"
+    );
+    let speedup = legacy_s / batched_s;
+    // Pre-optimization reference: the previous release build ran this grid in
+    // 58.15 s at `GRAPHMEM_SCALE=small` on the development host. Recorded so
+    // the JSON carries the end-to-end before/after pair; override with
+    // `GRAPHMEM_BASELINE_WALL_S` when re-baselining on different hardware.
+    let baseline_s: f64 = std::env::var("GRAPHMEM_BASELINE_WALL_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(58.15);
+    println!("fig01 grid legacy:  {legacy_s:>8.2} s");
+    println!("fig01 grid batched: {batched_s:>8.2} s  ({speedup:.2}x end-to-end)");
+    println!(
+        "fig01 grid before:  {baseline_s:>8.2} s  ({:.2}x vs pre-PR build)",
+        baseline_s / batched_s
+    );
+    println!(
+        "fig01 grid batched: {:>12.0} simulated accesses/s",
+        batched_acc as f64 / batched_s
+    );
+
+    let mut o = JsonObject::new();
+    o.field_str("bench", "hotpath");
+    o.field_str("scale", &scale);
+    o.field_bool("smoke", smoke);
+    o.field_f64("fig01_wall_s_before_pr", baseline_s);
+    o.field_f64("fig01_wall_s_legacy", legacy_s);
+    o.field_f64("fig01_wall_s_batched", batched_s);
+    o.field_f64("fig01_speedup", speedup);
+    o.field_f64("fig01_speedup_vs_before_pr", baseline_s / batched_s);
+    o.field_u64("fig01_sim_accesses", batched_acc);
+    o.field_f64(
+        "fig01_accesses_per_s_batched",
+        batched_acc as f64 / batched_s,
+    );
+    o.field_f64("hit_stream_accesses_per_s_legacy", legacy_rate);
+    o.field_f64("hit_stream_accesses_per_s_batched", batched_rate);
+    let json = o.finish();
+    std::fs::write("BENCH_hotpath.json", format!("{json}\n")).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+}

@@ -44,6 +44,9 @@ OPTIONS (run and sweep):
     --file    <tmpfs|cache|direct>           graph loading    [tmpfs]
     --no-verify                              skip native-twin verification
 
+SWEEP (sweep only):
+    --threads <N>                            worker threads [all cores]
+
 TELEMETRY (run only):
     --telemetry <PATH>                       stream kernel events to PATH (JSONL)
     --sample-interval <N>                    snapshot metrics every N cycles

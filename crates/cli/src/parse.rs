@@ -58,6 +58,8 @@ pub struct RunSpec {
     pub series: Option<String>,
     /// Print the report as one JSON object instead of prose.
     pub json: bool,
+    /// Worker threads for `sweep` (defaults to the machine's parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for RunSpec {
@@ -76,6 +78,7 @@ impl Default for RunSpec {
             sample_interval: None,
             series: None,
             json: false,
+            threads: None,
         }
     }
 }
@@ -216,6 +219,15 @@ fn parse_spec(args: &[String]) -> Result<RunSpec, ParseError> {
                 spec.sample_interval = Some(n);
             }
             "--series" => spec.series = Some(value()?.clone()),
+            "--threads" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--threads needs an integer".into()))?;
+                if n == 0 {
+                    return err("--threads must be positive");
+                }
+                spec.threads = Some(n);
+            }
             "--json" => spec.json = true,
             other => return err(format!("unknown option '{other}'")),
         }

@@ -96,13 +96,35 @@ fn print_report(r: &RunReport) {
     );
 }
 
-fn sweep_cmd(kind: SweepKind, spec: &RunSpec) {
+/// Build and run one sweep's experiments on `threads` workers, returning
+/// `(parameter, report)` rows in sweep order. The experiments are
+/// deterministic and independent, so any thread count produces reports
+/// bit-identical to the serial loop.
+fn sweep_rows(kind: SweepKind, spec: &RunSpec, threads: usize) -> Vec<(f64, RunReport)> {
     let proto = build(spec);
-    let rows = match kind {
-        SweepKind::Pressure => sweep::pressure(&proto, &sweep::PRESSURE_LADDER),
-        SweepKind::Fragmentation => sweep::fragmentation(&proto, &sweep::FRAGMENTATION_LEVELS),
-        SweepKind::Selectivity => sweep::selectivity(&proto, &sweep::SELECTIVITY_LEVELS),
+    let (params, exps): (&[f64], Vec<_>) = match kind {
+        SweepKind::Pressure => (
+            &sweep::PRESSURE_LADDER,
+            sweep::pressure_experiments(&proto, &sweep::PRESSURE_LADDER),
+        ),
+        SweepKind::Fragmentation => (
+            &sweep::FRAGMENTATION_LEVELS,
+            sweep::fragmentation_experiments(&proto, &sweep::FRAGMENTATION_LEVELS),
+        ),
+        SweepKind::Selectivity => (
+            &sweep::SELECTIVITY_LEVELS,
+            sweep::selectivity_experiments(&proto, &sweep::SELECTIVITY_LEVELS),
+        ),
     };
+    let reports = sweep::run_parallel(exps, threads);
+    params.iter().copied().zip(reports).collect()
+}
+
+fn sweep_cmd(kind: SweepKind, spec: &RunSpec) {
+    let threads = spec.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let rows = sweep_rows(kind, spec, threads);
     let param = match kind {
         SweepKind::Pressure => "surplus",
         SweepKind::Fragmentation => "frag",
@@ -186,6 +208,24 @@ mod tests {
         ))
         .unwrap();
         execute(cmd); // all six selectivity points run and print
+    }
+
+    #[test]
+    fn sweep_two_threads_bit_identical_to_serial() {
+        let Command::Sweep(kind, spec) = parse(&args(
+            "sweep frag --dataset wiki --scale 11 --policy thp --threads 2",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.threads, Some(2));
+        let par = sweep_rows(kind, &spec, 2);
+        let ser = sweep_rows(kind, &spec, 1);
+        assert_eq!(par.len(), ser.len());
+        for ((pp, pr), (sp, sr)) in par.iter().zip(&ser) {
+            assert_eq!(pp, sp);
+            assert_eq!(pr.to_json(), sr.to_json(), "thread count changed a report");
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The experiment runner: one configured, measured workload execution.
 
+use std::sync::{Arc, Mutex, OnceLock};
+
 use graphmem_graph::{reorder, Csr, Dataset};
-use graphmem_os::{FilePlacement, System, SystemSpec, ThpMode};
+use graphmem_os::{AccessEngine, FilePlacement, System, SystemSpec, ThpMode};
 use graphmem_telemetry::Tracer;
 use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
@@ -9,6 +11,35 @@ use crate::autotune::HotnessProfile;
 use crate::condition::MemoryCondition;
 use crate::policy::{PagePolicy, Preprocessing};
 use crate::report::RunReport;
+
+/// Key identifying a fully prepared (generated + reordered) input graph.
+#[derive(Clone, Copy, PartialEq)]
+struct GraphKey {
+    dataset: Dataset,
+    scale: u8,
+    weighted: bool,
+    seed_offset: u64,
+    preprocessing: Preprocessing,
+}
+
+/// Entries kept in the prepared-graph memo. Figure sweeps rotate over the
+/// four datasets while holding everything else fixed, so four entries give
+/// every policy/condition arm a hit without pinning more than a handful of
+/// graphs in host memory.
+const GRAPH_CACHE_ENTRIES: usize = 4;
+
+/// A memo slot: key, shared prepared graph, charged preprocess cycles.
+type GraphCacheEntry = (GraphKey, Arc<Csr>, u64);
+
+/// LRU memo of prepared graphs, shared process-wide. Generation and
+/// reordering are deterministic and host-expensive, and every arm of a
+/// figure (policies × memory conditions) consumes the *identical* graph —
+/// regenerating it per run dominated sweep wall-clock. The memo returns a
+/// shared immutable copy instead; simulated results are unaffected.
+fn graph_cache() -> &'static Mutex<Vec<GraphCacheEntry>> {
+    static CACHE: OnceLock<Mutex<Vec<GraphCacheEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
 
 /// Builder for one measured run: dataset × kernel × page policy ×
 /// preprocessing × allocation order × memory condition.
@@ -34,6 +65,7 @@ pub struct Experiment {
     seed_offset: u64,
     telemetry: Tracer,
     sample_interval: Option<u64>,
+    engine: AccessEngine,
 }
 
 impl Experiment {
@@ -58,6 +90,7 @@ impl Experiment {
             seed_offset: 0,
             telemetry: Tracer::disabled(),
             sample_interval: None,
+            engine: AccessEngine::default(),
         }
     }
 
@@ -170,6 +203,15 @@ impl Experiment {
         self
     }
 
+    /// Select the [`AccessEngine`] driving the simulated access pipeline
+    /// (default [`AccessEngine::Batched`]). Both engines produce
+    /// bit-identical reports; `Legacy` exists as the reference side of the
+    /// differential cycle-exactness harness.
+    pub fn access_engine(mut self, engine: AccessEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The dataset under test.
     pub fn dataset(&self) -> Dataset {
         self.dataset
@@ -181,8 +223,35 @@ impl Experiment {
     }
 
     /// Generate (and optionally reorder) the input graph.
-    fn prepare_graph(&self) -> (Csr, u64) {
-        let scale = self.scale.unwrap_or(self.dataset.default_scale());
+    fn prepare_graph(&self) -> (Arc<Csr>, u64) {
+        let key = GraphKey {
+            dataset: self.dataset,
+            scale: self.scale.unwrap_or(self.dataset.default_scale()),
+            weighted: self.kernel.needs_weights(),
+            seed_offset: self.seed_offset,
+            preprocessing: self.preprocessing,
+        };
+        {
+            let mut cache = graph_cache().lock().unwrap();
+            if let Some(pos) = cache.iter().position(|(k, ..)| *k == key) {
+                let hit = cache.remove(pos);
+                let out = (Arc::clone(&hit.1), hit.2);
+                cache.insert(0, hit);
+                return out;
+            }
+        }
+        // Generate outside the lock; concurrent sweep threads that race on
+        // the same key produce identical graphs, so a duplicate insert is
+        // only wasted work, never divergence.
+        let (csr, cycles) = self.prepare_graph_uncached(key.scale);
+        let csr = Arc::new(csr);
+        let mut cache = graph_cache().lock().unwrap();
+        cache.insert(0, (key, Arc::clone(&csr), cycles));
+        cache.truncate(GRAPH_CACHE_ENTRIES);
+        (csr, cycles)
+    }
+
+    fn prepare_graph_uncached(&self, scale: u8) -> (Csr, u64) {
         let csr =
             self.dataset
                 .generate_with_seed(scale, self.kernel.needs_weights(), self.seed_offset);
@@ -223,8 +292,9 @@ impl Experiment {
     /// never on legitimate memory pressure — pressure shows up as cycles.
     pub fn run(&self) -> RunReport {
         let (csr, preprocess_cycles) = self.prepare_graph();
-        let wss = self.working_set_bytes(&csr);
-        let policy = self.resolve_policy(&csr);
+        let csr: &Csr = &csr;
+        let wss = self.working_set_bytes(csr);
+        let policy = self.resolve_policy(csr);
 
         // Size the node: enough for the pressured free target plus a hog
         // cushion, or a comfortable multiple when unbounded.
@@ -262,6 +332,7 @@ impl Experiment {
             | PagePolicy::AutoSelective { .. } => ThpMode::Madvise,
         };
         let mut sys = System::new(spec);
+        sys.set_access_engine(self.engine);
         if self.telemetry.is_enabled() {
             sys.attach_telemetry(self.telemetry.clone());
         }
@@ -280,20 +351,20 @@ impl Experiment {
         }
         let _artifacts = self.condition.apply(&mut sys, wss);
 
-        let mut arrays = GraphArrays::map_with(&mut sys, &csr, self.kernel, hugetlb_property);
+        let mut arrays = GraphArrays::map_with(&mut sys, csr, self.kernel, hugetlb_property);
         Self::apply_advice(policy, &mut sys, &arrays);
 
         let cp_init = sys.checkpoint();
         arrays.initialize(&mut sys, self.order);
         let (init_cycles, _, _) = sys.since(&cp_init);
 
-        let root = default_root(&csr);
+        let root = default_root(csr);
         let cp_compute = sys.checkpoint();
         let output = self.kernel.run_simulated(&mut sys, &mut arrays, root);
         let (compute_cycles, perf, _) = sys.since(&cp_compute);
 
         let verified = if self.verify {
-            output == self.kernel.run_native(&csr, root)
+            output == self.kernel.run_native(csr, root)
         } else {
             true
         };

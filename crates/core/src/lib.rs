@@ -53,5 +53,6 @@ pub mod sweep;
 pub use autotune::HotnessProfile;
 pub use condition::{MemoryCondition, Surplus};
 pub use experiment::Experiment;
+pub use graphmem_os::AccessEngine;
 pub use policy::{PagePolicy, Preprocessing};
 pub use report::RunReport;

@@ -58,20 +58,27 @@ pub fn run_parallel(experiments: Vec<Experiment>, threads: usize) -> Vec<RunRepo
         .collect()
 }
 
+/// The experiments a [`pressure`] sweep runs, one per fraction, in order.
+pub fn pressure_experiments(proto: &Experiment, fractions: &[f64]) -> Vec<Experiment> {
+    fractions
+        .iter()
+        .map(|&f| {
+            proto
+                .clone()
+                .condition(MemoryCondition::pressured(Surplus::FractionOfWss(f)))
+        })
+        .collect()
+}
+
 /// Run `proto` at each memory-pressure level (§4.3.1's seven 0–3 GB steps
 /// plus the oversubscribed point, expressed as fractions of WSS). Returns
 /// `(surplus_fraction, report)` pairs.
 pub fn pressure(proto: &Experiment, fractions: &[f64]) -> Vec<(f64, RunReport)> {
-    fractions
+    let rs: Vec<RunReport> = pressure_experiments(proto, fractions)
         .iter()
-        .map(|&f| {
-            let r = proto
-                .clone()
-                .condition(MemoryCondition::pressured(Surplus::FractionOfWss(f)))
-                .run();
-            (f, r)
-        })
-        .collect()
+        .map(Experiment::run)
+        .collect();
+    fractions.iter().copied().zip(rs).collect()
 }
 
 /// The paper's pressure ladder: −6 % (oversubscribed ≈ −0.5 GB) through
@@ -81,15 +88,18 @@ pub const PRESSURE_LADDER: [f64; 8] = [-0.06, 0.0, 0.06, 0.12, 0.18, 0.24, 0.29,
 /// Run `proto` at each non-movable fragmentation level with the Fig. 8/9
 /// +3 GB-equivalent surplus. Returns `(level, report)` pairs.
 pub fn fragmentation(proto: &Experiment, levels: &[f64]) -> Vec<(f64, RunReport)> {
+    let rs: Vec<RunReport> = fragmentation_experiments(proto, levels)
+        .iter()
+        .map(Experiment::run)
+        .collect();
+    levels.iter().copied().zip(rs).collect()
+}
+
+/// The experiments a [`fragmentation`] sweep runs, one per level, in order.
+pub fn fragmentation_experiments(proto: &Experiment, levels: &[f64]) -> Vec<Experiment> {
     levels
         .iter()
-        .map(|&l| {
-            let r = proto
-                .clone()
-                .condition(MemoryCondition::fragmented(l))
-                .run();
-            (l, r)
-        })
+        .map(|&l| proto.clone().condition(MemoryCondition::fragmented(l)))
         .collect()
 }
 
@@ -99,14 +109,21 @@ pub const FRAGMENTATION_LEVELS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
 /// Run `proto` with selective THP at each property-array fraction
 /// (Fig. 11's 0–100 % in steps of 20). Returns `(fraction, report)` pairs.
 pub fn selectivity(proto: &Experiment, fractions: &[f64]) -> Vec<(f64, RunReport)> {
+    let rs: Vec<RunReport> = selectivity_experiments(proto, fractions)
+        .iter()
+        .map(Experiment::run)
+        .collect();
+    fractions.iter().copied().zip(rs).collect()
+}
+
+/// The experiments a [`selectivity`] sweep runs, one per fraction, in order.
+pub fn selectivity_experiments(proto: &Experiment, fractions: &[f64]) -> Vec<Experiment> {
     fractions
         .iter()
         .map(|&s| {
-            let r = proto
+            proto
                 .clone()
                 .policy(PagePolicy::SelectiveProperty { fraction: s })
-                .run();
-            (s, r)
         })
         .collect()
 }
@@ -155,8 +172,7 @@ mod tests {
         let par = run_parallel(exps.clone(), 2);
         let ser: Vec<_> = exps.iter().map(|e| e.run()).collect();
         for (p, s) in par.iter().zip(&ser) {
-            assert_eq!(p.compute_cycles, s.compute_cycles, "determinism");
-            assert_eq!(p.labels, s.labels);
+            assert_eq!(p.to_json(), s.to_json(), "bit-identical reports");
         }
     }
 

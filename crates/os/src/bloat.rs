@@ -28,6 +28,7 @@ impl System {
         }
         self.bloat_next_run = self.clock + policy.scan_interval_cycles;
         self.kbloatd_scan();
+        self.recompute_event_horizon();
     }
 
     /// Force one scan pass immediately (tests and experiments).

@@ -20,6 +20,7 @@ impl System {
         {
             self.kh.next_run = self.clock + self.thp.khugepaged.scan_interval_cycles;
             self.khugepaged_scan();
+            self.recompute_event_horizon();
         }
     }
 

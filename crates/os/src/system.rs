@@ -60,6 +60,23 @@ pub struct Checkpoint {
     pub os: OsStats,
 }
 
+/// Which per-access pipeline [`System`] drives.
+///
+/// Both engines produce bit-identical simulated state — clocks, perf
+/// counters, OS stats, TLB/cache contents. [`AccessEngine::Batched`] (the
+/// default) is the event-horizon-scheduled hot path; [`AccessEngine::Legacy`]
+/// preserves the original per-access pipeline (unconditional daemon checks
+/// and telemetry clock stamps on every access) as the reference
+/// implementation for the differential cycle-exactness harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessEngine {
+    /// Original scalar pipeline: every access checks every daemon.
+    Legacy,
+    /// Watermark-scheduled pipeline: one compare on the common path.
+    #[default]
+    Batched,
+}
+
 /// Background promotion daemon bookkeeping.
 #[derive(Debug, Default)]
 pub(crate) struct KhugepagedState {
@@ -105,6 +122,18 @@ pub struct System {
     pub(crate) sampler: Option<EpochSampler>,
     /// Boot-time-reserved hugetlbfs pool (paper §2.3's explicit huge
     /// pages): guaranteed huge frames, immune to later fragmentation.
+    /// Which access pipeline drives [`System::read`]/[`System::write`].
+    pub(crate) engine: AccessEngine,
+    /// Event horizon: the earliest cycle at which any scheduled event
+    /// (khugepaged scan, bloat-daemon scan, sample epoch) becomes due, or
+    /// `u64::MAX` when all are off. Invariant: never later than the true
+    /// earliest deadline, so `clock < next_event_cycle` proves no event is
+    /// due. Recomputed by [`System::recompute_event_horizon`] whenever a
+    /// daemon runs, a sample is recorded, or an interval/toggle changes.
+    pub(crate) next_event_cycle: u64,
+    /// Cached `telemetry.is_enabled()` so the hot path can skip the
+    /// per-access `set_clock` stamps entirely when no tracer is attached.
+    pub(crate) telemetry_on: bool,
     pub(crate) hugetlb_pool: Vec<FrameRange>,
     /// Pgtable deposits: leaf-table frames reserved per huge mapping
     /// (keyed by the region's base VPN) so a later split never has to
@@ -135,7 +164,7 @@ impl System {
             next_run: spec.thp.khugepaged.scan_interval_cycles,
             cursor: (0, 0),
         };
-        System {
+        let mut sys = System {
             geom,
             thp: spec.thp,
             cost: spec.cost,
@@ -164,9 +193,14 @@ impl System {
             tracer: None,
             telemetry: Tracer::disabled(),
             sampler: None,
+            engine: AccessEngine::default(),
+            next_event_cycle: 0,
+            telemetry_on: false,
             hugetlb_pool: Vec::new(),
             deposits: HashMap::new(),
-        }
+        };
+        sys.recompute_event_horizon();
+        sys
     }
 
     // ------------------------------------------------------------------
@@ -309,9 +343,76 @@ impl System {
         if let Some(t) = &mut self.tracer {
             t.push(addr, is_write);
         }
+        match self.engine {
+            AccessEngine::Legacy => self.access_legacy_engine(addr, is_write),
+            AccessEngine::Batched => {
+                if self.telemetry_on {
+                    self.access_stamped(addr, is_write);
+                } else {
+                    self.access_hot(addr, is_write);
+                }
+            }
+        }
+    }
+
+    /// Batched-engine hot path, telemetry off: no clock stamps, one
+    /// watermark compare instead of three daemon checks. Callers must have
+    /// already recorded the access-trace entry and checked `telemetry_on`
+    /// is false (`set_clock` would be a no-op anyway, but skipping it is
+    /// the point).
+    #[inline]
+    fn access_hot(&mut self, addr: VirtAddr, is_write: bool) {
+        for _attempt in 0..4 {
+            match self.mmu.access(&self.pt, addr, is_write) {
+                Ok(cost) => {
+                    self.clock += cost.cycles;
+                    if self.clock >= self.next_event_cycle {
+                        self.run_due_events();
+                    }
+                    return;
+                }
+                Err(fault) => {
+                    self.clock += fault.cycles;
+                    self.handle_fault(fault);
+                    self.maybe_sample();
+                }
+            }
+        }
+        panic!("access to {addr} still faulting after fault handling");
+    }
+
+    /// Batched engine with a tracer attached: same watermark scheduling,
+    /// plus the pre/post clock stamps telemetry consumers rely on.
+    fn access_stamped(&mut self, addr: VirtAddr, is_write: bool) {
         for _attempt in 0..4 {
             self.telemetry.set_clock(self.clock);
             match self.mmu.access(&self.pt, addr, is_write) {
+                Ok(cost) => {
+                    self.clock += cost.cycles;
+                    self.telemetry.set_clock(self.clock);
+                    if self.clock >= self.next_event_cycle {
+                        self.run_due_events();
+                    }
+                    return;
+                }
+                Err(fault) => {
+                    self.clock += fault.cycles;
+                    self.telemetry.set_clock(self.clock);
+                    self.handle_fault(fault);
+                    self.maybe_sample();
+                }
+            }
+        }
+        panic!("access to {addr} still faulting after fault handling");
+    }
+
+    /// The original per-access pipeline, preserved verbatim (unconditional
+    /// daemon checks and clock stamps, through [`MemorySystem::access_legacy`])
+    /// as the reference side of the differential cycle-exactness harness.
+    fn access_legacy_engine(&mut self, addr: VirtAddr, is_write: bool) {
+        for _attempt in 0..4 {
+            self.telemetry.set_clock(self.clock);
+            match self.mmu.access_legacy(&self.pt, addr, is_write) {
                 Ok(cost) => {
                     self.clock += cost.cycles;
                     self.telemetry.set_clock(self.clock);
@@ -331,6 +432,121 @@ impl System {
         panic!("access to {addr} still faulting after fault handling");
     }
 
+    /// Run every scheduled event that has become due, then refresh the
+    /// watermark. Cold: on the hot path this is reached only when the
+    /// watermark compare fires. The three checks run in the same order the
+    /// legacy pipeline used, and each re-reads the clock, so cascades
+    /// (a daemon's kernel cycles pushing the clock past a sample boundary)
+    /// resolve identically.
+    #[cold]
+    fn run_due_events(&mut self) {
+        self.maybe_khugepaged();
+        self.maybe_kbloatd();
+        self.maybe_sample();
+        self.recompute_event_horizon();
+    }
+
+    /// Recompute [`Self::next_event_cycle`] from the live daemon deadlines
+    /// and the sampler's next epoch. Must be called whenever any of those
+    /// change; a stale-low watermark only costs a wasted re-check, but a
+    /// stale-high one would skip events, so every deadline mutation routes
+    /// through here.
+    pub(crate) fn recompute_event_horizon(&mut self) {
+        let mut next = u64::MAX;
+        if self.thp.khugepaged.enabled && self.thp.mode != ThpMode::Never {
+            next = next.min(self.kh.next_run);
+        }
+        if self.thp.utilization_demotion.is_some() {
+            next = next.min(self.bloat_next_run);
+        }
+        if let Some(s) = &self.sampler {
+            next = next.min(s.next_due());
+        }
+        self.next_event_cycle = next;
+    }
+
+    /// Select the access pipeline (default [`AccessEngine::Batched`]).
+    /// Switching is safe at any point: both engines advance the identical
+    /// simulated state.
+    pub fn set_access_engine(&mut self, engine: AccessEngine) {
+        self.engine = engine;
+        self.recompute_event_horizon();
+    }
+
+    /// The access pipeline currently driving this system.
+    pub fn access_engine(&self) -> AccessEngine {
+        self.engine
+    }
+
+    /// Simulated strided run: `count` accesses of one VMA-resident stream
+    /// starting at `base`, `stride` bytes apart. Semantically identical to
+    /// calling [`System::read`]/[`System::write`] per element — same
+    /// counters, same cycles, same fault handling (a mid-run fault retries
+    /// the faulting element only) — but the engine dispatch and telemetry
+    /// checks are paid once per run instead of once per element.
+    pub fn access_run(&mut self, base: VirtAddr, stride: u64, count: u64, is_write: bool) {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+            for i in 0..count {
+                self.access(base.add(i * stride), is_write);
+            }
+            return;
+        }
+        for i in 0..count {
+            self.access_hot(base.add(i * stride), is_write);
+        }
+    }
+
+    /// Gather variant of [`System::access_run`] for the pointer-indirect
+    /// property-array pattern: one access per index, at
+    /// `base + index * elem_bytes`, in slice order.
+    pub fn access_gather(
+        &mut self,
+        base: VirtAddr,
+        elem_bytes: u64,
+        indices: &[u32],
+        is_write: bool,
+    ) {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+            for &i in indices {
+                self.access(base.add(u64::from(i) * elem_bytes), is_write);
+            }
+            return;
+        }
+        for &i in indices {
+            self.access_hot(base.add(u64::from(i) * elem_bytes), is_write);
+        }
+    }
+
+    /// Gather read-modify-write: for each index in slice order, a simulated
+    /// load then store of the same element (the scatter-add pattern in
+    /// PageRank's push phase).
+    pub fn access_gather_rmw(&mut self, base: VirtAddr, elem_bytes: u64, indices: &[u32]) {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+            for &i in indices {
+                let addr = base.add(u64::from(i) * elem_bytes);
+                self.access(addr, false);
+                self.access(addr, true);
+            }
+            return;
+        }
+        for &i in indices {
+            let addr = base.add(u64::from(i) * elem_bytes);
+            self.access_hot(addr, false);
+            self.access_hot(addr, true);
+        }
+    }
+
+    /// Advance the clock by `cycles` of bulk (non-kernel) work, keeping
+    /// telemetry stamps and epoch sampling in step — the same bookkeeping
+    /// the access fault path does after charging fault cycles.
+    pub(crate) fn advance_clock(&mut self, cycles: u64) {
+        self.clock += cycles;
+        if self.telemetry_on {
+            self.telemetry.set_clock(self.clock);
+        }
+        self.maybe_sample();
+    }
+
     /// First-touch a whole range with sequential stores, one simulated
     /// store per base page plus a bulk cost for the remaining cache lines
     /// of each page (models `memset`-style initialization without
@@ -341,7 +557,7 @@ impl System {
         let mut off = 0;
         while off < len {
             self.write(addr.add(off));
-            self.clock += bulk;
+            self.advance_clock(bulk);
             off += FRAME_SIZE;
         }
     }
@@ -412,7 +628,9 @@ impl System {
         for zone in &mut self.zones {
             zone.set_tracer(tracer.clone());
         }
+        self.telemetry_on = tracer.is_enabled();
         self.telemetry = tracer;
+        self.recompute_event_horizon();
     }
 
     /// The telemetry handle currently attached (disabled by default).
@@ -429,6 +647,7 @@ impl System {
     /// Panics if `interval` is zero.
     pub fn enable_sampling(&mut self, interval: u64) {
         self.sampler = Some(EpochSampler::new(interval));
+        self.recompute_event_horizon();
     }
 
     /// Stop sampling and take the series, closing it with a final snapshot
@@ -436,6 +655,7 @@ impl System {
     pub fn take_series(&mut self) -> Option<MetricsSeries> {
         let mut sampler = self.sampler.take()?;
         sampler.record_final(self.metrics_sample());
+        self.recompute_event_horizon();
         Some(sampler.into_series())
     }
 
@@ -478,6 +698,7 @@ impl System {
             if let Some(s) = self.sampler.as_mut() {
                 s.record(sample);
             }
+            self.recompute_event_horizon();
         }
     }
 

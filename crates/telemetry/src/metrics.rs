@@ -273,6 +273,13 @@ impl EpochSampler {
         clock >= self.next
     }
 
+    /// The cycle at which the next sample becomes due. Drivers that batch
+    /// event checks behind a watermark use this to schedule the next stop.
+    #[inline]
+    pub fn next_due(&self) -> u64 {
+        self.next
+    }
+
     /// Record a due snapshot and schedule the next epoch after it.
     pub fn record(&mut self, sample: MetricsSample) {
         while self.next <= sample.cycle {

@@ -16,6 +16,7 @@ impl VirtAddr {
     }
 
     /// Base-page virtual page number.
+    #[inline]
     pub fn vpn(self) -> u64 {
         self.0 >> BASE_SHIFT
     }
@@ -40,6 +41,7 @@ impl VirtAddr {
 
     /// The address `bytes` later.
     #[allow(clippy::should_implement_trait)] // not an Add impl: u64 offset, not VirtAddr+VirtAddr
+    #[inline]
     pub fn add(self, bytes: u64) -> VirtAddr {
         VirtAddr(self.0 + bytes)
     }
@@ -87,6 +89,7 @@ impl PageGeometry {
     }
 
     /// Address shift of the given page size.
+    #[inline]
     pub fn shift(&self, size: PageSize) -> u8 {
         match size {
             PageSize::Base => BASE_SHIFT,
@@ -105,6 +108,7 @@ impl PageGeometry {
     }
 
     /// Page number of `addr` at the given size.
+    #[inline]
     pub fn page_number(&self, addr: VirtAddr, size: PageSize) -> u64 {
         addr.0 >> self.shift(size)
     }

@@ -52,7 +52,11 @@ pub enum CacheLevel {
 /// One set-associative, LRU, physically-indexed cache level.
 #[derive(Debug)]
 struct CacheArray {
-    sets: u64,
+    /// `sets - 1`; the set count is a power of two, so indexing is a mask
+    /// (a hardware divide here dominates the whole simulated access path).
+    set_mask: u64,
+    /// `log2(sets)`, used by the slice-hash fold.
+    set_bits: u32,
     ways: u32,
     line_shift: u8,
     hashed_index: bool,
@@ -70,7 +74,8 @@ impl CacheArray {
         let sets = geom.sets();
         let n = (sets * geom.ways as u64) as usize;
         CacheArray {
-            sets,
+            set_mask: sets - 1,
+            set_bits: sets.trailing_zeros(),
             ways: geom.ways,
             line_shift: geom.line_bytes.trailing_zeros() as u8,
             hashed_index: geom.hashed_index,
@@ -83,34 +88,37 @@ impl CacheArray {
     }
 
     /// Look up (and on miss, fill) the line containing `paddr`.
+    #[inline]
     fn access(&mut self, paddr: u64) -> bool {
         let line = paddr >> self.line_shift;
         let index_key = if self.hashed_index {
             // Fold higher address bits into the index (slice-hash style).
-            let b = self.sets.trailing_zeros() as u64;
+            let b = self.set_bits;
             line ^ (line >> b) ^ (line >> (2 * b))
         } else {
             line
         };
-        let set = (index_key % self.sets) as usize;
+        let set = (index_key & self.set_mask) as usize;
         let base = set * self.ways as usize;
         self.clock += 1;
-        let ways = &mut self.tags[base..base + self.ways as usize];
-        if let Some(w) = ways.iter().position(|&t| t == line) {
+        // Hit scan touches tags only (the overwhelmingly common path);
+        // stamps are read solely by the miss-side victim selection.
+        let tags = &self.tags[base..base + self.ways as usize];
+        if let Some(w) = tags.iter().position(|&t| t == line) {
             self.stamps[base + w] = self.clock;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        // Fill into the LRU way.
+        // Fill the first invalid way, else the LRU way.
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for w in 0..self.ways as usize {
-            let s = self.stamps[base + w];
             if self.tags[base + w] == u64::MAX {
                 victim = w;
                 break;
             }
+            let s = self.stamps[base + w];
             if s < oldest {
                 oldest = s;
                 victim = w;
@@ -151,6 +159,7 @@ impl CacheHierarchy {
 
     /// Access the line containing physical address `paddr`; returns the
     /// level that serviced it, filling all levels above.
+    #[inline]
     pub fn access(&mut self, paddr: u64) -> CacheLevel {
         if self.l1.access(paddr) {
             CacheLevel::L1

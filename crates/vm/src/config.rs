@@ -68,6 +68,7 @@ impl CostModel {
 
     /// Cycles for an access serviced at `level`, on the local or a remote
     /// node.
+    #[inline]
     pub fn level_cycles(&self, level: CacheLevel, remote: bool) -> u64 {
         match level {
             CacheLevel::L1 => self.l1_hit,

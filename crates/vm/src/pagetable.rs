@@ -32,6 +32,29 @@ pub struct Leaf {
     pub size: PageSize,
 }
 
+/// The up-to-four `(frame, offset-in-frame, node)` PTE locations a
+/// hardware walker reads for one address, stored inline: a walk runs on
+/// every TLB miss, so this must not heap-allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkPath {
+    steps: [(Frame, u64, NodeId); 4],
+    len: u8,
+}
+
+impl WalkPath {
+    fn push(&mut self, step: (Frame, u64, NodeId)) {
+        self.steps[self.len as usize] = step;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for WalkPath {
+    type Target = [(Frame, u64, NodeId)];
+    fn deref(&self) -> &Self::Target {
+        &self.steps[..self.len as usize]
+    }
+}
+
 /// Result of software-walking an address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkResult {
@@ -399,8 +422,8 @@ impl PageTable {
     /// of each PTE a hardware walker reads for `vaddr`, topmost first,
     /// together with the walk result. Used by the MMU to charge PTE reads
     /// through the cache hierarchy.
-    pub fn walk_path(&self, vaddr: VirtAddr) -> (Vec<(Frame, u64, NodeId)>, WalkResult) {
-        let mut path = Vec::with_capacity(4);
+    pub fn walk_path(&self, vaddr: VirtAddr) -> (WalkPath, WalkResult) {
+        let mut path = WalkPath::default();
         let mut node = &self.root;
         if node.entries.is_empty() {
             return (path, WalkResult::NotMapped);

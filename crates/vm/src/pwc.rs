@@ -4,13 +4,14 @@
 //! so a TLB miss rarely costs a full 4-reference walk. We model one small
 //! fully-associative LRU cache per non-leaf level.
 
-/// A small fully-associative LRU cache of `u64` keys.
+/// A small fully-associative LRU cache of `u64` keys. Keys and LRU stamps
+/// live in parallel arrays so the per-walk probe scans 8 bytes per entry;
+/// stamps are touched only on a hit or an eviction.
 #[derive(Debug)]
 struct SmallLru {
     capacity: usize,
-    /// (key, stamp) pairs; linear scan — capacities are single digits to
-    /// a few tens of entries.
-    entries: Vec<(u64, u64)>,
+    keys: Vec<u64>,
+    stamps: Vec<u64>,
     clock: u64,
 }
 
@@ -18,16 +19,16 @@ impl SmallLru {
     fn new(capacity: usize) -> Self {
         SmallLru {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             clock: 0,
         }
     }
 
     fn contains(&mut self, key: u64) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
-            e.1 = clock;
+        if let Some(i) = self.keys.iter().position(|&k| k == key) {
+            self.stamps[i] = self.clock;
             true
         } else {
             false
@@ -36,26 +37,39 @@ impl SmallLru {
 
     fn insert(&mut self, key: u64) {
         self.clock += 1;
-        let clock = self.clock;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
-            e.1 = clock;
+        if let Some(i) = self.keys.iter().position(|&k| k == key) {
+            self.stamps[i] = self.clock;
             return;
         }
-        if self.entries.len() < self.capacity {
-            self.entries.push((key, clock));
+        if self.keys.len() < self.capacity {
+            self.keys.push(key);
+            self.stamps.push(self.clock);
             return;
         }
-        if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.1) {
-            *victim = (key, clock);
+        // Evict the least-recently stamped entry (first index on ties,
+        // like `min_by_key`).
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, &s) in self.stamps.iter().enumerate() {
+            if s < oldest {
+                oldest = s;
+                victim = i;
+            }
         }
+        self.keys[victim] = key;
+        self.stamps[victim] = self.clock;
     }
 
     fn invalidate(&mut self, key: u64) {
-        self.entries.retain(|e| e.0 != key);
+        while let Some(i) = self.keys.iter().position(|&k| k == key) {
+            self.keys.remove(i);
+            self.stamps.remove(i);
+        }
     }
 
     fn flush(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.stamps.clear();
     }
 }
 

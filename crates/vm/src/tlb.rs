@@ -24,11 +24,31 @@ pub(crate) struct TlbEntry {
 /// functions).
 #[derive(Debug)]
 pub struct SetAssocTlb {
-    sets: u64,
+    /// `sets - 1`; the set count is a power of two, so the set index is a
+    /// mask — a hardware divide here would sit on every simulated access.
+    set_mask: u64,
     ways: u32,
-    entries: Vec<Option<TlbEntry>>,
+    /// Packed probe keys parallel to `entries`: `vpn << 1 | huge`, with
+    /// `u64::MAX` marking an invalid way. Probes scan 8 bytes per way
+    /// instead of a whole `TlbEntry`; this array is the hottest state in
+    /// the simulator.
+    keys: Vec<u64>,
+    /// Payloads parallel to `keys`; only meaningful where the key is valid.
+    entries: Vec<TlbEntry>,
     stamps: Vec<u64>,
     clock: u64,
+    /// Number of valid ways; lets lookups on an empty array (e.g. the huge
+    /// DTLB of a base-pages-only run) return without scanning. Skipping
+    /// the scan is invisible to the model: stamps only ever compare
+    /// against each other, so unticked clocks never change an outcome.
+    live: u32,
+}
+
+/// Pack a (vpn, size) probe into one comparable word. VPNs fit in 48 bits,
+/// so the shift cannot collide with the `u64::MAX` invalid sentinel.
+#[inline]
+fn probe_key(vpn: u64, size: PageSize) -> u64 {
+    (vpn << 1) | (size == PageSize::Huge) as u64
 }
 
 impl SetAssocTlb {
@@ -43,12 +63,20 @@ impl SetAssocTlb {
         assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
         let sets = (entries / ways) as u64;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let placeholder = TlbEntry {
+            vpn: 0,
+            size: PageSize::Base,
+            frame: 0,
+            node: 0,
+        };
         SetAssocTlb {
-            sets,
+            set_mask: sets - 1,
             ways,
-            entries: vec![None; entries as usize],
+            keys: vec![u64::MAX; entries as usize],
+            entries: vec![placeholder; entries as usize],
             stamps: vec![0; entries as usize],
             clock: 0,
+            live: 0,
         }
     }
 
@@ -57,20 +85,25 @@ impl SetAssocTlb {
         self.entries.len() as u32
     }
 
+    #[inline]
     fn set_base(&self, vpn: u64) -> usize {
-        ((vpn % self.sets) as usize) * self.ways as usize
+        ((vpn & self.set_mask) as usize) * self.ways as usize
     }
 
     /// Look up `vpn` of page size `size`; refreshes LRU on hit.
+    #[inline]
     pub(crate) fn lookup(&mut self, vpn: u64, size: PageSize) -> Option<TlbEntry> {
+        if self.live == 0 {
+            return None;
+        }
         let base = self.set_base(vpn);
+        let key = probe_key(vpn, size);
         self.clock += 1;
-        for w in 0..self.ways as usize {
-            if let Some(e) = self.entries[base + w] {
-                if e.vpn == vpn && e.size == size {
-                    self.stamps[base + w] = self.clock;
-                    return Some(e);
-                }
+        let keys = &self.keys[base..base + self.ways as usize];
+        for (w, &k) in keys.iter().enumerate() {
+            if k == key {
+                self.stamps[base + w] = self.clock;
+                return Some(self.entries[base + w]);
             }
         }
         None
@@ -82,44 +115,42 @@ impl SetAssocTlb {
     /// returns `None`).
     pub(crate) fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         let base = self.set_base(entry.vpn);
+        let key = probe_key(entry.vpn, entry.size);
         self.clock += 1;
         let mut victim = 0;
         let mut oldest = u64::MAX;
-        let mut displaced = None;
+        let mut displaced = false;
         for w in 0..self.ways as usize {
-            match self.entries[base + w] {
-                None => {
-                    victim = w;
-                    displaced = None;
-                    break;
-                }
-                Some(e) if e.vpn == entry.vpn && e.size == entry.size => {
-                    victim = w;
-                    displaced = None;
-                    break;
-                }
-                Some(e) => {
-                    if self.stamps[base + w] < oldest {
-                        oldest = self.stamps[base + w];
-                        victim = w;
-                        displaced = Some(e);
-                    }
-                }
+            let k = self.keys[base + w];
+            if k == u64::MAX || k == key {
+                victim = w;
+                displaced = false;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+                displaced = true;
             }
         }
-        self.entries[base + victim] = Some(entry);
+        let out = displaced.then(|| self.entries[base + victim]);
+        if self.keys[base + victim] == u64::MAX {
+            self.live += 1;
+        }
+        self.keys[base + victim] = key;
+        self.entries[base + victim] = entry;
         self.stamps[base + victim] = self.clock;
-        displaced
+        out
     }
 
     /// Drop the entry for `vpn`/`size` if present.
     pub(crate) fn invalidate(&mut self, vpn: u64, size: PageSize) {
         let base = self.set_base(vpn);
+        let key = probe_key(vpn, size);
         for w in 0..self.ways as usize {
-            if let Some(e) = self.entries[base + w] {
-                if e.vpn == vpn && e.size == size {
-                    self.entries[base + w] = None;
-                }
+            if self.keys[base + w] == key {
+                self.keys[base + w] = u64::MAX;
+                self.live -= 1;
             }
         }
     }
@@ -144,13 +175,14 @@ impl SetAssocTlb {
 
     /// Drop everything (full TLB shootdown / context switch).
     pub fn flush(&mut self) {
-        self.entries.fill(None);
+        self.keys.fill(u64::MAX);
         self.stamps.fill(0);
+        self.live = 0;
     }
 
     /// Number of currently valid entries (diagnostics).
     pub fn occupancy(&self) -> u32 {
-        self.entries.iter().flatten().count() as u32
+        self.keys.iter().filter(|&&k| k != u64::MAX).count() as u32
     }
 }
 

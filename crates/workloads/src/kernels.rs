@@ -125,18 +125,16 @@ fn bfs_simulated(sys: &mut System, arrays: &mut GraphArrays, root: VertexId) -> 
     let n = arrays.vertex.len() - 1;
     // Distances start UNVISITED; the property array was zero-initialized,
     // so write the sentinel sweep as the algorithm's setup pass.
-    for v in 0..n {
-        arrays.prop[0].set(sys, v, UNVISITED);
-    }
+    arrays.prop[0].scan_write_with(sys, 0, n, |_| UNVISITED);
     let mut queue = VecDeque::new();
     arrays.prop[0].set(sys, root as usize, 0);
     queue.push_back(root);
     while let Some(v) = queue.pop_front() {
         let dv = arrays.prop[0].get(sys, v as usize);
-        let start = arrays.vertex.get(sys, v as usize) as usize;
-        let end = arrays.vertex.get(sys, v as usize + 1) as usize;
-        for i in start..end {
-            let u = arrays.edge.get(sys, i);
+        let off = arrays.vertex.scan(sys, v as usize, 2);
+        let (start, end) = (off[0] as usize, off[1] as usize);
+        let nbrs = arrays.edge.scan(sys, start, end - start);
+        for &u in nbrs {
             // The pointer-indirect read that dominates TLB misses:
             if arrays.prop[0].get(sys, u as usize) == UNVISITED {
                 arrays.prop[0].set(sys, u as usize, dv + 1);
@@ -172,28 +170,22 @@ fn bfs_native(csr: &Csr, root: VertexId) -> Vec<u64> {
 fn pagerank_simulated(sys: &mut System, arrays: &mut GraphArrays) -> Vec<u64> {
     let n = arrays.vertex.len() - 1;
     let init = 1.0 / n as f64;
-    for v in 0..n {
-        arrays.prop[0].set(sys, v, init.to_bits());
-    }
+    arrays.prop[0].scan_write_with(sys, 0, n, |_| init.to_bits());
     for _iter in 0..PR_MAX_ITERS {
         let base = (1.0 - PR_DAMPING) / n as f64;
+        arrays.prop[1].scan_write_with(sys, 0, n, |_| base.to_bits());
         for v in 0..n {
-            arrays.prop[1].set(sys, v, base.to_bits());
-        }
-        for v in 0..n {
-            let start = arrays.vertex.get(sys, v) as usize;
-            let end = arrays.vertex.get(sys, v + 1) as usize;
+            let off = arrays.vertex.scan(sys, v, 2);
+            let (start, end) = (off[0] as usize, off[1] as usize);
             if start == end {
                 continue;
             }
             let rank = f64::from_bits(arrays.prop[0].get(sys, v));
             let contrib = PR_DAMPING * rank / (end - start) as f64;
-            for i in start..end {
-                let u = arrays.edge.get(sys, i) as usize;
-                // Pointer-indirect read-modify-write:
-                let cur = f64::from_bits(arrays.prop[1].get(sys, u));
-                arrays.prop[1].set(sys, u, (cur + contrib).to_bits());
-            }
+            let nbrs = arrays.edge.scan(sys, start, end - start);
+            // Pointer-indirect read-modify-write:
+            arrays.prop[1]
+                .gather_update(sys, nbrs, |cur| (f64::from_bits(cur) + contrib).to_bits());
         }
         // Convergence sweep (sequential reads of both arrays).
         let mut delta = 0.0;
@@ -245,9 +237,7 @@ fn pagerank_native(csr: &Csr) -> Vec<u64> {
 
 fn sssp_simulated(sys: &mut System, arrays: &mut GraphArrays, root: VertexId) -> Vec<u64> {
     let n = arrays.vertex.len() - 1;
-    for v in 0..n {
-        arrays.prop[0].set(sys, v, UNVISITED);
-    }
+    arrays.prop[0].scan_write_with(sys, 0, n, |_| UNVISITED);
     let mut queue = VecDeque::new();
     let mut in_queue = vec![false; n];
     arrays.prop[0].set(sys, root as usize, 0);
@@ -256,16 +246,17 @@ fn sssp_simulated(sys: &mut System, arrays: &mut GraphArrays, root: VertexId) ->
     while let Some(v) = queue.pop_front() {
         in_queue[v as usize] = false;
         let dv = arrays.prop[0].get(sys, v as usize);
-        let start = arrays.vertex.get(sys, v as usize) as usize;
-        let end = arrays.vertex.get(sys, v as usize + 1) as usize;
-        for i in start..end {
-            let u = arrays.edge.get(sys, i) as usize;
-            let w = arrays
-                .values
-                .as_ref()
-                .expect("SSSP arrays carry weights")
-                .get(sys, i) as u64;
-            let nd = dv + w;
+        let off = arrays.vertex.scan(sys, v as usize, 2);
+        let (start, end) = (off[0] as usize, off[1] as usize);
+        let nbrs = arrays.edge.scan(sys, start, end - start);
+        let weights = arrays
+            .values
+            .as_ref()
+            .expect("SSSP arrays carry weights")
+            .scan(sys, start, end - start);
+        for (k, &u) in nbrs.iter().enumerate() {
+            let u = u as usize;
+            let nd = dv + weights[k] as u64;
             if nd < arrays.prop[0].get(sys, u) {
                 arrays.prop[0].set(sys, u, nd);
                 if !in_queue[u] {
@@ -312,17 +303,16 @@ fn cc_simulated(sys: &mut System, arrays: &mut GraphArrays) -> Vec<u64> {
     let n = arrays.vertex.len() - 1;
     let mut queue: VecDeque<VertexId> = VecDeque::with_capacity(n);
     let mut in_queue = vec![true; n];
-    for v in 0..n {
-        arrays.prop[0].set(sys, v, v as u64);
-        queue.push_back(v as VertexId);
-    }
+    arrays.prop[0].scan_write_with(sys, 0, n, |v| v as u64);
+    queue.extend(0..n as VertexId);
     while let Some(v) = queue.pop_front() {
         in_queue[v as usize] = false;
         let lv = arrays.prop[0].get(sys, v as usize);
-        let start = arrays.vertex.get(sys, v as usize) as usize;
-        let end = arrays.vertex.get(sys, v as usize + 1) as usize;
-        for i in start..end {
-            let u = arrays.edge.get(sys, i) as usize;
+        let off = arrays.vertex.scan(sys, v as usize, 2);
+        let (start, end) = (off[0] as usize, off[1] as usize);
+        let nbrs = arrays.edge.scan(sys, start, end - start);
+        for &u in nbrs {
+            let u = u as usize;
             if lv < arrays.prop[0].get(sys, u) {
                 arrays.prop[0].set(sys, u, lv);
                 if !in_queue[u] {

@@ -163,6 +163,135 @@ impl<T: Element> SimArray<T> {
         self.data[idx] = value;
     }
 
+    /// Batch equivalent of `count` sequential `note(start + k, write)`
+    /// calls: within a run only the first element can be a sequential
+    /// break (consecutive indices differ by 1), so the counters collapse
+    /// to constant-time updates; the page histogram still walks elements,
+    /// but only when profiling is enabled.
+    fn note_run(&self, start: usize, count: usize, write: bool) {
+        if count == 0 {
+            return;
+        }
+        if write {
+            self.writes.set(self.writes.get() + count as u64);
+        } else {
+            self.reads.set(self.reads.get() + count as u64);
+        }
+        let last = self.last_idx.get();
+        if last != u64::MAX && (start as u64).abs_diff(last) > 16 {
+            self.seq_breaks.set(self.seq_breaks.get() + 1);
+        }
+        self.last_idx.set((start + count - 1) as u64);
+        if let Some((chunk, counts)) = self.page_counts.borrow_mut().as_mut() {
+            for i in start..start + count {
+                counts[(i as u64 * T::BYTES / *chunk) as usize] += 1;
+            }
+        }
+    }
+
+    /// Batch equivalent of per-index `note` calls for a gather (one read
+    /// per index) or gather-RMW (read + write per index; the write lands
+    /// on the index just read, so it can never be a sequential break).
+    fn note_gather(&self, indices: &[u32], rmw: bool) {
+        if indices.is_empty() {
+            return;
+        }
+        let n = indices.len() as u64;
+        self.reads.set(self.reads.get() + n);
+        if rmw {
+            self.writes.set(self.writes.get() + n);
+        }
+        let mut last = self.last_idx.get();
+        let mut breaks = 0u64;
+        for &i in indices {
+            let idx = i as u64;
+            if last != u64::MAX && idx.abs_diff(last) > 16 {
+                breaks += 1;
+            }
+            last = idx;
+        }
+        self.seq_breaks.set(self.seq_breaks.get() + breaks);
+        self.last_idx.set(last);
+        if let Some((chunk, counts)) = self.page_counts.borrow_mut().as_mut() {
+            let per_index = if rmw { 2 } else { 1 };
+            for &i in indices {
+                counts[(i as u64 * T::BYTES / *chunk) as usize] += per_index;
+            }
+        }
+    }
+
+    /// Simulated sequential read of `count` elements starting at `start`,
+    /// returning the host-side slice. Equivalent to `count` calls to
+    /// [`SimArray::get`] — identical per-array counters and simulated
+    /// accesses — batched through [`System::access_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count` exceeds the array length.
+    pub fn scan(&self, sys: &mut System, start: usize, count: usize) -> &[T] {
+        let slice = &self.data[start..start + count];
+        self.note_run(start, count, false);
+        sys.access_run(self.addr(start), T::BYTES, count as u64, false);
+        slice
+    }
+
+    /// Simulated sequential overwrite of `count` elements starting at
+    /// `start`, with values produced per index. Equivalent to `count`
+    /// calls to [`SimArray::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count` exceeds the array length.
+    pub fn scan_write_with(
+        &mut self,
+        sys: &mut System,
+        start: usize,
+        count: usize,
+        mut value: impl FnMut(usize) -> T,
+    ) {
+        assert!(start + count <= self.data.len(), "scan_write out of bounds");
+        self.note_run(start, count, true);
+        sys.access_run(self.addr(start), T::BYTES, count as u64, true);
+        for i in start..start + count {
+            self.data[i] = value(i);
+        }
+    }
+
+    /// Simulated gather: one read per index, in slice order (the
+    /// pointer-indirect property-array pattern). Equivalent to
+    /// [`SimArray::get`] per index; values are returned in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, sys: &mut System, indices: &[u32]) -> Vec<T> {
+        self.note_gather(indices, false);
+        sys.access_gather(self.base, T::BYTES, indices, false);
+        indices.iter().map(|&i| self.data[i as usize]).collect()
+    }
+
+    /// Simulated gather read-modify-write: for each index in slice order,
+    /// a simulated load then store, applying `update` to the host value.
+    /// Equivalent to `get` + `set` per index — duplicate indices observe
+    /// earlier updates, exactly as the scalar loop would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_update(
+        &mut self,
+        sys: &mut System,
+        indices: &[u32],
+        mut update: impl FnMut(T) -> T,
+    ) {
+        self.note_gather(indices, true);
+        sys.access_gather_rmw(self.base, T::BYTES, indices);
+        for &i in indices {
+            let i = i as usize;
+            self.data[i] = update(self.data[i]);
+        }
+    }
+
     /// First-touch the whole range with initialization stores (`memset`).
     pub fn populate(&mut self, sys: &mut System) {
         sys.populate(self.base, self.bytes());

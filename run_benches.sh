@@ -7,6 +7,9 @@ cd /root/repo
   echo "== graphmem full benchmark run (GRAPHMEM_SCALE=paper default) =="
   date
   cargo bench --workspace 2>&1
+  echo "== hot-path engine headline -> BENCH_hotpath.json =="
+  GRAPHMEM_SCALE="${GRAPHMEM_HOTPATH_SCALE:-small}" \
+    cargo bench -p graphmem-bench --bench bench_hotpath 2>&1
   echo "== machine-readable headline reports -> bench_reports.jsonl =="
   cargo build --release --bin graphmem 2>&1
   GRAPHMEM="$CARGO_TARGET_DIR/release/graphmem"

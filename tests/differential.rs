@@ -1,0 +1,240 @@
+//! Differential cycle-exactness harness for the hot-path access engine.
+//!
+//! The batched/fast-path pipeline ([`AccessEngine::Batched`]: event-horizon
+//! scheduling in `System`, the inlined base-page fast path in the MMU, and
+//! the `access_run`/gather batch APIs) must be *bit-identical* in simulated
+//! outcome to the preserved legacy scalar pipeline
+//! ([`AccessEngine::Legacy`]). These tests run real kernels and randomized
+//! access streams through both and compare every observable field.
+
+use graphmem_core::{AccessEngine, Experiment, PagePolicy, RunReport};
+use graphmem_graph::Dataset;
+use graphmem_os::{System, SystemSpec, VirtAddr};
+use graphmem_workloads::{AllocOrder, GraphArrays, Kernel};
+use proptest::prelude::*;
+
+/// `GRAPHMEM_SCALE=tiny` equivalent: the graphmem-bench scale ladder maps
+/// "tiny" to four scale steps below the dataset preset.
+fn tiny_scale(ds: Dataset) -> u8 {
+    ds.default_scale() - 4
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(
+        a.preprocess_cycles, b.preprocess_cycles,
+        "{what}: preprocess cycles"
+    );
+    assert_eq!(a.init_cycles, b.init_cycles, "{what}: init cycles");
+    assert_eq!(a.compute_cycles, b.compute_cycles, "{what}: compute cycles");
+    assert_eq!(a.perf, b.perf, "{what}: perf counters");
+    assert_eq!(a.os, b.os, "{what}: OS stats");
+    assert_eq!(a.footprint_bytes, b.footprint_bytes, "{what}: footprint");
+    assert_eq!(a.property_bytes, b.property_bytes, "{what}: property bytes");
+    assert_eq!(
+        a.property_huge_bytes, b.property_huge_bytes,
+        "{what}: property huge bytes"
+    );
+    assert_eq!(
+        a.total_huge_bytes, b.total_huge_bytes,
+        "{what}: total huge bytes"
+    );
+    assert_eq!(a.verified, b.verified, "{what}: verified");
+    assert_eq!(a.series, b.series, "{what}: metrics series");
+    // Belt and braces: the full serialized report.
+    assert_eq!(a.to_json(), b.to_json(), "{what}: serialized report");
+}
+
+fn run_engine(ds: Dataset, kernel: Kernel, engine: AccessEngine) -> RunReport {
+    Experiment::new(ds, kernel)
+        .scale(tiny_scale(ds))
+        .huge_order(4)
+        .policy(PagePolicy::ThpSystemWide)
+        .access_engine(engine)
+        .run()
+}
+
+/// All four kernels on all four dataset presets: batched/fast-path reports
+/// must match the legacy scalar pipeline field-by-field.
+#[test]
+fn all_kernels_all_datasets_bit_identical() {
+    for ds in Dataset::ALL {
+        for kernel in Kernel::EXTENDED {
+            let legacy = run_engine(ds, kernel, AccessEngine::Legacy);
+            let batched = run_engine(ds, kernel, AccessEngine::Batched);
+            assert_reports_identical(&legacy, &batched, &format!("{kernel} on {}", ds.name()));
+        }
+    }
+}
+
+/// Epoch sampling interacts with the event-horizon watermark: a sampled run
+/// must produce the identical series under both engines (same sample
+/// cycles, same counter snapshots).
+#[test]
+fn sampled_series_bit_identical() {
+    let run = |engine| {
+        Experiment::new(Dataset::Wiki, Kernel::Pagerank)
+            .scale(tiny_scale(Dataset::Wiki))
+            .huge_order(4)
+            .policy(PagePolicy::ThpSystemWide)
+            .sample_interval(200_000)
+            .access_engine(engine)
+            .run()
+    };
+    let legacy = run(AccessEngine::Legacy);
+    let batched = run(AccessEngine::Batched);
+    assert!(
+        legacy.series.as_ref().is_some_and(|s| s.len() > 2),
+        "series too short to be probative"
+    );
+    assert_reports_identical(&legacy, &batched, "sampled pagerank");
+}
+
+/// Per-array profiles (reads/writes/seq-breaks/page histograms) are not
+/// part of `RunReport`, so compare them on a direct kernel run.
+#[test]
+fn per_array_profiles_bit_identical() {
+    let run = |engine| {
+        let csr = Dataset::Wiki.generate_with_scale(tiny_scale(Dataset::Wiki));
+        let mut sys = System::new(SystemSpec::scaled_demo());
+        sys.set_access_engine(engine);
+        let mut arrays = GraphArrays::map(&mut sys, &csr, Kernel::Bfs);
+        arrays.initialize(&mut sys, AllocOrder::Natural);
+        arrays.prop[0].profile_pages(1 << 16);
+        let root = graphmem_workloads::default_root(&csr);
+        Kernel::Bfs.run_simulated(&mut sys, &mut arrays, root);
+        let profiles: Vec<_> = arrays.profile().arrays().to_vec();
+        (profiles, arrays.prop[0].page_profile())
+    };
+    let (legacy, legacy_pages) = run(AccessEngine::Legacy);
+    let (batched, batched_pages) = run(AccessEngine::Batched);
+    assert_eq!(legacy, batched, "per-array profiles diverged");
+    assert_eq!(legacy_pages, batched_pages, "page histograms diverged");
+}
+
+/// A run that faults on a page boundary mid-batch must resume at the
+/// faulting element, not the run start: the access count equals one per
+/// element plus exactly one retried attempt per fault.
+#[test]
+fn access_run_fault_mid_run_resumes_at_faulting_element() {
+    let mut sys = System::new(SystemSpec::scaled_demo());
+    let base = sys.mmap(1 << 20, "probe");
+    // Warm the first page so the run starts hit, then crosses into an
+    // unpopulated page and faults mid-run.
+    sys.write(base);
+    let perf0 = *sys.perf();
+    let faults0 = sys.os_stats().faults;
+    let count = 1024u64; // 8 KiB at stride 8: spans pages 0..2
+    sys.access_run(base, 8, count, false);
+    let accesses = sys.perf().accesses - perf0.accesses;
+    let faults = sys.os_stats().faults - faults0;
+    assert!(faults >= 1, "run should fault crossing the page boundary");
+    assert_eq!(
+        accesses,
+        count + faults,
+        "each fault must retry only the faulting element"
+    );
+    // And the whole run must reconcile with an element-at-a-time twin.
+    let mut twin = System::new(SystemSpec::scaled_demo());
+    let tbase = twin.mmap(1 << 20, "probe");
+    twin.write(tbase);
+    for i in 0..count {
+        twin.read(tbase.add(i * 8));
+    }
+    assert_eq!(sys.perf(), twin.perf());
+    assert_eq!(sys.clock(), twin.clock());
+}
+
+/// Build the twin systems for the proptest: one batched, one legacy.
+fn twin_systems() -> (System, VirtAddr, System, VirtAddr) {
+    let mut a = System::new(SystemSpec::scaled_demo());
+    a.set_access_engine(AccessEngine::Batched);
+    let abase = a.mmap(1 << 21, "stream");
+    let mut b = System::new(SystemSpec::scaled_demo());
+    b.set_access_engine(AccessEngine::Legacy);
+    let bbase = b.mmap(1 << 21, "stream");
+    (a, abase, b, bbase)
+}
+
+/// One randomized batch operation over a 2 MiB region of u64 elements.
+#[derive(Debug, Clone)]
+enum Op {
+    Run {
+        start: u32,
+        stride: u64,
+        count: u64,
+        write: bool,
+    },
+    Gather {
+        indices: Vec<u32>,
+        write: bool,
+    },
+    Rmw {
+        indices: Vec<u32>,
+    },
+}
+
+const REGION_ELEMS: u32 = (1 << 21) / 8;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let idx = 0..REGION_ELEMS;
+    prop_oneof![
+        (0..REGION_ELEMS / 2, 1u64..4, 0u64..200, any::<bool>()).prop_map(
+            |(start, stride, count, write)| Op::Run {
+                start,
+                stride,
+                count,
+                write
+            }
+        ),
+        (
+            proptest::collection::vec(idx.clone(), 0..100),
+            any::<bool>()
+        )
+            .prop_map(|(indices, write)| Op::Gather { indices, write }),
+        proptest::collection::vec(idx, 0..60).prop_map(|indices| Op::Rmw { indices }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixes of strided runs, gathers, and gather-RMWs through the
+    /// batched engine reconcile exactly with element-at-a-time accesses
+    /// through the legacy engine: same clock, same counters, same OS
+    /// stats.
+    #[test]
+    fn random_batches_reconcile_with_scalar_loops(ops in proptest::collection::vec(arb_op(), 1..12)) {
+        let (mut sys, base, mut twin, tbase) = twin_systems();
+        for op in &ops {
+            match op {
+                Op::Run { start, stride, count, write } => {
+                    let off = u64::from(*start) * 8;
+                    sys.access_run(base.add(off), *stride * 8, *count, *write);
+                    for i in 0..*count {
+                        let addr = tbase.add(off + i * *stride * 8);
+                        if *write { twin.write(addr) } else { twin.read(addr) }
+                    }
+                }
+                Op::Gather { indices, write } => {
+                    sys.access_gather(base, 8, indices, *write);
+                    for &i in indices {
+                        let addr = tbase.add(u64::from(i) * 8);
+                        if *write { twin.write(addr) } else { twin.read(addr) }
+                    }
+                }
+                Op::Rmw { indices } => {
+                    sys.access_gather_rmw(base, 8, indices);
+                    for &i in indices {
+                        let addr = tbase.add(u64::from(i) * 8);
+                        twin.read(addr);
+                        twin.write(addr);
+                    }
+                }
+            }
+            prop_assert_eq!(sys.clock(), twin.clock());
+        }
+        prop_assert_eq!(sys.perf(), twin.perf());
+        prop_assert_eq!(sys.os_stats(), twin.os_stats());
+    }
+}
