@@ -17,7 +17,7 @@ mod parse;
 mod run;
 
 pub use parse::{parse, Command, ParseError};
-pub use run::execute;
+pub use run::{execute, EXIT_FAILURE, EXIT_INTERRUPTED, EXIT_OK, EXIT_PARTIAL, EXIT_USAGE};
 
 /// The usage text shown by `graphmem help` and on parse errors.
 pub const USAGE: &str = "\
@@ -46,6 +46,12 @@ OPTIONS (run and sweep):
 
 SWEEP (sweep only):
     --threads <N>                            worker threads [all cores]
+    --manifest <PATH>                        checkpoint completed reports to PATH (JSONL)
+    --resume <PATH>                          skip configs already completed in PATH
+    --retries <N>                            retry transient failures N times [0]
+    --timeout <SECS>                         per-experiment wall-clock watchdog
+    --chaos <K@I,...>                        inject faults: panic|io|delay:<ms> at
+                                             grid index I (testing/CI only)
 
 TELEMETRY (run only):
     --telemetry <PATH>                       stream kernel events to PATH (JSONL)
@@ -53,9 +59,16 @@ TELEMETRY (run only):
     --series <PATH>                          write the sampled series to PATH (CSV)
     --json                                   print the report as one JSON object
 
+EXIT CODES:
+    0   success                3   sweep finished with some failed configs
+    1   command failed         130 interrupted (completed work is in the manifest)
+    2   usage error
+
 EXAMPLES:
     graphmem run --dataset kron --kernel bfs --policy thp --surplus 0.12
     graphmem run --policy selective:0.2 --preprocess dbg --frag 0.5 --surplus 0.35
     graphmem run --policy thp --telemetry t.jsonl --sample-interval 100000 --json
     graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
+    graphmem sweep pressure --policy thp --manifest runs.jsonl --retries 2 --timeout 600
+    graphmem sweep pressure --policy thp --resume runs.jsonl --manifest runs.jsonl
 ";

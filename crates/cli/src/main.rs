@@ -5,14 +5,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match graphmem_cli::parse(&args) {
-        Ok(cmd) => {
-            graphmem_cli::execute(cmd);
-            ExitCode::SUCCESS
-        }
+        Ok(cmd) => ExitCode::from(graphmem_cli::execute(cmd)),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", graphmem_cli::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(graphmem_cli::EXIT_USAGE)
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Argument parsing for the `graphmem` binary.
 
-use graphmem_core::{MemoryCondition, PagePolicy, Preprocessing, Surplus};
+use graphmem_core::{FaultSpec, MemoryCondition, PagePolicy, Preprocessing, Surplus};
 use graphmem_graph::Dataset;
 use graphmem_os::FilePlacement;
 use graphmem_workloads::{AllocOrder, Kernel};
@@ -60,6 +60,16 @@ pub struct RunSpec {
     pub json: bool,
     /// Worker threads for `sweep` (defaults to the machine's parallelism).
     pub threads: Option<usize>,
+    /// Append completed sweep reports to this JSONL run-manifest.
+    pub manifest: Option<String>,
+    /// Skip sweep configs already completed in this manifest.
+    pub resume: Option<String>,
+    /// Retries per experiment for transient failures.
+    pub retries: u32,
+    /// Per-experiment wall-clock watchdog, in seconds.
+    pub timeout_secs: Option<f64>,
+    /// Deterministic fault injections, as `(grid index, fault)` pairs.
+    pub chaos: Vec<(usize, FaultSpec)>,
 }
 
 impl Default for RunSpec {
@@ -79,6 +89,11 @@ impl Default for RunSpec {
             series: None,
             json: false,
             threads: None,
+            manifest: None,
+            resume: None,
+            retries: 0,
+            timeout_secs: None,
+            chaos: Vec::new(),
         }
     }
 }
@@ -229,6 +244,23 @@ fn parse_spec(args: &[String]) -> Result<RunSpec, ParseError> {
                 spec.threads = Some(n);
             }
             "--json" => spec.json = true,
+            "--manifest" => spec.manifest = Some(value()?.clone()),
+            "--resume" => spec.resume = Some(value()?.clone()),
+            "--retries" => {
+                spec.retries = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--retries needs an integer".into()))?;
+            }
+            "--timeout" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--timeout needs seconds (e.g. 0.5 or 120)".into()))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return err("--timeout must be a positive number of seconds");
+                }
+                spec.timeout_secs = Some(secs);
+            }
+            "--chaos" => spec.chaos = parse_chaos(value()?)?,
             other => return err(format!("unknown option '{other}'")),
         }
     }
@@ -247,6 +279,42 @@ fn build_condition(surplus: Option<Surplus>, frag: f64) -> Result<MemoryConditio
             noise_occupancy: 0.5,
         },
     })
+}
+
+/// Parse a fault-injection spec: a comma list of `<kind>@<index>` where
+/// kind is `panic`, `io`, or `delay:<ms>` (e.g. `panic@2,io@5`).
+fn parse_chaos(v: &str) -> Result<Vec<(usize, FaultSpec)>, ParseError> {
+    let mut plan = Vec::new();
+    for part in v.split(',') {
+        let Some((kind, index)) = part.split_once('@') else {
+            return err(format!(
+                "--chaos entry '{part}' must be <kind>@<index> (panic|io|delay:<ms>)"
+            ));
+        };
+        let index: usize = index
+            .parse()
+            .map_err(|_| ParseError(format!("--chaos entry '{part}': bad index '{index}'")))?;
+        let fault = if let Some(ms) = kind.strip_prefix("delay:") {
+            let ms: u64 = ms.parse().map_err(|_| {
+                ParseError(format!(
+                    "--chaos entry '{part}': bad delay '{ms}' (milliseconds)"
+                ))
+            })?;
+            FaultSpec::Delay { ms }
+        } else {
+            match kind {
+                "panic" => FaultSpec::Panic,
+                "io" => FaultSpec::IoError,
+                other => {
+                    return err(format!(
+                        "--chaos entry '{part}': unknown fault '{other}' (panic|io|delay:<ms>)"
+                    ))
+                }
+            }
+        };
+        plan.push((index, fault));
+    }
+    Ok(plan)
 }
 
 fn parse_policy(v: &str) -> Result<PagePolicy, ParseError> {
@@ -379,6 +447,43 @@ mod tests {
         assert!(e.to_string().contains("needs a value"));
         let e = parse(&args("frobnicate")).unwrap_err();
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn robustness_flags() {
+        let Command::Sweep(_, s) = parse(&args(
+            "sweep pressure --manifest runs.jsonl --resume runs.jsonl --retries 3 \
+             --timeout 1.5 --chaos panic@2,io@5,delay:250@0",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.manifest.as_deref(), Some("runs.jsonl"));
+        assert_eq!(s.resume.as_deref(), Some("runs.jsonl"));
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.timeout_secs, Some(1.5));
+        assert_eq!(
+            s.chaos,
+            vec![
+                (2, FaultSpec::Panic),
+                (5, FaultSpec::IoError),
+                (0, FaultSpec::Delay { ms: 250 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn robustness_flag_errors_name_the_flag() {
+        let e = parse(&args("sweep pressure --timeout -1")).unwrap_err();
+        assert!(e.to_string().contains("--timeout"), "{e}");
+        let e = parse(&args("sweep pressure --retries lots")).unwrap_err();
+        assert!(e.to_string().contains("--retries"), "{e}");
+        let e = parse(&args("sweep pressure --chaos explode@1")).unwrap_err();
+        assert!(e.to_string().contains("explode"), "{e}");
+        let e = parse(&args("sweep pressure --chaos panic")).unwrap_err();
+        assert!(e.to_string().contains("<kind>@<index>"), "{e}");
+        let e = parse(&args("sweep pressure --chaos delay:soon@1")).unwrap_err();
+        assert!(e.to_string().contains("bad delay"), "{e}");
     }
 
     #[test]

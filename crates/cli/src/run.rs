@@ -1,41 +1,76 @@
 //! Command execution: build experiments from parsed specs and print
 //! results.
 
-use graphmem_core::{sweep, Experiment, RunReport};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use graphmem_core::{
+    run_supervised, sweep, Experiment, FaultPlan, RunReport, SupervisorConfig, SweepOutcome,
+};
 use graphmem_graph::Dataset;
 use graphmem_telemetry::{JsonlSink, TraceConfig, Tracer};
 
 use crate::parse::{Command, RunSpec, SweepKind};
 use crate::USAGE;
 
+/// Process exit code: everything succeeded.
+pub const EXIT_OK: u8 = 0;
+/// Process exit code: the command failed outright.
+pub const EXIT_FAILURE: u8 = 1;
+/// Process exit code: bad usage (reserved for `main`'s parse errors).
+pub const EXIT_USAGE: u8 = 2;
+/// Process exit code: a sweep finished but some configs failed; the
+/// completed reports were still printed (and checkpointed when a
+/// manifest is configured).
+pub const EXIT_PARTIAL: u8 = 3;
+/// Process exit code: interrupted by SIGINT (128 + 2, the shell
+/// convention); completed work was flushed to the manifest.
+pub const EXIT_INTERRUPTED: u8 = 130;
+
 /// Execute a parsed command, writing human-readable output to stdout.
-pub fn execute(cmd: Command) {
+/// Returns the process exit code (`EXIT_OK` / `EXIT_FAILURE` /
+/// `EXIT_PARTIAL` / `EXIT_INTERRUPTED`).
+pub fn execute(cmd: Command) -> u8 {
     match cmd {
-        Command::Help => println!("{USAGE}"),
-        Command::Datasets => datasets(),
+        Command::Help => {
+            println!("{USAGE}");
+            EXIT_OK
+        }
+        Command::Datasets => {
+            datasets();
+            EXIT_OK
+        }
         Command::Run(spec) => run_cmd(&spec),
         Command::Sweep(kind, spec) => sweep_cmd(kind, &spec),
     }
 }
 
-fn run_cmd(spec: &RunSpec) {
+fn run_cmd(spec: &RunSpec) -> u8 {
     let mut experiment = build(spec);
     if let Some(path) = &spec.telemetry {
         let sink = match JsonlSink::create(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot create telemetry file {path}: {e}");
-                std::process::exit(1);
+                return EXIT_FAILURE;
             }
         };
         experiment =
             experiment.telemetry(Tracer::enabled(TraceConfig::default().sink(Box::new(sink))));
     }
-    let report = experiment.run();
+    let report = match experiment.try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_FAILURE;
+        }
+    };
     if let (Some(path), Some(series)) = (&spec.series, &report.series) {
         if let Err(e) = series.write_csv(path) {
             eprintln!("cannot write series file {path}: {e}");
-            std::process::exit(1);
+            return EXIT_FAILURE;
         }
     }
     if spec.json {
@@ -43,6 +78,7 @@ fn run_cmd(spec: &RunSpec) {
     } else {
         print_report(&report);
     }
+    EXIT_OK
 }
 
 fn build(spec: &RunSpec) -> Experiment {
@@ -96,13 +132,10 @@ fn print_report(r: &RunReport) {
     );
 }
 
-/// Build and run one sweep's experiments on `threads` workers, returning
-/// `(parameter, report)` rows in sweep order. The experiments are
-/// deterministic and independent, so any thread count produces reports
-/// bit-identical to the serial loop.
-fn sweep_rows(kind: SweepKind, spec: &RunSpec, threads: usize) -> Vec<(f64, RunReport)> {
+/// The experiments a sweep runs, paired with the varied parameter values.
+fn sweep_experiments(kind: SweepKind, spec: &RunSpec) -> (&'static [f64], Vec<Experiment>) {
     let proto = build(spec);
-    let (params, exps): (&[f64], Vec<_>) = match kind {
+    match kind {
         SweepKind::Pressure => (
             &sweep::PRESSURE_LADDER,
             sweep::pressure_experiments(&proto, &sweep::PRESSURE_LADDER),
@@ -115,35 +148,133 @@ fn sweep_rows(kind: SweepKind, spec: &RunSpec, threads: usize) -> Vec<(f64, RunR
             &sweep::SELECTIVITY_LEVELS,
             sweep::selectivity_experiments(&proto, &sweep::SELECTIVITY_LEVELS),
         ),
-    };
-    let reports = sweep::run_parallel(exps, threads);
-    params.iter().copied().zip(reports).collect()
+    }
 }
 
-fn sweep_cmd(kind: SweepKind, spec: &RunSpec) {
-    let threads = spec.threads.unwrap_or_else(|| {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    });
-    let rows = sweep_rows(kind, spec, threads);
+/// The process-wide SIGINT flag, installing the handler on first use.
+/// Ctrl-C flips the flag; the supervisor records not-yet-started configs
+/// as interrupted and drains, so everything already completed has been
+/// flushed to the manifest by the time the process exits with
+/// [`EXIT_INTERRUPTED`].
+fn sigint_flag() -> Arc<AtomicBool> {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    Arc::clone(FLAG.get_or_init(|| {
+        const SIGINT: i32 = 2;
+        extern "C" fn on_sigint(_: i32) {
+            if let Some(flag) = flag_storage().get() {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
+        fn flag_storage() -> &'static OnceLock<Arc<AtomicBool>> {
+            static STORAGE: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+            &STORAGE
+        }
+        extern "C" {
+            // Always present via the C runtime; avoids a libc crate
+            // dependency for one call. `usize` stands in for the
+            // handler-pointer type.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let _ = flag_storage().set(Arc::clone(&flag));
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        flag
+    }))
+}
+
+/// Assemble the supervisor configuration for a sweep spec.
+fn supervisor_config(spec: &RunSpec, threads: usize) -> SupervisorConfig {
+    let mut faults = FaultPlan::none();
+    for (index, fault) in &spec.chaos {
+        faults = faults.inject(*index, fault.clone());
+    }
+    SupervisorConfig {
+        threads,
+        retries: spec.retries,
+        timeout: spec.timeout_secs.map(Duration::from_secs_f64),
+        manifest: spec.manifest.as_ref().map(PathBuf::from),
+        resume: spec.resume.as_ref().map(PathBuf::from),
+        faults,
+        cancel: Some(sigint_flag()),
+        ..SupervisorConfig::default()
+    }
+}
+
+fn print_sweep_outcome(kind: SweepKind, params: &[f64], outcome: &SweepOutcome) {
     let param = match kind {
         SweepKind::Pressure => "surplus",
         SweepKind::Fragmentation => "frag",
         SweepKind::Selectivity => "s",
     };
+    if outcome.resumed > 0 {
+        println!(
+            "resumed {} of {} configs from manifest",
+            outcome.resumed,
+            outcome.outcomes.len()
+        );
+    }
     println!(
         "{:>9} {:>12} {:>9} {:>9} {:>11}",
         param, "compute Mcy", "dtlb%", "walk%", "huge-mem%"
     );
-    for (p, r) in rows {
-        println!(
-            "{:>9.2} {:>12.2} {:>8.1}% {:>8.1}% {:>10.2}%  {}",
-            p,
-            r.compute_cycles as f64 / 1e6,
-            r.dtlb_miss_rate() * 100.0,
-            r.stlb_miss_rate() * 100.0,
-            r.huge_memory_fraction() * 100.0,
-            if r.verified { "" } else { "WRONG RESULT" }
+    for (p, o) in params.iter().zip(&outcome.outcomes) {
+        match o {
+            Ok(r) => println!(
+                "{:>9.2} {:>12.2} {:>8.1}% {:>8.1}% {:>10.2}%  {}",
+                p,
+                r.compute_cycles as f64 / 1e6,
+                r.dtlb_miss_rate() * 100.0,
+                r.stlb_miss_rate() * 100.0,
+                r.huge_memory_fraction() * 100.0,
+                if r.verified { "" } else { "WRONG RESULT" }
+            ),
+            Err(f) => println!(
+                "{:>9.2} {:>12} {:>9} {:>9} {:>11}  FAILED[{}] after {} attempt{}: {}",
+                p,
+                "-",
+                "-",
+                "-",
+                "-",
+                f.error.code(),
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+                f.error
+            ),
+        }
+    }
+    let failed = outcome.failures().count();
+    if failed > 0 {
+        eprintln!(
+            "{failed} of {} configs failed ({} completed)",
+            outcome.outcomes.len(),
+            outcome.reports().count()
         );
+    }
+}
+
+fn sweep_cmd(kind: SweepKind, spec: &RunSpec) -> u8 {
+    let threads = spec.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let (params, exps) = sweep_experiments(kind, spec);
+    let config = supervisor_config(spec, threads);
+    let outcome = match run_supervised(&exps, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_FAILURE;
+        }
+    };
+    print_sweep_outcome(kind, params, &outcome);
+    if outcome.interrupted {
+        eprintln!("interrupted; completed configs are in the manifest (resume with --resume)");
+        EXIT_INTERRUPTED
+    } else if outcome.is_complete() {
+        EXIT_OK
+    } else {
+        EXIT_PARTIAL
     }
 }
 
@@ -179,6 +310,14 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    /// Build and run one sweep's experiments on `threads` workers,
+    /// returning `(parameter, report)` rows in sweep order.
+    fn sweep_rows(kind: SweepKind, spec: &RunSpec, threads: usize) -> Vec<(f64, RunReport)> {
+        let (params, exps) = sweep_experiments(kind, spec);
+        let reports = sweep::run_parallel(exps, threads).expect("sweep failed");
+        params.iter().copied().zip(reports).collect()
+    }
+
     /// End-to-end: a tiny run through the real executor must not panic and
     /// must produce a verified report (captured implicitly — a wrong result
     /// panics inside Experiment assertions only via summary text, so we
@@ -207,7 +346,7 @@ mod tests {
             "sweep selectivity --dataset wiki --scale 11 --preprocess dbg",
         ))
         .unwrap();
-        execute(cmd); // all six selectivity points run and print
+        assert_eq!(execute(cmd), EXIT_OK); // all six selectivity points run
     }
 
     #[test]
@@ -226,6 +365,46 @@ mod tests {
             assert_eq!(pp, sp);
             assert_eq!(pr.to_json(), sr.to_json(), "thread count changed a report");
         }
+    }
+
+    #[test]
+    fn chaotic_sweep_reports_partial_failure() {
+        let cmd = parse(&args(
+            "sweep frag --dataset wiki --scale 11 --chaos panic@1",
+        ))
+        .unwrap();
+        assert_eq!(execute(cmd), EXIT_PARTIAL);
+    }
+
+    #[test]
+    fn chaotic_sweep_recovers_with_retries() {
+        let cmd = parse(&args(
+            "sweep frag --dataset wiki --scale 11 --chaos io@1 --retries 2",
+        ))
+        .unwrap();
+        assert_eq!(execute(cmd), EXIT_OK);
+    }
+
+    #[test]
+    fn sweep_manifest_resume_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("graphmem_cli_resume_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let first = parse(&args(&format!(
+            "sweep frag --dataset wiki --scale 11 --manifest {}",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(execute(first), EXIT_OK);
+        let resumed = parse(&args(&format!(
+            "sweep frag --dataset wiki --scale 11 --resume {} --chaos panic@0",
+            path.display()
+        )))
+        .unwrap();
+        // Fully resumed: the injected panic never fires, nothing re-runs.
+        let code = execute(resumed);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(code, EXIT_OK);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use graphmem_os::System;
 use graphmem_physmem::{Fragmenter, Memhog, Noise};
 
+use crate::error::GraphmemError;
+
 /// How much free memory the application gets relative to its working-set
 /// size (the paper's `memhog` methodology, §4.3.1: "available = WSS + X").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,11 +89,29 @@ impl MemoryCondition {
     /// # Panics
     ///
     /// Panics if the node is too small for the requested occupation
-    /// (the experiment sizes nodes accordingly).
+    /// (the experiment sizes nodes accordingly). [`Self::try_apply`] is
+    /// the non-panicking form.
     pub fn apply(&self, sys: &mut System, wss: u64) -> ConditionArtifacts {
+        match self.try_apply(sys, wss) {
+            Ok(art) => art,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Apply the condition to `sys` for a workload of `wss` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphmemError::Resource`] if the node is too small for
+    /// the requested occupation.
+    pub fn try_apply(
+        &self,
+        sys: &mut System,
+        wss: u64,
+    ) -> Result<ConditionArtifacts, GraphmemError> {
         let node = sys.local_node();
         let Some(surplus) = self.surplus.bytes(wss) else {
-            return ConditionArtifacts::default();
+            return Ok(ConditionArtifacts::default());
         };
         // Free memory = WSS + surplus, exactly the paper's methodology.
         // Kernel metadata (page tables, THP pgtable deposits) must fit in
@@ -107,8 +127,12 @@ impl MemoryCondition {
         let app_budget = wss as f64 / (1.0 - o).max(0.01);
         let free_target = (app_budget + surplus as f64).max(huge as f64) as u64;
 
-        let hog = Memhog::occupy_all_but(sys.zone_mut(node), free_target)
-            .expect("node sized for the requested pressure");
+        let hog = Memhog::occupy_all_but(sys.zone_mut(node), free_target).map_err(|e| {
+            GraphmemError::Resource(format!(
+                "node {node} cannot leave {free_target} bytes free under '{}': {e:?}",
+                self.label()
+            ))
+        })?;
 
         let frag = if self.fragmentation > 0.0 {
             Some(Fragmenter::apply(sys.zone_mut(node), self.fragmentation))
@@ -130,11 +154,11 @@ impl MemoryCondition {
             None
         };
 
-        ConditionArtifacts {
+        Ok(ConditionArtifacts {
             hog: Some(hog),
             frag,
             noise,
-        }
+        })
     }
 
     /// Label used in harness output.

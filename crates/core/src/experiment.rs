@@ -9,6 +9,7 @@ use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
 use crate::autotune::HotnessProfile;
 use crate::condition::MemoryCondition;
+use crate::error::GraphmemError;
 use crate::policy::{PagePolicy, Preprocessing};
 use crate::report::RunReport;
 
@@ -232,7 +233,12 @@ impl Experiment {
             preprocessing: self.preprocessing,
         };
         {
-            let mut cache = graph_cache().lock().unwrap();
+            // A poisoned lock only means another sweep worker panicked
+            // mid-insert; the memo itself is always left structurally
+            // valid, so recover the guard instead of propagating.
+            let mut cache = graph_cache()
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             if let Some(pos) = cache.iter().position(|(k, ..)| *k == key) {
                 let hit = cache.remove(pos);
                 let out = (Arc::clone(&hit.1), hit.2);
@@ -245,7 +251,9 @@ impl Experiment {
         // only wasted work, never divergence.
         let (csr, cycles) = self.prepare_graph_uncached(key.scale);
         let csr = Arc::new(csr);
-        let mut cache = graph_cache().lock().unwrap();
+        let mut cache = graph_cache()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         cache.insert(0, (key, Arc::clone(&csr), cycles));
         cache.truncate(GRAPH_CACHE_ENTRIES);
         (csr, cycles)
@@ -284,13 +292,79 @@ impl Experiment {
         vb + eb + if self.kernel.needs_weights() { wb } else { 0 } + prop_bytes
     }
 
+    /// A stable textual key covering every field that affects the
+    /// simulated result. The telemetry handle is deliberately excluded:
+    /// attaching a tracer observes a run without changing it.
+    pub fn config_key(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
+            self.dataset,
+            self.kernel,
+            self.scale,
+            self.policy,
+            self.preprocessing,
+            self.order,
+            self.condition,
+            self.file_placement,
+            self.verify,
+            self.huge_order,
+            self.khugepaged_enabled,
+            self.khugepaged_interval,
+            self.defrag_scan_blocks,
+            self.stlb_entries,
+            self.seed_offset,
+            self.sample_interval,
+            self.engine,
+        )
+    }
+
+    /// FNV-1a 64-bit hash of [`Self::config_key`], as fixed-width hex.
+    /// This is the identity of a config in run-manifests: `--resume`
+    /// matches completed entries by this hash, so it is stable across grid
+    /// reordering and process restarts.
+    pub fn config_hash(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.config_key().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Execute the experiment.
     ///
     /// # Panics
     ///
-    /// Panics on internal simulator inconsistencies (a correctness bug),
-    /// never on legitimate memory pressure — pressure shows up as cycles.
+    /// Panics on internal simulator inconsistencies (a correctness bug)
+    /// or on an unsatisfiable configuration — [`Self::try_run`] is the
+    /// non-panicking form. Legitimate memory pressure never panics; it
+    /// shows up as cycles.
     pub fn run(&self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute the experiment, reporting configuration and resource
+    /// problems as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphmemError::Resource`] when the simulated node cannot
+    /// satisfy the configured reservation or pressure, and
+    /// [`GraphmemError::InvalidConfig`] for unsatisfiable knob values.
+    /// Internal simulator inconsistencies still panic (they are bugs, not
+    /// outcomes) — the sweep supervisor catches those at its isolation
+    /// boundary.
+    pub fn try_run(&self) -> Result<RunReport, GraphmemError> {
+        if let Some(interval) = self.sample_interval {
+            if interval == 0 {
+                return Err(GraphmemError::InvalidConfig(
+                    "sample interval must be positive".into(),
+                ));
+            }
+        }
         let (csr, preprocess_cycles) = self.prepare_graph();
         let csr: &Csr = &csr;
         let wss = self.working_set_bytes(csr);
@@ -347,9 +421,13 @@ impl Experiment {
             let props = self.kernel.property_names().len() as u64;
             let pages = (props * csr.num_vertices() as u64 * 8).div_ceil(huge_bytes) + props; // rounding slack per array
             let got = sys.hugetlb_reserve(pages);
-            assert_eq!(got, pages, "fresh boot must satisfy the reservation");
+            if got != pages {
+                return Err(GraphmemError::Resource(format!(
+                    "hugetlb reservation: wanted {pages} pages at boot, got {got}"
+                )));
+            }
         }
-        let _artifacts = self.condition.apply(&mut sys, wss);
+        let _artifacts = self.condition.try_apply(&mut sys, wss)?;
 
         let mut arrays = GraphArrays::map_with(&mut sys, csr, self.kernel, hugetlb_property);
         Self::apply_advice(policy, &mut sys, &arrays);
@@ -386,7 +464,7 @@ impl Experiment {
         let series = sys.take_series();
         let _ = self.telemetry.flush();
 
-        RunReport {
+        Ok(RunReport {
             labels: [
                 self.dataset.name().to_string(),
                 self.kernel.name().to_string(),
@@ -409,7 +487,7 @@ impl Experiment {
             total_huge_bytes,
             verified,
             series,
-        }
+        })
     }
 
     /// Resolve an automatic policy against the (reordered) input graph.
@@ -548,6 +626,26 @@ mod tests {
             tight.huge_memory_fraction(),
             free.huge_memory_fraction()
         );
+    }
+
+    #[test]
+    fn config_hash_ignores_telemetry_but_tracks_knobs() {
+        let a = tiny(Kernel::Bfs);
+        let b = tiny(Kernel::Bfs).telemetry(Tracer::enabled(
+            graphmem_telemetry::TraceConfig::default().mask(graphmem_telemetry::EventMask::ALL),
+        ));
+        assert_eq!(a.config_hash(), b.config_hash());
+        assert_eq!(a.config_hash().len(), 16);
+        let c = tiny(Kernel::Bfs).policy(PagePolicy::ThpSystemWide);
+        assert_ne!(a.config_hash(), c.config_hash());
+        let d = tiny(Kernel::Bfs).seed_offset(1);
+        assert_ne!(a.config_hash(), d.config_hash());
+    }
+
+    #[test]
+    fn try_run_reports_invalid_sample_interval() {
+        let err = tiny(Kernel::Bfs).sample_interval(0).try_run().unwrap_err();
+        assert!(matches!(err, GraphmemError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   memory condition into one measured run, returning a [`RunReport`]
 //!   with runtimes, TLB miss rates, and huge-page usage.
 //! * [`sweep`] — parameter sweeps used by the figure-reproduction harness.
+//! * [`supervisor`] — fault-tolerant sweep orchestration: panic
+//!   isolation, retry with backoff, watchdog timeouts, JSONL
+//!   checkpoint/resume manifests, and deterministic fault injection.
 //!
 //! ## Quickstart
 //!
@@ -45,14 +48,21 @@
 
 pub mod autotune;
 mod condition;
+mod error;
 mod experiment;
 mod policy;
 mod report;
+pub mod supervisor;
 pub mod sweep;
 
 pub use autotune::HotnessProfile;
 pub use condition::{MemoryCondition, Surplus};
+pub use error::GraphmemError;
 pub use experiment::Experiment;
 pub use graphmem_os::AccessEngine;
 pub use policy::{PagePolicy, Preprocessing};
 pub use report::RunReport;
+pub use supervisor::{
+    read_manifest, run_supervised, FailureRecord, FaultPlan, FaultSpec, SupervisorConfig,
+    SweepOutcome,
+};

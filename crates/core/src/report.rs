@@ -1,7 +1,7 @@
 //! Results of one measured experiment run.
 
 use graphmem_os::OsStats;
-use graphmem_telemetry::json::JsonObject;
+use graphmem_telemetry::json::{JsonObject, JsonValue};
 use graphmem_telemetry::MetricsSeries;
 use graphmem_vm::PerfCounters;
 
@@ -116,6 +116,10 @@ impl RunReport {
         perf.field_u64("walk_pte_reads", self.perf.walk_pte_reads);
         perf.field_u64("translation_cycles", self.perf.translation_cycles);
         perf.field_u64("data_cycles", self.perf.data_cycles);
+        perf.field_raw(
+            "data_level_hits",
+            &graphmem_telemetry::json::array(self.perf.data_level_hits.iter().map(u64::to_string)),
+        );
         perf.field_u64("faults", self.perf.faults);
         perf.field_f64("dtlb_miss_rate", self.dtlb_miss_rate());
         perf.field_f64("stlb_miss_rate", self.stlb_miss_rate());
@@ -151,6 +155,123 @@ impl RunReport {
             o.field_raw("series", &series.to_json());
         }
         o.finish()
+    }
+
+    /// Parse a report previously rendered by [`Self::to_json`].
+    ///
+    /// Derived fields (`total_cycles`, the rate/fraction floats) are
+    /// recomputed, not read back, so a rebuilt report re-serializes to the
+    /// byte-identical JSON line — the property the run-manifest resume
+    /// path relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the parse failure or the first missing /
+    /// mistyped field; manifest readers attach path and line context
+    /// themselves.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = JsonValue::parse(text)?;
+        Self::from_json_value(&v)
+    }
+
+    /// Rebuild a report from a parsed JSON object (see [`Self::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json_value(v: &JsonValue) -> Result<RunReport, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report field '{k}' missing or not a string"))
+        };
+        let u64_field = |obj: &JsonValue, section: &str, k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("report field '{section}{k}' missing or not an integer"))
+        };
+        let labels = [
+            str_field("dataset")?,
+            str_field("kernel")?,
+            str_field("policy")?,
+            str_field("preprocessing")?,
+            str_field("condition")?,
+        ];
+        let perf_v = v.get("perf").ok_or("report field 'perf' missing")?;
+        let pu = |k: &str| u64_field(perf_v, "perf.", k);
+        let hits_raw = perf_v
+            .get("data_level_hits")
+            .and_then(JsonValue::as_array)
+            .ok_or("report field 'perf.data_level_hits' missing or not an array")?;
+        if hits_raw.len() != 4 {
+            return Err(format!(
+                "report field 'perf.data_level_hits' has {} entries, expected 4",
+                hits_raw.len()
+            ));
+        }
+        let mut data_level_hits = [0u64; 4];
+        for (slot, raw) in data_level_hits.iter_mut().zip(hits_raw) {
+            *slot = raw
+                .as_u64()
+                .ok_or("report field 'perf.data_level_hits' entry not an integer")?;
+        }
+        let perf = PerfCounters {
+            accesses: pu("accesses")?,
+            reads: pu("reads")?,
+            writes: pu("writes")?,
+            dtlb_misses: pu("dtlb_misses")?,
+            stlb_hits: pu("stlb_hits")?,
+            stlb_misses: pu("stlb_misses")?,
+            walk_pte_reads: pu("walk_pte_reads")?,
+            translation_cycles: pu("translation_cycles")?,
+            data_cycles: pu("data_cycles")?,
+            data_level_hits,
+            faults: pu("faults")?,
+        };
+        let os_v = v.get("os").ok_or("report field 'os' missing")?;
+        let ou = |k: &str| u64_field(os_v, "os.", k);
+        let os = OsStats {
+            faults: ou("faults")?,
+            huge_faults: ou("huge_faults")?,
+            base_faults: ou("base_faults")?,
+            huge_fallbacks: ou("huge_fallbacks")?,
+            direct_compactions: ou("direct_compactions")?,
+            blocks_compacted: ou("blocks_compacted")?,
+            frames_migrated: ou("frames_migrated")?,
+            promotions: ou("promotions")?,
+            khugepaged_scans: ou("khugepaged_scans")?,
+            demotions: ou("demotions")?,
+            util_demotions: ou("util_demotions")?,
+            bloat_frames_reclaimed: ou("bloat_frames_reclaimed")?,
+            swap_outs: ou("swap_outs")?,
+            swap_ins: ou("swap_ins")?,
+            cache_reclaims: ou("cache_reclaims")?,
+            cache_fills: ou("cache_fills")?,
+            kernel_cycles: ou("kernel_cycles")?,
+        };
+        let tu = |k: &str| u64_field(v, "", k);
+        let series = match v.get("series") {
+            Some(sv) => Some(MetricsSeries::from_json_value(sv)?),
+            None => None,
+        };
+        Ok(RunReport {
+            labels,
+            init_cycles: tu("init_cycles")?,
+            compute_cycles: tu("compute_cycles")?,
+            preprocess_cycles: tu("preprocess_cycles")?,
+            perf,
+            os,
+            footprint_bytes: tu("footprint_bytes")?,
+            property_bytes: tu("property_bytes")?,
+            property_huge_bytes: tu("property_huge_bytes")?,
+            total_huge_bytes: tu("total_huge_bytes")?,
+            verified: v
+                .get("verified")
+                .and_then(JsonValue::as_bool)
+                .ok_or("report field 'verified' missing or not a bool")?,
+            series,
+        })
     }
 
     /// One-line summary for harness output.
@@ -227,5 +348,36 @@ mod tests {
         assert!(!j.contains(r#""series""#));
         r.series = Some(MetricsSeries::new(100));
         assert!(r.to_json().contains(r#""series":{"interval":100"#));
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let mut r = report(500);
+        r.perf.accesses = u64::MAX; // would corrupt through an f64 path
+        r.perf.data_level_hits = [9, 8, 7, 6];
+        r.os.swap_outs = (1 << 53) + 1; // above f64 integer precision
+        r.series = Some(MetricsSeries::new(100));
+        let text = r.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back.labels, r.labels);
+        assert_eq!(back.perf, r.perf);
+        assert_eq!(back.os.swap_outs, r.os.swap_outs);
+        assert_eq!(back.to_json(), text);
+
+        // Without a series too.
+        let r = report(7);
+        assert_eq!(
+            RunReport::from_json(&r.to_json()).unwrap().to_json(),
+            r.to_json()
+        );
+    }
+
+    #[test]
+    fn from_json_names_the_broken_field() {
+        let r = report(500);
+        let text = r.to_json().replace(r#""verified":true"#, r#""verified":3"#);
+        let err = RunReport::from_json(&text).unwrap_err();
+        assert!(err.contains("verified"), "{err}");
+        assert!(RunReport::from_json("{not json").is_err());
     }
 }

@@ -1,61 +1,38 @@
 //! Parameter sweeps over experiments (the paper's sensitivity studies).
 
-use std::sync::mpsc;
-use std::thread;
-
 use crate::condition::{MemoryCondition, Surplus};
+use crate::error::GraphmemError;
 use crate::experiment::Experiment;
 use crate::policy::PagePolicy;
 use crate::report::RunReport;
+use crate::supervisor::{run_supervised, SupervisorConfig};
 
 /// Run many independent experiments on up to `threads` OS threads,
 /// returning reports in input order. Every experiment is deterministic and
 /// self-contained, so parallel execution yields bit-identical results to a
 /// serial loop — only the wall-clock time changes.
 ///
-/// # Panics
+/// This is the all-or-nothing convenience wrapper over
+/// [`run_supervised`](crate::supervisor::run_supervised): an empty list
+/// returns an empty vector without spawning anything, and the first
+/// failing experiment (grid order) surfaces as the error. Use the
+/// supervisor directly for per-config outcomes, retries, or
+/// checkpoint/resume.
 ///
-/// Panics if `threads` is zero or a worker panics (propagated).
-pub fn run_parallel(experiments: Vec<Experiment>, threads: usize) -> Vec<RunReport> {
-    assert!(threads > 0, "need at least one thread");
-    let n = experiments.len();
-    let (task_tx, task_rx) = mpsc::channel::<(usize, Experiment)>();
-    let task_rx = std::sync::Arc::new(std::sync::Mutex::new(task_rx));
-    let (result_tx, result_rx) = mpsc::channel::<(usize, RunReport)>();
-    for (i, e) in experiments.into_iter().enumerate() {
-        task_tx.send((i, e)).expect("queue open");
-    }
-    drop(task_tx);
-    let workers: Vec<_> = (0..threads.min(n.max(1)))
-        .map(|_| {
-            let rx = std::sync::Arc::clone(&task_rx);
-            let tx = result_tx.clone();
-            thread::spawn(move || loop {
-                let next = rx.lock().expect("queue lock").recv();
-                match next {
-                    Ok((i, e)) => {
-                        let r = e.run();
-                        if tx.send((i, r)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => return,
-                }
-            })
-        })
-        .collect();
-    drop(result_tx);
-    let mut slots: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-    for (i, r) in result_rx {
-        slots[i] = Some(r);
-    }
-    for w in workers {
-        w.join().expect("worker panicked");
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every experiment reports"))
-        .collect()
+/// # Errors
+///
+/// Returns [`GraphmemError::InvalidConfig`] if `threads` is zero, or the
+/// first experiment failure (a worker panic becomes
+/// [`GraphmemError::Panic`] instead of propagating).
+pub fn run_parallel(
+    experiments: Vec<Experiment>,
+    threads: usize,
+) -> Result<Vec<RunReport>, GraphmemError> {
+    let config = SupervisorConfig {
+        threads,
+        ..SupervisorConfig::default()
+    };
+    run_supervised(&experiments, &config)?.into_reports()
 }
 
 /// The experiments a [`pressure`] sweep runs, one per fraction, in order.
@@ -169,11 +146,20 @@ mod tests {
             .iter()
             .map(|&l| proto.clone().condition(MemoryCondition::fragmented(l)))
             .collect();
-        let par = run_parallel(exps.clone(), 2);
+        let par = run_parallel(exps.clone(), 2).unwrap();
         let ser: Vec<_> = exps.iter().map(|e| e.run()).collect();
         for (p, s) in par.iter().zip(&ser) {
             assert_eq!(p.to_json(), s.to_json(), "bit-identical reports");
         }
+    }
+
+    #[test]
+    fn run_parallel_edge_cases() {
+        assert!(run_parallel(Vec::new(), 4).unwrap().is_empty());
+        assert!(matches!(
+            run_parallel(Vec::new(), 0),
+            Err(crate::error::GraphmemError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -153,7 +153,10 @@ impl Csr {
         assert!(!self.offsets.is_empty());
         assert_eq!(self.offsets[0], 0);
         assert!(self.offsets.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(*self.offsets.last().unwrap(), self.num_edges());
+        assert_eq!(
+            *self.offsets.last().expect("offsets checked non-empty"),
+            self.num_edges()
+        );
         let n = self.num_vertices();
         assert!(
             self.edges.iter().all(|&u| u < n),

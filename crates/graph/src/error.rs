@@ -1,0 +1,69 @@
+//! Typed errors for graph loading and saving.
+//!
+//! The low-level readers in [`crate::io`] return plain [`std::io::Error`]s
+//! because they operate on abstract readers with no path to report. The
+//! path-taking wrappers (`load_csr` and friends) attach the file name here
+//! so a failure deep inside a sweep says *which* dataset file broke.
+
+use std::fmt;
+use std::io;
+
+/// A graph IO failure with the file path that caused it.
+#[derive(Debug)]
+pub struct GraphError {
+    /// What was being attempted, including the path (e.g.
+    /// `"read CSR file 'data/twitter.csr'"`).
+    pub context: String,
+    /// The underlying IO failure.
+    pub source: io::Error,
+}
+
+impl GraphError {
+    /// Wrap `source` with a description of the failed operation.
+    pub fn new(context: impl Into<String>, source: io::Error) -> GraphError {
+        GraphError {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Whether the underlying failure is plausibly transient (interrupted
+    /// syscall, timeout) rather than structural (corrupt file, missing
+    /// path).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self.source.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        )
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_and_cause() {
+        let e = GraphError::new(
+            "read CSR file 'missing.csr'",
+            io::Error::new(io::ErrorKind::NotFound, "no such file"),
+        );
+        let text = e.to_string();
+        assert!(text.contains("missing.csr"), "{text}");
+        assert!(text.contains("no such file"), "{text}");
+        assert!(!e.is_transient());
+        assert!(GraphError::new("x", io::Error::new(io::ErrorKind::TimedOut, "t")).is_transient());
+    }
+}

@@ -15,8 +15,10 @@
 //! ```
 
 use std::io::{self, BufRead, Read, Write};
+use std::path::Path;
 
 use crate::csr::{Csr, CsrBuilder};
+use crate::error::GraphError;
 use crate::VertexId;
 
 const MAGIC: &[u8; 8] = b"GMEMCSR1";
@@ -170,6 +172,46 @@ pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Csr> {
     Ok(csr)
 }
 
+/// Load a binary CSR file from `path`.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] naming the path for open, read, and format
+/// failures.
+pub fn load_csr(path: impl AsRef<Path>) -> Result<Csr, GraphError> {
+    let path = path.as_ref();
+    let ctx = || format!("read CSR file '{}'", path.display());
+    let f = std::fs::File::open(path).map_err(|e| GraphError::new(ctx(), e))?;
+    read_csr(io::BufReader::new(f)).map_err(|e| GraphError::new(ctx(), e))
+}
+
+/// Write `g` as a binary CSR file at `path`.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] naming the path for create and write failures.
+pub fn save_csr(path: impl AsRef<Path>, g: &Csr) -> Result<(), GraphError> {
+    let path = path.as_ref();
+    let ctx = || format!("write CSR file '{}'", path.display());
+    let f = std::fs::File::create(path).map_err(|e| GraphError::new(ctx(), e))?;
+    let mut w = io::BufWriter::new(f);
+    write_csr(&mut w, g).map_err(|e| GraphError::new(ctx(), e))?;
+    w.flush().map_err(|e| GraphError::new(ctx(), e))
+}
+
+/// Load a text edge-list file from `path`.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] naming the path for open, read, and parse
+/// failures (the line number is part of the parse message).
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Csr, GraphError> {
+    let path = path.as_ref();
+    let ctx = || format!("read edge-list file '{}'", path.display());
+    let f = std::fs::File::open(path).map_err(|e| GraphError::new(ctx(), e))?;
+    read_edge_list(io::BufReader::new(f)).map_err(|e| GraphError::new(ctx(), e))
+}
+
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -254,10 +296,29 @@ mod tests {
         .generate();
         let path =
             std::env::temp_dir().join(format!("graphmem_io_test_{}.csr", std::process::id()));
-        write_csr(std::fs::File::create(&path).unwrap(), &g).unwrap();
-        let back = read_csr(std::fs::File::open(&path).unwrap()).unwrap();
+        save_csr(&path, &g).unwrap();
+        let back = load_csr(&path);
         let _ = std::fs::remove_file(&path);
-        assert_eq!(back, g);
+        assert_eq!(back.unwrap(), g);
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let missing = std::env::temp_dir().join("graphmem_io_test_does_not_exist.csr");
+        let err = load_csr(&missing).unwrap_err();
+        assert!(
+            err.to_string().contains("graphmem_io_test_does_not_exist"),
+            "{err}"
+        );
+        let err = load_edge_list(&missing).unwrap_err();
+        assert!(err.to_string().contains("read edge-list file"), "{err}");
+
+        let bad = std::env::temp_dir().join(format!("graphmem_io_bad_{}.csr", std::process::id()));
+        std::fs::write(&bad, b"NOTACSR0").unwrap();
+        let err = load_csr(&bad).unwrap_err();
+        let _ = std::fs::remove_file(&bad);
+        assert!(err.to_string().contains("graphmem_io_bad"), "{err}");
+        assert!(err.to_string().contains("not a graphmem CSR file"), "{err}");
     }
 
     #[test]

@@ -36,12 +36,14 @@
 
 mod csr;
 mod dataset;
+pub mod error;
 mod generate;
 pub mod io;
 pub mod reorder;
 
 pub use csr::{Csr, CsrBuilder};
 pub use dataset::Dataset;
+pub use error::GraphError;
 pub use generate::RmatConfig;
 
 /// Vertex identifier. Graphs are limited to `u32::MAX` vertices, which the

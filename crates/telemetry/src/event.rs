@@ -182,6 +182,27 @@ pub enum EventKind {
         /// Base frame of the resulting block.
         base: u64,
     },
+    /// The sweep supervisor is retrying a failed experiment.
+    ExperimentRetry {
+        /// Index of the experiment within the sweep grid.
+        index: u32,
+        /// Attempt number about to run (1 = first retry).
+        attempt: u32,
+    },
+    /// The sweep supervisor gave up on an experiment.
+    ExperimentFailure {
+        /// Index of the experiment within the sweep grid.
+        index: u32,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// The sweep supervisor finished an experiment successfully.
+    ExperimentComplete {
+        /// Index of the experiment within the sweep grid.
+        index: u32,
+        /// Total attempts made, including the successful one.
+        attempts: u32,
+    },
 }
 
 /// One traced occurrence: a payload stamped with the simulated cycle clock.
@@ -208,6 +229,9 @@ impl EventKind {
             EventKind::Reclaim { .. } => "reclaim",
             EventKind::BuddySplit { .. } => "buddy_split",
             EventKind::BuddyMerge { .. } => "buddy_merge",
+            EventKind::ExperimentRetry { .. } => "experiment_retry",
+            EventKind::ExperimentFailure { .. } => "experiment_failure",
+            EventKind::ExperimentComplete { .. } => "experiment_complete",
         }
     }
 
@@ -225,6 +249,9 @@ impl EventKind {
             EventKind::Reclaim { .. } => EventMask::RECLAIM,
             EventKind::BuddySplit { .. } => EventMask::BUDDY_SPLIT,
             EventKind::BuddyMerge { .. } => EventMask::BUDDY_MERGE,
+            EventKind::ExperimentRetry { .. } => EventMask::EXPERIMENT_RETRY,
+            EventKind::ExperimentFailure { .. } => EventMask::EXPERIMENT_FAILURE,
+            EventKind::ExperimentComplete { .. } => EventMask::EXPERIMENT_COMPLETE,
         }
     }
 }
@@ -296,6 +323,15 @@ impl Event {
                 o.field_u64("order_to", order_to as u64);
                 o.field_u64("base", base);
             }
+            EventKind::ExperimentRetry { index, attempt } => {
+                o.field_u64("index", index as u64);
+                o.field_u64("attempt", attempt as u64);
+            }
+            EventKind::ExperimentFailure { index, attempts }
+            | EventKind::ExperimentComplete { index, attempts } => {
+                o.field_u64("index", index as u64);
+                o.field_u64("attempts", attempts as u64);
+            }
         }
         o.finish()
     }
@@ -330,6 +366,12 @@ impl EventMask {
     pub const BUDDY_SPLIT: EventMask = EventMask(1 << 9);
     /// Buddy-allocator merges.
     pub const BUDDY_MERGE: EventMask = EventMask(1 << 10);
+    /// Supervisor retries of a failed experiment.
+    pub const EXPERIMENT_RETRY: EventMask = EventMask(1 << 11);
+    /// Supervisor giving up on an experiment.
+    pub const EXPERIMENT_FAILURE: EventMask = EventMask(1 << 12);
+    /// Supervisor completing an experiment.
+    pub const EXPERIMENT_COMPLETE: EventMask = EventMask(1 << 13);
 
     /// Per-translation hardware events — enormous volume on real runs.
     pub const HARDWARE: EventMask =
@@ -345,8 +387,12 @@ impl EventMask {
             | Self::BUDDY_SPLIT.0
             | Self::BUDDY_MERGE.0,
     );
+    /// Sweep-supervisor lifecycle events — a handful per experiment.
+    pub const SUPERVISOR: EventMask = EventMask(
+        Self::EXPERIMENT_RETRY.0 | Self::EXPERIMENT_FAILURE.0 | Self::EXPERIMENT_COMPLETE.0,
+    );
     /// Everything.
-    pub const ALL: EventMask = EventMask(Self::HARDWARE.0 | Self::OS.0);
+    pub const ALL: EventMask = EventMask(Self::HARDWARE.0 | Self::OS.0 | Self::SUPERVISOR.0);
 
     /// The raw bit representation (stable only within a process).
     pub const fn bits(self) -> u32 {
@@ -390,7 +436,9 @@ mod tests {
     fn masks_partition_cleanly() {
         assert!(EventMask::ALL.contains(EventMask::HARDWARE));
         assert!(EventMask::ALL.contains(EventMask::OS));
+        assert!(EventMask::ALL.contains(EventMask::SUPERVISOR));
         assert!(!EventMask::OS.intersects(EventMask::HARDWARE));
+        assert!(!EventMask::SUPERVISOR.intersects(EventMask::HARDWARE | EventMask::OS));
         assert!(!EventMask::NONE.intersects(EventMask::ALL));
         let m = EventMask::PAGE_FAULT | EventMask::PROMOTION;
         assert!(m.contains(EventMask::PAGE_FAULT));
@@ -449,6 +497,18 @@ mod tests {
                 order_from: 0,
                 order_to: 1,
                 base: 2,
+            },
+            EventKind::ExperimentRetry {
+                index: 3,
+                attempt: 1,
+            },
+            EventKind::ExperimentFailure {
+                index: 3,
+                attempts: 2,
+            },
+            EventKind::ExperimentComplete {
+                index: 0,
+                attempts: 1,
             },
         ];
         let mut seen = 0u32;

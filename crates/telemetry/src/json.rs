@@ -1,8 +1,13 @@
-//! A tiny dependency-free JSON writer.
+//! A tiny dependency-free JSON writer and reader.
 //!
-//! Only what the exporters need: flat or nested objects and arrays built
-//! field-by-field with correct escaping and comma placement. Non-finite
-//! floats serialize as `null` (JSON has no NaN/Infinity).
+//! The writer is only what the exporters need: flat or nested objects and
+//! arrays built field-by-field with correct escaping and comma placement.
+//! Non-finite floats serialize as `null` (JSON has no NaN/Infinity).
+//!
+//! The reader ([`JsonValue::parse`]) exists so run manifests and reports
+//! written by this crate can be loaded back (checkpoint/resume): integers
+//! are kept as integers (no `f64` round-trip), and floats written with
+//! Rust's shortest-round-trip formatting parse back bit-identical.
 
 /// Escape a string for inclusion inside JSON quotes.
 pub fn escape(s: &str) -> String {
@@ -94,6 +99,317 @@ impl JsonObject {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Integer-looking numbers are kept as [`JsonValue::UInt`]/[`JsonValue::Int`]
+/// so `u64` counters survive a write/parse round trip exactly; everything
+/// else lands in [`JsonValue::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer without fraction or exponent.
+    UInt(u64),
+    /// A negative integer without fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array, in document order.
+    Array(Vec<JsonValue>),
+    /// An object, fields in document order (duplicate keys keep both).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse one complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Look up a field of an object (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            None => self.err("unexpected end of input"),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 1; // the '\'; hex4 eats the 'u'
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            continue; // hex4 advanced pos past the digits
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Four hex digits after `\u`; leaves `pos` on the byte after them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        self.pos += 1; // the 'u'
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match digits {
+            Some(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            None => self.err("invalid \\u escape"),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(JsonValue::Float(v)),
+            Err(_) => Err(format!("invalid number '{text}' at byte {start}")),
+        }
+    }
+}
+
 /// Render an array of pre-rendered JSON values.
 pub fn array(items: impl IntoIterator<Item = String>) -> String {
     let mut buf = String::from("[");
@@ -137,5 +453,62 @@ mod tests {
         assert_eq!(JsonObject::new().finish(), "{}");
         assert_eq!(array(Vec::<String>::new()), "[]");
         assert_eq!(array(vec!["1".into(), "2".into()]), "[1,2]");
+    }
+
+    #[test]
+    fn parser_reads_back_writer_output() {
+        let mut o = JsonObject::new();
+        o.field_u64("a", u64::MAX)
+            .field_str("b", "x\"y\n\\z")
+            .field_bool("c", false)
+            .field_f64("d", 0.1 + 0.2)
+            .field_f64("e", f64::NAN)
+            .field_raw("f", "[1,2.5,-3]");
+        let v = JsonValue::parse(&o.finish()).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y\n\\z"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("d").unwrap().as_f64(), Some(0.1 + 0.2));
+        assert_eq!(v.get("e"), Some(&JsonValue::Null));
+        let f = v.get("f").unwrap().as_array().unwrap();
+        assert_eq!(f[0], JsonValue::UInt(1));
+        assert_eq!(f[1], JsonValue::Float(2.5));
+        assert_eq!(f[2], JsonValue::Int(-3));
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_unicode() {
+        let v = JsonValue::parse(" { \"a\" : [ { \"b\" : \"\\u00e9\\ud83d\\ude00\" } , null ] } ")
+            .unwrap();
+        let inner = &v.get("a").unwrap().as_array().unwrap()[0];
+        assert_eq!(inner.get("b").unwrap().as_str(), Some("é😀"));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} trailing",
+            "{\"a\":\"\\q\"}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn u64_counters_round_trip_exactly() {
+        // Exercise the integer path: values above 2^53 lose precision
+        // through f64, so they must stay integers.
+        let big = (1u64 << 53) + 1;
+        let v = JsonValue::parse(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(big));
     }
 }

@@ -66,6 +66,33 @@ macro_rules! metrics_sample {
                 $(o.field_f64(stringify!($fgauge), self.$fgauge);)+
                 o.finish()
             }
+
+            /// Rebuild a sample from a parsed JSON object — the exact
+            /// inverse of [`Self::to_json`] (floats were written with
+            /// shortest-round-trip formatting, so the result is
+            /// bit-identical).
+            ///
+            /// # Errors
+            ///
+            /// Returns a message naming the first missing or mistyped field.
+            pub fn from_json_value(v: &crate::json::JsonValue) -> Result<MetricsSample, String> {
+                let u = |k: &str| {
+                    v.get(k)
+                        .and_then(crate::json::JsonValue::as_u64)
+                        .ok_or_else(|| format!("sample field '{k}' missing or not an integer"))
+                };
+                let f = |k: &str| {
+                    v.get(k)
+                        .and_then(crate::json::JsonValue::as_f64)
+                        .ok_or_else(|| format!("sample field '{k}' missing or not a number"))
+                };
+                Ok(MetricsSample {
+                    cycle: u("cycle")?,
+                    $($cum: u(stringify!($cum))?,)+
+                    $($gauge: u(stringify!($gauge))?,)+
+                    $($fgauge: f(stringify!($fgauge))?,)+
+                })
+            }
         }
     };
 }
@@ -240,6 +267,28 @@ impl MetricsSeries {
         );
         o.finish()
     }
+
+    /// Rebuild a series from a parsed JSON object — the inverse of
+    /// [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<MetricsSeries, String> {
+        let interval = v
+            .get("interval")
+            .and_then(crate::json::JsonValue::as_u64)
+            .ok_or("series field 'interval' missing or not an integer")?;
+        let raw = v
+            .get("samples")
+            .and_then(crate::json::JsonValue::as_array)
+            .ok_or("series field 'samples' missing or not an array")?;
+        let mut series = MetricsSeries::new(interval);
+        for s in raw {
+            series.push(MetricsSample::from_json_value(s)?);
+        }
+        Ok(series)
+    }
 }
 
 /// Drives epoch sampling: tells the simulation driver when a snapshot is due
@@ -325,6 +374,26 @@ mod tests {
             fragmentation_index: 0.25,
             ..MetricsSample::default()
         }
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut series = MetricsSeries::new(100);
+        series.push(sample(100, 10, 1));
+        series.push(sample(250, 37, 2));
+        let text = series.to_json();
+        let v = crate::json::JsonValue::parse(&text).unwrap();
+        let back = MetricsSeries::from_json_value(&v).unwrap();
+        assert_eq!(back.interval, series.interval);
+        assert_eq!(back.samples(), series.samples());
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn sample_from_json_names_missing_field() {
+        let v = crate::json::JsonValue::parse(r#"{"cycle":5}"#).unwrap();
+        let err = MetricsSample::from_json_value(&v).unwrap_err();
+        assert!(err.contains("accesses"), "unexpected message: {err}");
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Kill/resume and fault-isolation guarantees of the sweep supervisor.
+//!
+//! The contract under test: an interrupted sweep that checkpointed its
+//! completed configs to a run-manifest, once resumed, produces reports
+//! **bit-identical** to a sweep that was never interrupted — and a fault
+//! in one config never takes down its neighbours.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use graphmem_core::{
+    read_manifest, run_supervised, Experiment, FaultPlan, FaultSpec, GraphmemError, RunReport,
+    SupervisorConfig,
+};
+use graphmem_graph::Dataset;
+use graphmem_workloads::Kernel;
+use proptest::prelude::*;
+
+/// A grid of `n` distinct-but-tiny experiments: same graph, different
+/// simulation seeds, so every report is unique and cheap.
+fn tiny_grid(n: usize) -> Vec<Experiment> {
+    (0..n)
+        .map(|i| {
+            Experiment::new(Dataset::Wiki, Kernel::Bfs)
+                .scale(11)
+                .seed_offset(i as u64)
+        })
+        .collect()
+}
+
+/// A manifest path unique to this test run (parallel test binaries must
+/// not collide).
+fn tmp_manifest(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "graphmem_supervision_{tag}_{}_{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(
+        a.preprocess_cycles, b.preprocess_cycles,
+        "{what}: preprocess cycles"
+    );
+    assert_eq!(a.init_cycles, b.init_cycles, "{what}: init cycles");
+    assert_eq!(a.compute_cycles, b.compute_cycles, "{what}: compute cycles");
+    assert_eq!(a.perf, b.perf, "{what}: perf counters");
+    assert_eq!(a.os, b.os, "{what}: OS stats");
+    assert_eq!(a.footprint_bytes, b.footprint_bytes, "{what}: footprint");
+    assert_eq!(a.property_bytes, b.property_bytes, "{what}: property bytes");
+    assert_eq!(
+        a.property_huge_bytes, b.property_huge_bytes,
+        "{what}: property huge bytes"
+    );
+    assert_eq!(
+        a.total_huge_bytes, b.total_huge_bytes,
+        "{what}: total huge bytes"
+    );
+    assert_eq!(a.verified, b.verified, "{what}: verified");
+    assert_eq!(a.series, b.series, "{what}: metrics series");
+    assert_eq!(a.to_json(), b.to_json(), "{what}: serialized report");
+}
+
+const GRID: usize = 4;
+
+/// One injected panic in a grid of N leaves N−1 completed reports plus one
+/// structured failure record carrying the panic message — the sweep never
+/// aborts.
+#[test]
+fn one_failure_in_n_yields_n_minus_1_reports_and_a_structured_error() {
+    let grid = tiny_grid(GRID);
+    let config = SupervisorConfig {
+        faults: FaultPlan::none().inject(2, FaultSpec::Panic),
+        ..SupervisorConfig::default()
+    };
+    let outcome = run_supervised(&grid, &config).expect("supervisor must not abort");
+    assert_eq!(outcome.outcomes.len(), GRID);
+    assert_eq!(outcome.reports().count(), GRID - 1);
+    let failures: Vec<_> = outcome.failures().collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].index, 2);
+    assert!(matches!(failures[0].error, GraphmemError::Panic(_)));
+    assert!(!outcome.is_complete());
+    assert!(!outcome.interrupted);
+}
+
+/// The full kill/resume differential, randomized over the kill point:
+/// a sweep killed (via deterministic panic injection) after checkpointing
+/// to a manifest, then resumed, must be field-by-field identical to a
+/// sweep that never died. The resumed run must not re-execute the
+/// completed configs.
+fn kill_resume_round_trip(panic_at: usize, threads: usize) {
+    let grid = tiny_grid(GRID);
+    let manifest = tmp_manifest("killresume");
+    let _ = std::fs::remove_file(&manifest);
+
+    // Uninterrupted serial ground truth.
+    let truth: Vec<RunReport> = grid.iter().map(Experiment::run).collect();
+
+    // Pass 1: dies at `panic_at`, checkpoints everything else.
+    let crashed = run_supervised(
+        &grid,
+        &SupervisorConfig {
+            threads,
+            manifest: Some(manifest.clone()),
+            faults: FaultPlan::none().inject(panic_at, FaultSpec::Panic),
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("crashing pass still returns an outcome");
+    assert_eq!(crashed.reports().count(), GRID - 1);
+
+    // The manifest holds exactly the completed configs, bit-identical.
+    let completed = read_manifest(&manifest).expect("manifest must parse");
+    assert_eq!(completed.len(), GRID - 1);
+
+    // Pass 2: resume. Only the crashed config re-runs (no fault now).
+    let resumed = run_supervised(
+        &grid,
+        &SupervisorConfig {
+            threads,
+            manifest: Some(manifest.clone()),
+            resume: Some(manifest.clone()),
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("resume pass succeeds");
+    let _ = std::fs::remove_file(&manifest);
+
+    assert_eq!(resumed.resumed, GRID - 1, "resume must skip completed work");
+    assert!(resumed.is_complete());
+    let reports: Vec<&RunReport> = resumed
+        .outcomes
+        .iter()
+        .map(|o| o.as_ref().unwrap())
+        .collect();
+    for (i, (got, want)) in reports.iter().zip(&truth).enumerate() {
+        assert_reports_identical(got, want, &format!("config {i} (killed at {panic_at})"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property: resume-after-kill is bit-identical to never-killed, for
+    /// any kill point and worker count.
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted(panic_at in 0..GRID, threads in 1usize..3) {
+        kill_resume_round_trip(panic_at, threads);
+    }
+}
+
+/// A transient (IO) fault recovers with retries enabled, and the recovered
+/// report is identical to a fault-free run — retries must not perturb the
+/// simulation.
+#[test]
+fn retried_run_is_bit_identical_to_undisturbed_run() {
+    let grid = tiny_grid(2);
+    let clean = run_supervised(&grid, &SupervisorConfig::default())
+        .unwrap()
+        .into_reports()
+        .unwrap();
+    let retried = run_supervised(
+        &grid,
+        &SupervisorConfig {
+            retries: 2,
+            backoff: std::time::Duration::from_millis(1),
+            faults: FaultPlan::none().inject(1, FaultSpec::IoError),
+            ..SupervisorConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        retried.is_complete(),
+        "transient fault must be retried away"
+    );
+    for (i, (got, want)) in retried.reports().zip(&clean).enumerate() {
+        assert_reports_identical(got, want, &format!("retried config {i}"));
+    }
+}
+
+/// Seeded fault plans drive chaos testing: the same seed gives the same
+/// plan, and the supervisor isolates every planned panic.
+#[test]
+fn seeded_chaos_sweep_isolates_every_planned_failure() {
+    let grid = tiny_grid(GRID);
+    let plan = FaultPlan::seeded_panic(0xC0FFEE, GRID);
+    let planned: Vec<usize> = plan.entries().iter().map(|(i, _)| *i).collect();
+    assert!(!planned.is_empty(), "seeded plan must inject something");
+    let outcome = run_supervised(
+        &grid,
+        &SupervisorConfig {
+            faults: plan.clone(),
+            ..SupervisorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.failures().count(), planned.len());
+    for f in outcome.failures() {
+        assert!(
+            planned.contains(&f.index),
+            "unplanned failure at {}",
+            f.index
+        );
+    }
+    // Determinism: same seed, same plan.
+    let again: Vec<usize> = FaultPlan::seeded_panic(0xC0FFEE, GRID)
+        .entries()
+        .iter()
+        .map(|(i, _)| *i)
+        .collect();
+    assert_eq!(planned, again);
+}
