@@ -33,9 +33,11 @@ fn main() {
                 fragmentation: frag,
                 noise_occupancy: 0.0,
             };
-            let proto = Experiment::new(dataset, Kernel::Bfs)
+            let proto = Experiment::builder(dataset, Kernel::Bfs)
                 .scale(scale_for(dataset))
-                .condition(cond);
+                .condition(cond)
+                .build()
+                .expect("valid config");
             let base = proto.clone().policy(PagePolicy::BaseOnly).run();
             let hugetlb = proto.clone().policy(PagePolicy::HugetlbProperty).run();
             let madvise = proto.clone().policy(PagePolicy::property_only()).run();

@@ -29,9 +29,11 @@ fn tlb_geometry() {
     // 128 = scaled Haswell (1024 real), 192 = scaled Broadwell-like
     // (1536 real), plus half and double for the trend.
     for entries in [64u32, 128, 192, 256] {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale_for(dataset))
-            .stlb_entries(entries);
+            .stlb_entries(entries)
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
         assert!(base.verified && thp.verified);
@@ -60,9 +62,11 @@ fn reorderings() {
         ],
     );
     for dataset in [Dataset::Kron25, Dataset::Twitter] {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale_for(dataset))
-            .policy(PagePolicy::SelectiveProperty { fraction: 0.5 });
+            .policy(PagePolicy::SelectiveProperty { fraction: 0.5 })
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         for pre in [
             Preprocessing::None,

@@ -23,15 +23,19 @@ fn khugepaged_ablation() {
         &["config", "speedup_over_4k", "huge_mem_pct", "promotions"],
     );
     // PageRank so the daemon has steady-state iterations to work with.
-    let proto = Experiment::new(dataset, Kernel::Pagerank)
+    let proto = Experiment::builder(dataset, Kernel::Pagerank)
         .scale(scale_for(dataset))
         .policy(PagePolicy::ThpSystemWide)
-        .defrag_scan_blocks(0); // isolate the daemon: no fault-time defrag
+        .defrag_scan_blocks(0)
+        .build()
+        .expect("valid config"); // isolate the daemon: no fault-time defrag
     let base = proto.clone().policy(PagePolicy::BaseOnly).run();
 
-    let fault_time = Experiment::new(dataset, Kernel::Pagerank)
+    let fault_time = Experiment::builder(dataset, Kernel::Pagerank)
         .scale(scale_for(dataset))
         .policy(PagePolicy::ThpSystemWide)
+        .build()
+        .expect("valid config")
         .run();
     fig.row(vec![
         "fault-time THP (reference)".into(),
@@ -83,10 +87,12 @@ fn defrag_budget_ablation() {
             "init_Mcycles",
         ],
     );
-    let proto = Experiment::new(dataset, Kernel::Bfs)
+    let proto = Experiment::builder(dataset, Kernel::Bfs)
         .scale(scale_for(dataset))
         .policy(PagePolicy::ThpSystemWide)
-        .condition(MemoryCondition::pressured(Surplus::FractionOfWss(0.12)));
+        .condition(MemoryCondition::pressured(Surplus::FractionOfWss(0.12)))
+        .build()
+        .expect("valid config");
     let base = proto.clone().policy(PagePolicy::BaseOnly).run();
     for blocks in [0usize, 2, 8, 32, 128] {
         let r = proto.clone().defrag_scan_blocks(blocks).run();
@@ -120,10 +126,12 @@ fn autotune_ablation() {
     );
     let cond = MemoryCondition::fragmented(0.5);
     for dataset in [Dataset::Kron25, Dataset::Twitter] {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale_for(dataset))
             .condition(cond)
-            .preprocessing(Preprocessing::Dbg);
+            .preprocessing(Preprocessing::Dbg)
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let policies = [
             PagePolicy::SelectiveProperty { fraction: 0.2 },

@@ -26,9 +26,11 @@ fn fig01_grid(engine: AccessEngine, smoke: bool) -> (f64, u64) {
     let mut accesses = 0u64;
     let start = Instant::now();
     for (kernel, dataset) in configs {
-        let proto = Experiment::new(dataset, kernel)
+        let proto = Experiment::builder(dataset, kernel)
             .scale(scale_for(dataset))
-            .access_engine(engine);
+            .access_engine(engine)
+            .build()
+            .expect("valid config");
         for run in [
             proto.clone().policy(PagePolicy::BaseOnly),
             proto.clone().policy(PagePolicy::ThpSystemWide),

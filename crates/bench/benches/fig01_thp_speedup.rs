@@ -21,7 +21,10 @@ fn main() {
     );
     let pressure = MemoryCondition::pressured(Surplus::FractionOfWss(0.12));
     for (kernel, dataset) in all_configs() {
-        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, kernel)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let fresh = proto.clone().policy(PagePolicy::ThpSystemWide).run();
         // The paper normalizes each bar against the 4KB baseline in the

@@ -19,7 +19,10 @@ fn main() {
         ],
     );
     for (kernel, dataset) in all_configs() {
-        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, kernel)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
         assert!(base.verified && thp.verified);

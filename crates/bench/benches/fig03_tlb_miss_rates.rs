@@ -25,7 +25,10 @@ fn main() {
     let mut avg_thp = 0.0;
     let configs = all_configs();
     for &(kernel, dataset) in &configs {
-        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, kernel)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
         assert!(base.verified && thp.verified);

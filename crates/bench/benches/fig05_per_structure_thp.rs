@@ -23,7 +23,10 @@ fn main() {
         ],
     );
     for dataset in Dataset::ALL {
-        let proto = Experiment::new(dataset, Kernel::Bfs).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let one = |vertex: bool, edge: bool, property: bool| {
             proto

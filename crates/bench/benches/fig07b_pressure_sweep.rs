@@ -24,9 +24,11 @@ fn main() {
         ],
     );
     for dataset in Dataset::ALL {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale_for(dataset))
-            .policy(PagePolicy::ThpSystemWide);
+            .policy(PagePolicy::ThpSystemWide)
+            .build()
+            .expect("valid config");
         let base_free = proto.clone().policy(PagePolicy::BaseOnly).run();
         let rows = sweep::pressure(&proto, &sweep::PRESSURE_LADDER);
         for (frac, r) in rows {

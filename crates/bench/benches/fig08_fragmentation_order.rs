@@ -22,7 +22,10 @@ fn main() {
     );
     let cond = MemoryCondition::fragmented(0.5);
     for (kernel, dataset) in all_configs() {
-        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, kernel)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let nofrag = proto.clone().policy(PagePolicy::ThpSystemWide).run();
         let natural = proto

@@ -25,9 +25,11 @@ fn main() {
     );
     let cond = MemoryCondition::fragmented(0.5);
     for (kernel, dataset) in all_configs() {
-        let proto = Experiment::new(dataset, kernel)
+        let proto = Experiment::builder(dataset, kernel)
             .scale(scale_for(dataset))
-            .condition(cond);
+            .condition(cond)
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let dbg = proto
             .clone()

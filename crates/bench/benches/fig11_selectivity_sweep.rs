@@ -26,9 +26,11 @@ fn main() {
     );
     let cond = MemoryCondition::fragmented(0.5);
     for dataset in Dataset::ALL {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale_for(dataset))
-            .condition(cond);
+            .condition(cond)
+            .build()
+            .expect("valid config");
         let base = proto.clone().policy(PagePolicy::BaseOnly).run();
         let original = sweep::selectivity(&proto, &sweep::SELECTIVITY_LEVELS);
         let dbg = sweep::selectivity(

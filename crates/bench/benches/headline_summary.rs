@@ -26,7 +26,10 @@ fn main() {
     let mut of_ideal = Vec::new();
     let mut mem = Vec::new();
     for (kernel, dataset) in all_configs() {
-        let proto = Experiment::new(dataset, kernel).scale(scale_for(dataset));
+        let proto = Experiment::builder(dataset, kernel)
+            .scale(scale_for(dataset))
+            .build()
+            .expect("valid config");
         let base = proto
             .clone()
             .condition(cond)

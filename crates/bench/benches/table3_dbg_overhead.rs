@@ -22,10 +22,12 @@ fn main() {
     let mut bfs_overheads = Vec::new();
     let mut other_overheads = Vec::new();
     for (kernel, dataset) in all_configs() {
-        let r = Experiment::new(dataset, kernel)
+        let r = Experiment::builder(dataset, kernel)
             .scale(scale_for(dataset))
             .preprocessing(Preprocessing::Dbg)
             .policy(PagePolicy::ThpSystemWide)
+            .build()
+            .expect("valid config")
             .run();
         assert!(r.verified);
         let app = r.init_cycles + r.compute_cycles;

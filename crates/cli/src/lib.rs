@@ -7,6 +7,8 @@
 //! ```text
 //! graphmem run   [OPTIONS]             # one measured experiment
 //! graphmem sweep <pressure|frag|selectivity> [OPTIONS]
+//! graphmem serve [OPTIONS]             # concurrent experiment service
+//! graphmem submit [OPTIONS]            # send a spec to a running service
 //! graphmem datasets                    # list dataset presets
 //! graphmem help
 //! ```
@@ -16,7 +18,7 @@
 mod parse;
 mod run;
 
-pub use parse::{parse, Command, ParseError};
+pub use parse::{parse, Command, ExecArgs, ParseError, RunArgs, ServeArgs, SubmitArgs};
 pub use run::{execute, EXIT_FAILURE, EXIT_INTERRUPTED, EXIT_OK, EXIT_PARTIAL, EXIT_USAGE};
 
 /// The usage text shown by `graphmem help` and on parse errors.
@@ -27,10 +29,12 @@ graphmem — application-aware page size management for graph analytics
 USAGE:
     graphmem run   [OPTIONS]                 run one measured experiment
     graphmem sweep <pressure|frag|selectivity> [OPTIONS]
+    graphmem serve [OPTIONS]                 start the experiment service
+    graphmem submit [OPTIONS]                submit a spec to a running service
     graphmem datasets                        list dataset presets
     graphmem help                            show this text
 
-OPTIONS (run and sweep):
+OPTIONS (run, sweep, and submit):
     --dataset <kron|twit|web|wiki>           input graph      [kron]
     --kernel  <bfs|pr|sssp|cc>               application      [bfs]
     --scale   <N>                            log2 vertices    [dataset default]
@@ -39,10 +43,12 @@ OPTIONS (run and sweep):
                                              C = access coverage 0..1
     --preprocess <none|dbg|sort|random>      vertex reorder   [none]
     --order   <natural|property-first>       first-touch order [natural]
-    --surplus <unbounded|FRAC>               free mem = WSS*(1+FRAC) [unbounded]
+    --surplus <unbounded|FRAC|bytes:N>       free mem = WSS*(1+FRAC) [unbounded]
     --frag    <F>                            non-movable fragmentation 0..1 [0]
     --file    <tmpfs|cache|direct>           graph loading    [tmpfs]
+    --seed-offset <N>                        generator seed perturbation [0]
     --no-verify                              skip native-twin verification
+    --sample-interval <N>                    snapshot metrics every N cycles
 
 SWEEP (sweep only):
     --threads <N>                            worker threads [all cores]
@@ -53,15 +59,27 @@ SWEEP (sweep only):
     --chaos <K@I,...>                        inject faults: panic|io|delay:<ms> at
                                              grid index I (testing/CI only)
 
+SERVE (serve only):
+    --addr <HOST:PORT>                       bind address [127.0.0.1:7171]
+    --workers <N>                            experiment worker threads [2]
+    --queue <N>                              max queued configs before 429 [64]
+    --cache-dir <DIR>                        durable result store (JSONL shards)
+    --retries <N>                            supervisor retries per config [1]
+    --timeout <SECS>                         per-config watchdog
+
+SUBMIT (submit only):
+    --addr <HOST:PORT>                       service address [127.0.0.1:7171]
+    --sweep <pressure|frag|selectivity>      expand into a sweep grid server-side
+    --json                                   echo raw progress JSONL
+
 TELEMETRY (run only):
     --telemetry <PATH>                       stream kernel events to PATH (JSONL)
-    --sample-interval <N>                    snapshot metrics every N cycles
     --series <PATH>                          write the sampled series to PATH (CSV)
     --json                                   print the report as one JSON object
 
 EXIT CODES:
-    0   success                3   sweep finished with some failed configs
-    1   command failed         130 interrupted (completed work is in the manifest)
+    0   success                3   sweep/job finished with some failed configs
+    1   command failed         130 interrupted (completed work is flushed)
     2   usage error
 
 EXAMPLES:
@@ -70,5 +88,6 @@ EXAMPLES:
     graphmem run --policy thp --telemetry t.jsonl --sample-interval 100000 --json
     graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
     graphmem sweep pressure --policy thp --manifest runs.jsonl --retries 2 --timeout 600
-    graphmem sweep pressure --policy thp --resume runs.jsonl --manifest runs.jsonl
+    graphmem serve --workers 4 --cache-dir results/
+    graphmem submit --sweep pressure --dataset wiki --scale 12 --policy thp
 ";

@@ -1,59 +1,50 @@
 //! Argument parsing for the `graphmem` binary.
+//!
+//! Flags lower into the typed [`RunSpec`] from `graphmem-core` through
+//! the shared token grammar in [`graphmem_core::spec`] — the same
+//! grammar the experiment service's JSON API uses — so a config typed at
+//! a shell and the same config POSTed to `graphmem serve` produce the
+//! identical experiment and config hash.
 
-use graphmem_core::{FaultSpec, MemoryCondition, PagePolicy, Preprocessing, Surplus};
-use graphmem_graph::Dataset;
-use graphmem_os::FilePlacement;
-use graphmem_workloads::{AllocOrder, Kernel};
+use graphmem_core::spec::{
+    dataset_from_token, file_from_token, kernel_from_token, order_from_token, policy_from_token,
+    preprocess_from_token, surplus_from_token,
+};
+use graphmem_core::{FaultSpec, MemoryCondition, RunSpec, Surplus, SweepKind};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `graphmem run`
-    Run(RunSpec),
+    Run(RunArgs),
     /// `graphmem sweep <kind>`
-    Sweep(SweepKind, RunSpec),
+    Sweep(SweepKind, RunArgs),
+    /// `graphmem serve`
+    Serve(ServeArgs),
+    /// `graphmem submit`
+    Submit(SubmitArgs),
     /// `graphmem datasets`
     Datasets,
     /// `graphmem help`
     Help,
 }
 
-/// Which parameter a sweep varies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SweepKind {
-    /// Free-memory surplus ladder (§4.3.1).
-    Pressure,
-    /// Fragmentation levels (Fig. 9).
-    Fragmentation,
-    /// Selective-THP fractions (Fig. 11).
-    Selectivity,
+/// A `run` / `sweep` invocation: the experiment description plus local
+/// execution options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// What to run (the shared typed spec).
+    pub spec: RunSpec,
+    /// How to run it here (telemetry, threads, manifests, chaos).
+    pub exec: ExecArgs,
 }
 
-/// Everything needed to build an [`Experiment`](graphmem_core::Experiment).
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunSpec {
-    /// Input graph preset.
-    pub dataset: Dataset,
-    /// Application kernel.
-    pub kernel: Kernel,
-    /// Optional scale override (log2 vertices).
-    pub scale: Option<u8>,
-    /// Page-size policy.
-    pub policy: PagePolicy,
-    /// Vertex reordering.
-    pub preprocess: Preprocessing,
-    /// First-touch order.
-    pub order: AllocOrder,
-    /// Memory condition.
-    pub condition: MemoryCondition,
-    /// File-loading placement.
-    pub file: FilePlacement,
-    /// Verify against the native twin.
-    pub verify: bool,
+/// Local execution options that are *not* part of a config's identity —
+/// they never reach the config hash.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecArgs {
     /// Stream telemetry events to this JSONL file.
     pub telemetry: Option<String>,
-    /// Epoch-sample metrics every N simulated cycles.
-    pub sample_interval: Option<u64>,
     /// Write the sampled metrics series to this CSV file.
     pub series: Option<String>,
     /// Print the report as one JSON object instead of prose.
@@ -72,31 +63,62 @@ pub struct RunSpec {
     pub chaos: Vec<(usize, FaultSpec)>,
 }
 
-impl Default for RunSpec {
+/// A `graphmem serve` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address.
+    pub addr: String,
+    /// Worker threads executing experiments.
+    pub workers: usize,
+    /// Max queued configs before `POST /runs` answers 429.
+    pub queue: usize,
+    /// Durable result-store directory (in-memory only when absent).
+    pub cache_dir: Option<String>,
+    /// Supervisor retries per config.
+    pub retries: u32,
+    /// Per-config watchdog, in seconds (scaled to millis precision).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for ServeArgs {
     fn default() -> Self {
-        RunSpec {
-            dataset: Dataset::Kron25,
-            kernel: Kernel::Bfs,
-            scale: None,
-            policy: PagePolicy::BaseOnly,
-            preprocess: Preprocessing::None,
-            order: AllocOrder::Natural,
-            condition: MemoryCondition::unbounded(),
-            file: FilePlacement::TmpfsRemote,
-            verify: true,
-            telemetry: None,
-            sample_interval: None,
-            series: None,
-            json: false,
-            threads: None,
-            manifest: None,
-            resume: None,
-            retries: 0,
-            timeout_secs: None,
-            chaos: Vec::new(),
+        ServeArgs {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: 2,
+            queue: 64,
+            cache_dir: None,
+            retries: 1,
+            timeout_ms: None,
         }
     }
 }
+
+/// A `graphmem submit` invocation: ship a spec to a running server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Server address.
+    pub addr: String,
+    /// Expand the spec into this sweep grid server-side.
+    pub sweep: Option<SweepKind>,
+    /// The experiment description to submit.
+    pub spec: RunSpec,
+    /// Echo the raw progress JSONL instead of prose.
+    pub json: bool,
+}
+
+impl Default for SubmitArgs {
+    fn default() -> Self {
+        SubmitArgs {
+            addr: DEFAULT_ADDR.to_string(),
+            sweep: None,
+            spec: RunSpec::default(),
+            json: false,
+        }
+    }
+}
+
+/// Default experiment-service address for `serve` and `submit`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
 /// A parse failure with a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,161 +146,220 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     match it.next().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("datasets") => Ok(Command::Datasets),
-        Some("run") => Ok(Command::Run(parse_spec(it.as_slice())?)),
+        Some("run") => Ok(Command::Run(parse_run_args(it.as_slice())?)),
         Some("sweep") => {
-            let kind = match it.next().map(String::as_str) {
-                Some("pressure") => SweepKind::Pressure,
-                Some("frag") | Some("fragmentation") => SweepKind::Fragmentation,
-                Some("selectivity") => SweepKind::Selectivity,
-                other => {
-                    return err(format!(
-                        "sweep needs one of pressure|frag|selectivity, got {other:?}"
-                    ))
-                }
+            let kind = match it.next() {
+                Some(word) => SweepKind::from_token(word).map_err(ParseError)?,
+                None => return err("sweep needs one of pressure|frag|selectivity"),
             };
-            Ok(Command::Sweep(kind, parse_spec(it.as_slice())?))
+            Ok(Command::Sweep(kind, parse_run_args(it.as_slice())?))
         }
+        Some("serve") => Ok(Command::Serve(parse_serve_args(it.as_slice())?)),
+        Some("submit") => Ok(Command::Submit(parse_submit_args(it.as_slice())?)),
         Some(other) => err(format!("unknown command '{other}' (try 'graphmem help')")),
     }
 }
 
-fn parse_spec(args: &[String]) -> Result<RunSpec, ParseError> {
+type ArgIter<'a> = std::slice::Iter<'a, String>;
+
+fn next_value<'a>(it: &mut ArgIter<'a>, flag: &str) -> Result<&'a str, ParseError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+/// Pressure/fragmentation knobs collected across flags, composed into a
+/// [`MemoryCondition`] once the whole line is parsed.
+#[derive(Default)]
+struct ConditionKnobs {
+    surplus: Option<Surplus>,
+    frag: f64,
+}
+
+/// Apply one experiment-description flag to `spec`, returning `false`
+/// when the flag is not a spec flag (so the caller can try its own).
+fn spec_flag(
+    spec: &mut RunSpec,
+    knobs: &mut ConditionKnobs,
+    flag: &str,
+    it: &mut ArgIter<'_>,
+) -> Result<bool, ParseError> {
+    match flag {
+        "--dataset" => {
+            spec.dataset = dataset_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--kernel" => {
+            spec.kernel = kernel_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--scale" => {
+            spec.scale = Some(
+                next_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--scale needs an integer".into()))?,
+            );
+        }
+        "--policy" => {
+            spec.policy = policy_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--preprocess" => {
+            spec.preprocess = preprocess_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--order" => {
+            spec.order = order_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--surplus" => {
+            knobs.surplus = Some(surplus_from_token(next_value(it, flag)?).map_err(ParseError)?);
+        }
+        "--frag" => {
+            let frag: f64 = next_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--frag needs a fraction".into()))?;
+            if !(0.0..=1.0).contains(&frag) {
+                return err("--frag must be within 0..=1");
+            }
+            knobs.frag = frag;
+        }
+        "--file" => {
+            spec.file = file_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--no-verify" => spec.verify = false,
+        "--sample-interval" => {
+            let n: u64 = next_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--sample-interval needs an integer".into()))?;
+            if n == 0 {
+                return err("--sample-interval must be positive");
+            }
+            spec.sample_interval = Some(n);
+        }
+        "--seed-offset" => {
+            spec.seed_offset = next_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--seed-offset needs an integer".into()))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Apply one local-execution flag to `exec`, returning `false` when the
+/// flag is not an exec flag.
+fn exec_flag(exec: &mut ExecArgs, flag: &str, it: &mut ArgIter<'_>) -> Result<bool, ParseError> {
+    match flag {
+        "--telemetry" => exec.telemetry = Some(next_value(it, flag)?.to_string()),
+        "--series" => exec.series = Some(next_value(it, flag)?.to_string()),
+        "--json" => exec.json = true,
+        "--threads" => {
+            let n: usize = next_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--threads needs an integer".into()))?;
+            if n == 0 {
+                return err("--threads must be positive");
+            }
+            exec.threads = Some(n);
+        }
+        "--manifest" => exec.manifest = Some(next_value(it, flag)?.to_string()),
+        "--resume" => exec.resume = Some(next_value(it, flag)?.to_string()),
+        "--retries" => {
+            exec.retries = next_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--retries needs an integer".into()))?;
+        }
+        "--timeout" => exec.timeout_secs = Some(parse_timeout(next_value(it, flag)?)?),
+        "--chaos" => exec.chaos = parse_chaos(next_value(it, flag)?)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_timeout(v: &str) -> Result<f64, ParseError> {
+    let secs: f64 = v
+        .parse()
+        .map_err(|_| ParseError("--timeout needs seconds (e.g. 0.5 or 120)".into()))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return err("--timeout must be a positive number of seconds");
+    }
+    Ok(secs)
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, ParseError> {
     let mut spec = RunSpec::default();
-    let mut surplus: Option<Surplus> = None;
-    let mut frag: f64 = 0.0;
+    let mut exec = ExecArgs::default();
+    let mut knobs = ConditionKnobs::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = || -> Result<&String, ParseError> {
-            it.next()
-                .ok_or_else(|| ParseError(format!("{flag} needs a value")))
-        };
+        if spec_flag(&mut spec, &mut knobs, flag, &mut it)? {
+            continue;
+        }
+        if exec_flag(&mut exec, flag, &mut it)? {
+            continue;
+        }
+        return err(format!("unknown option '{flag}'"));
+    }
+    spec.condition = MemoryCondition::from_knobs(knobs.surplus, knobs.frag);
+    Ok(RunArgs { spec, exec })
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
+    let mut serve = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--dataset" => {
-                spec.dataset = match value()?.as_str() {
-                    "kron" => Dataset::Kron25,
-                    "twit" | "twitter" => Dataset::Twitter,
-                    "web" => Dataset::Web,
-                    "wiki" => Dataset::Wiki,
-                    other => return err(format!("unknown dataset '{other}'")),
-                }
-            }
-            "--kernel" => {
-                spec.kernel = match value()?.as_str() {
-                    "bfs" => Kernel::Bfs,
-                    "pr" | "pagerank" => Kernel::Pagerank,
-                    "sssp" => Kernel::Sssp,
-                    "cc" => Kernel::Cc,
-                    other => return err(format!("unknown kernel '{other}'")),
-                }
-            }
-            "--scale" => {
-                spec.scale = Some(
-                    value()?
-                        .parse()
-                        .map_err(|_| ParseError("--scale needs an integer".into()))?,
-                )
-            }
-            "--policy" => spec.policy = parse_policy(value()?)?,
-            "--preprocess" => {
-                spec.preprocess = match value()?.as_str() {
-                    "none" => Preprocessing::None,
-                    "dbg" => Preprocessing::Dbg,
-                    "sort" => Preprocessing::DegreeSort,
-                    "random" => Preprocessing::Random,
-                    other => return err(format!("unknown preprocessing '{other}'")),
-                }
-            }
-            "--order" => {
-                spec.order = match value()?.as_str() {
-                    "natural" => AllocOrder::Natural,
-                    "property-first" | "optimized" => AllocOrder::PropertyFirst,
-                    other => return err(format!("unknown order '{other}'")),
-                }
-            }
-            "--surplus" => {
-                let v = value()?;
-                surplus = if v == "unbounded" {
-                    Some(Surplus::Unbounded)
-                } else {
-                    let f: f64 = v.parse().map_err(|_| {
-                        ParseError("--surplus needs 'unbounded' or a fraction".into())
-                    })?;
-                    Some(Surplus::FractionOfWss(f))
-                };
-            }
-            "--frag" => {
-                frag = value()?
+            "--addr" => serve.addr = next_value(&mut it, flag)?.to_string(),
+            "--workers" => {
+                let n: usize = next_value(&mut it, flag)?
                     .parse()
-                    .map_err(|_| ParseError("--frag needs a fraction".into()))?;
-                if !(0.0..=1.0).contains(&frag) {
-                    return err("--frag must be within 0..=1");
-                }
-            }
-            "--file" => {
-                spec.file = match value()?.as_str() {
-                    "tmpfs" => FilePlacement::TmpfsRemote,
-                    "cache" => FilePlacement::LocalPageCache,
-                    "direct" => FilePlacement::DirectIo,
-                    other => return err(format!("unknown file placement '{other}'")),
-                }
-            }
-            "--no-verify" => spec.verify = false,
-            "--telemetry" => spec.telemetry = Some(value()?.clone()),
-            "--sample-interval" => {
-                let n: u64 = value()?
-                    .parse()
-                    .map_err(|_| ParseError("--sample-interval needs an integer".into()))?;
+                    .map_err(|_| ParseError("--workers needs an integer".into()))?;
                 if n == 0 {
-                    return err("--sample-interval must be positive");
+                    return err("--workers must be positive");
                 }
-                spec.sample_interval = Some(n);
+                serve.workers = n;
             }
-            "--series" => spec.series = Some(value()?.clone()),
-            "--threads" => {
-                let n: usize = value()?
+            "--queue" => {
+                let n: usize = next_value(&mut it, flag)?
                     .parse()
-                    .map_err(|_| ParseError("--threads needs an integer".into()))?;
+                    .map_err(|_| ParseError("--queue needs an integer".into()))?;
                 if n == 0 {
-                    return err("--threads must be positive");
+                    return err("--queue must be positive");
                 }
-                spec.threads = Some(n);
+                serve.queue = n;
             }
-            "--json" => spec.json = true,
-            "--manifest" => spec.manifest = Some(value()?.clone()),
-            "--resume" => spec.resume = Some(value()?.clone()),
+            "--cache-dir" => serve.cache_dir = Some(next_value(&mut it, flag)?.to_string()),
             "--retries" => {
-                spec.retries = value()?
+                serve.retries = next_value(&mut it, flag)?
                     .parse()
                     .map_err(|_| ParseError("--retries needs an integer".into()))?;
             }
             "--timeout" => {
-                let secs: f64 = value()?
-                    .parse()
-                    .map_err(|_| ParseError("--timeout needs seconds (e.g. 0.5 or 120)".into()))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return err("--timeout must be a positive number of seconds");
-                }
-                spec.timeout_secs = Some(secs);
+                let secs = parse_timeout(next_value(&mut it, flag)?)?;
+                serve.timeout_ms = Some((secs * 1000.0) as u64);
             }
-            "--chaos" => spec.chaos = parse_chaos(value()?)?,
             other => return err(format!("unknown option '{other}'")),
         }
     }
-    spec.condition = build_condition(surplus, frag)?;
-    Ok(spec)
+    Ok(serve)
 }
 
-fn build_condition(surplus: Option<Surplus>, frag: f64) -> Result<MemoryCondition, ParseError> {
-    Ok(match (surplus, frag) {
-        (None | Some(Surplus::Unbounded), 0.0) => MemoryCondition::unbounded(),
-        (None | Some(Surplus::Unbounded), f) => MemoryCondition::fragmented(f),
-        (Some(s), 0.0) => MemoryCondition::pressured(s),
-        (Some(s), f) => MemoryCondition {
-            surplus: s,
-            fragmentation: f,
-            noise_occupancy: 0.5,
-        },
-    })
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, ParseError> {
+    let mut submit = SubmitArgs::default();
+    let mut knobs = ConditionKnobs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if spec_flag(&mut submit.spec, &mut knobs, flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--addr" => submit.addr = next_value(&mut it, flag)?.to_string(),
+            "--sweep" => {
+                submit.sweep =
+                    Some(SweepKind::from_token(next_value(&mut it, flag)?).map_err(ParseError)?);
+            }
+            "--json" => submit.json = true,
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    submit.spec.condition = MemoryCondition::from_knobs(knobs.surplus, knobs.frag);
+    Ok(submit)
 }
 
 /// Parse a fault-injection spec: a comma list of `<kind>@<index>` where
@@ -317,37 +398,10 @@ fn parse_chaos(v: &str) -> Result<Vec<(usize, FaultSpec)>, ParseError> {
     Ok(plan)
 }
 
-fn parse_policy(v: &str) -> Result<PagePolicy, ParseError> {
-    if let Some(rest) = v.strip_prefix("selective:") {
-        let fraction: f64 = rest
-            .parse()
-            .map_err(|_| ParseError("selective:<fraction> needs a number".into()))?;
-        if !(0.0..=1.0).contains(&fraction) {
-            return err("selective fraction must be within 0..=1");
-        }
-        return Ok(PagePolicy::SelectiveProperty { fraction });
-    }
-    if let Some(rest) = v.strip_prefix("auto:") {
-        let coverage: f64 = rest
-            .parse()
-            .map_err(|_| ParseError("auto:<coverage> needs a number".into()))?;
-        if !(0.0..=1.0).contains(&coverage) {
-            return err("auto coverage must be within 0..=1");
-        }
-        return Ok(PagePolicy::AutoSelective { coverage });
-    }
-    match v {
-        "4k" | "4kb" | "base" => Ok(PagePolicy::BaseOnly),
-        "thp" => Ok(PagePolicy::ThpSystemWide),
-        "property" => Ok(PagePolicy::property_only()),
-        "hugetlb" => Ok(PagePolicy::HugetlbProperty),
-        other => err(format!("unknown policy '{other}'")),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphmem_core::prelude::*;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -362,63 +416,85 @@ mod tests {
 
     #[test]
     fn run_defaults() {
-        let Command::Run(spec) = parse(&args("run")).unwrap() else {
+        let Command::Run(run) = parse(&args("run")).unwrap() else {
             panic!()
         };
-        assert_eq!(spec, RunSpec::default());
+        assert_eq!(run.spec, RunSpec::default());
+        assert_eq!(run.exec, ExecArgs::default());
     }
 
     #[test]
     fn run_full_options() {
         let cmd = parse(&args(
             "run --dataset twit --kernel sssp --scale 14 --policy selective:0.25 \
-             --preprocess dbg --order property-first --surplus 0.12 --frag 0.5 --file cache --no-verify",
+             --preprocess dbg --order property-first --surplus 0.12 --frag 0.5 --file cache \
+             --no-verify --seed-offset 3",
         ))
         .unwrap();
-        let Command::Run(s) = cmd else { panic!() };
-        assert_eq!(s.dataset, Dataset::Twitter);
-        assert_eq!(s.kernel, Kernel::Sssp);
-        assert_eq!(s.scale, Some(14));
-        assert_eq!(s.policy, PagePolicy::SelectiveProperty { fraction: 0.25 });
-        assert_eq!(s.preprocess, Preprocessing::Dbg);
-        assert_eq!(s.order, AllocOrder::PropertyFirst);
-        assert_eq!(s.condition.fragmentation, 0.5);
-        assert_eq!(s.file, FilePlacement::LocalPageCache);
-        assert!(!s.verify);
+        let Command::Run(r) = cmd else { panic!() };
+        assert_eq!(r.spec.dataset, Dataset::Twitter);
+        assert_eq!(r.spec.kernel, Kernel::Sssp);
+        assert_eq!(r.spec.scale, Some(14));
+        assert_eq!(
+            r.spec.policy,
+            PagePolicy::SelectiveProperty { fraction: 0.25 }
+        );
+        assert_eq!(r.spec.preprocess, Preprocessing::Dbg);
+        assert_eq!(r.spec.order, AllocOrder::PropertyFirst);
+        assert_eq!(r.spec.condition.fragmentation, 0.5);
+        assert_eq!(r.spec.file, FilePlacement::LocalPageCache);
+        assert_eq!(r.spec.seed_offset, 3);
+        assert!(!r.spec.verify);
+    }
+
+    #[test]
+    fn flags_and_json_produce_the_same_spec() {
+        // The tentpole invariant: both frontends share one lowering path,
+        // so the flag form and the wire form agree on the config hash.
+        let Command::Run(run) = parse(&args(
+            "run --dataset wiki --kernel pr --scale 12 --policy auto:0.8 --surplus 0.25",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let wire = RunSpec::from_json(&run.spec.to_json()).unwrap();
+        assert_eq!(run.spec, wire);
+        assert_eq!(run.spec.config_hash().unwrap(), wire.config_hash().unwrap());
     }
 
     #[test]
     fn policy_variants() {
-        assert_eq!(parse_policy("4k").unwrap(), PagePolicy::BaseOnly);
-        assert_eq!(parse_policy("thp").unwrap(), PagePolicy::ThpSystemWide);
+        use graphmem_core::spec::policy_from_token;
+        assert_eq!(policy_from_token("4k").unwrap(), PagePolicy::BaseOnly);
+        assert_eq!(policy_from_token("thp").unwrap(), PagePolicy::ThpSystemWide);
         assert_eq!(
-            parse_policy("property").unwrap(),
+            policy_from_token("property").unwrap(),
             PagePolicy::property_only()
         );
         assert_eq!(
-            parse_policy("auto:0.8").unwrap(),
+            policy_from_token("auto:0.8").unwrap(),
             PagePolicy::AutoSelective { coverage: 0.8 }
         );
         assert_eq!(
-            parse_policy("hugetlb").unwrap(),
+            policy_from_token("hugetlb").unwrap(),
             PagePolicy::HugetlbProperty
         );
-        assert!(parse_policy("selective:1.5").is_err());
-        assert!(parse_policy("bogus").is_err());
+        assert!(policy_from_token("selective:1.5").is_err());
+        assert!(policy_from_token("bogus").is_err());
     }
 
     #[test]
     fn telemetry_flags() {
-        let Command::Run(s) = parse(&args(
+        let Command::Run(r) = parse(&args(
             "run --telemetry /tmp/t.jsonl --sample-interval 100000 --series /tmp/s.csv --json",
         ))
         .unwrap() else {
             panic!()
         };
-        assert_eq!(s.telemetry.as_deref(), Some("/tmp/t.jsonl"));
-        assert_eq!(s.sample_interval, Some(100_000));
-        assert_eq!(s.series.as_deref(), Some("/tmp/s.csv"));
-        assert!(s.json);
+        assert_eq!(r.exec.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(r.spec.sample_interval, Some(100_000));
+        assert_eq!(r.exec.series.as_deref(), Some("/tmp/s.csv"));
+        assert!(r.exec.json);
         assert!(parse(&args("run --sample-interval 0")).is_err());
         assert!(parse(&args("run --sample-interval many")).is_err());
         assert!(parse(&args("run --telemetry")).is_err());
@@ -451,19 +527,19 @@ mod tests {
 
     #[test]
     fn robustness_flags() {
-        let Command::Sweep(_, s) = parse(&args(
+        let Command::Sweep(_, r) = parse(&args(
             "sweep pressure --manifest runs.jsonl --resume runs.jsonl --retries 3 \
              --timeout 1.5 --chaos panic@2,io@5,delay:250@0",
         ))
         .unwrap() else {
             panic!()
         };
-        assert_eq!(s.manifest.as_deref(), Some("runs.jsonl"));
-        assert_eq!(s.resume.as_deref(), Some("runs.jsonl"));
-        assert_eq!(s.retries, 3);
-        assert_eq!(s.timeout_secs, Some(1.5));
+        assert_eq!(r.exec.manifest.as_deref(), Some("runs.jsonl"));
+        assert_eq!(r.exec.resume.as_deref(), Some("runs.jsonl"));
+        assert_eq!(r.exec.retries, 3);
+        assert_eq!(r.exec.timeout_secs, Some(1.5));
         assert_eq!(
-            s.chaos,
+            r.exec.chaos,
             vec![
                 (2, FaultSpec::Panic),
                 (5, FaultSpec::IoError),
@@ -488,16 +564,57 @@ mod tests {
 
     #[test]
     fn condition_composition() {
-        let Command::Run(s) = parse(&args("run --surplus 0.06")).unwrap() else {
+        let Command::Run(r) = parse(&args("run --surplus 0.06")).unwrap() else {
             panic!()
         };
         assert_eq!(
-            s.condition,
+            r.spec.condition,
             MemoryCondition::pressured(Surplus::FractionOfWss(0.06))
         );
-        let Command::Run(s) = parse(&args("run --frag 0.25")).unwrap() else {
+        let Command::Run(r) = parse(&args("run --frag 0.25")).unwrap() else {
             panic!()
         };
-        assert_eq!(s.condition, MemoryCondition::fragmented(0.25));
+        assert_eq!(r.spec.condition, MemoryCondition::fragmented(0.25));
+    }
+
+    #[test]
+    fn serve_flags() {
+        let Command::Serve(s) = parse(&args("serve")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s, ServeArgs::default());
+        let Command::Serve(s) = parse(&args(
+            "serve --addr 127.0.0.1:0 --workers 4 --queue 128 --cache-dir /tmp/cache \
+             --retries 2 --timeout 0.5",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.queue, 128);
+        assert_eq!(s.cache_dir.as_deref(), Some("/tmp/cache"));
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.timeout_ms, Some(500));
+        assert!(parse(&args("serve --workers 0")).is_err());
+        assert!(parse(&args("serve --dataset wiki")).is_err());
+    }
+
+    #[test]
+    fn submit_flags() {
+        let Command::Submit(s) = parse(&args(
+            "submit --addr 127.0.0.1:9999 --sweep frag --dataset wiki --scale 11 --json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.addr, "127.0.0.1:9999");
+        assert_eq!(s.sweep, Some(SweepKind::Fragmentation));
+        assert_eq!(s.spec.dataset, Dataset::Wiki);
+        assert_eq!(s.spec.scale, Some(11));
+        assert!(s.json);
+        // Exec-only flags make no sense remotely.
+        assert!(parse(&args("submit --threads 4")).is_err());
+        assert!(parse(&args("submit --manifest runs.jsonl")).is_err());
     }
 }

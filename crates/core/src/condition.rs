@@ -82,6 +82,27 @@ impl MemoryCondition {
         }
     }
 
+    /// Compose a condition from the two user-facing knobs (an optional
+    /// surplus and a fragmentation level) the way the harness frontends
+    /// expose them: no knobs is a fresh boot, fragmentation alone is the
+    /// Fig. 8/9 low-pressure setup, a surplus alone is the §4.3.1
+    /// `memhog` methodology (with the default background noise), and both
+    /// together keep the noise while honoring the explicit values. This
+    /// is the single flag→condition assembly site for the CLI and the
+    /// experiment service.
+    pub fn from_knobs(surplus: Option<Surplus>, frag: f64) -> Self {
+        match surplus {
+            None | Some(Surplus::Unbounded) if frag == 0.0 => MemoryCondition::unbounded(),
+            None | Some(Surplus::Unbounded) => MemoryCondition::fragmented(frag),
+            Some(s) if frag == 0.0 => MemoryCondition::pressured(s),
+            Some(s) => MemoryCondition {
+                surplus: s,
+                fragmentation: frag,
+                noise_occupancy: 0.5,
+            },
+        }
+    }
+
     /// Apply the condition to `sys` for a workload of `wss` bytes.
     /// Returns the artifacts (kept alive for the run) — dropping them
     /// early would release the pressure.
@@ -161,18 +182,24 @@ impl MemoryCondition {
         })
     }
 
-    /// Label used in harness output.
+    /// Label used in harness output (the [`Display`](std::fmt::Display)
+    /// rendering, as an owned string).
     pub fn label(&self) -> String {
-        let mut parts = Vec::new();
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for MemoryCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.surplus {
-            Surplus::Unbounded => parts.push("free".to_string()),
-            Surplus::Bytes(b) => parts.push(format!("wss{:+}MB", b / (1 << 20))),
-            Surplus::FractionOfWss(f) => parts.push(format!("wss{:+.0}%", f * 100.0)),
+            Surplus::Unbounded => f.write_str("free")?,
+            Surplus::Bytes(b) => write!(f, "wss{:+}MB", b / (1 << 20))?,
+            Surplus::FractionOfWss(frac) => write!(f, "wss{:+.0}%", frac * 100.0)?,
         }
         if self.fragmentation > 0.0 {
-            parts.push(format!("frag{:.0}%", self.fragmentation * 100.0));
+            write!(f, ",frag{:.0}%", self.fragmentation * 100.0)?;
         }
-        parts.join(",")
+        Ok(())
     }
 }
 
@@ -253,7 +280,32 @@ mod tests {
     }
 
     #[test]
+    fn knob_composition() {
+        assert_eq!(
+            MemoryCondition::from_knobs(None, 0.0),
+            MemoryCondition::unbounded()
+        );
+        assert_eq!(
+            MemoryCondition::from_knobs(Some(Surplus::Unbounded), 0.25),
+            MemoryCondition::fragmented(0.25)
+        );
+        assert_eq!(
+            MemoryCondition::from_knobs(Some(Surplus::FractionOfWss(0.06)), 0.0),
+            MemoryCondition::pressured(Surplus::FractionOfWss(0.06))
+        );
+        assert_eq!(
+            MemoryCondition::from_knobs(Some(Surplus::FractionOfWss(0.12)), 0.5),
+            MemoryCondition {
+                surplus: Surplus::FractionOfWss(0.12),
+                fragmentation: 0.5,
+                noise_occupancy: 0.5,
+            }
+        );
+    }
+
+    #[test]
     fn labels() {
+        assert_eq!(MemoryCondition::unbounded().to_string(), "free");
         assert_eq!(MemoryCondition::unbounded().label(), "free");
         assert_eq!(MemoryCondition::fragmented(0.25).label(), "wss+35%,frag25%");
         assert_eq!(

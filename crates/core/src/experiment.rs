@@ -1,6 +1,6 @@
 //! The experiment runner: one configured, measured workload execution.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 use graphmem_graph::{reorder, Csr, Dataset};
 use graphmem_os::{AccessEngine, FilePlacement, System, SystemSpec, ThpMode};
@@ -8,39 +8,11 @@ use graphmem_telemetry::Tracer;
 use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
 use crate::autotune::HotnessProfile;
-use crate::condition::MemoryCondition;
+use crate::condition::{MemoryCondition, Surplus};
 use crate::error::GraphmemError;
+use crate::graphcache::{self, GraphKey};
 use crate::policy::{PagePolicy, Preprocessing};
 use crate::report::RunReport;
-
-/// Key identifying a fully prepared (generated + reordered) input graph.
-#[derive(Clone, Copy, PartialEq)]
-struct GraphKey {
-    dataset: Dataset,
-    scale: u8,
-    weighted: bool,
-    seed_offset: u64,
-    preprocessing: Preprocessing,
-}
-
-/// Entries kept in the prepared-graph memo. Figure sweeps rotate over the
-/// four datasets while holding everything else fixed, so four entries give
-/// every policy/condition arm a hit without pinning more than a handful of
-/// graphs in host memory.
-const GRAPH_CACHE_ENTRIES: usize = 4;
-
-/// A memo slot: key, shared prepared graph, charged preprocess cycles.
-type GraphCacheEntry = (GraphKey, Arc<Csr>, u64);
-
-/// LRU memo of prepared graphs, shared process-wide. Generation and
-/// reordering are deterministic and host-expensive, and every arm of a
-/// figure (policies × memory conditions) consumes the *identical* graph —
-/// regenerating it per run dominated sweep wall-clock. The memo returns a
-/// shared immutable copy instead; simulated results are unaffected.
-fn graph_cache() -> &'static Mutex<Vec<GraphCacheEntry>> {
-    static CACHE: OnceLock<Mutex<Vec<GraphCacheEntry>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(Vec::new()))
-}
 
 /// Builder for one measured run: dataset × kernel × page policy ×
 /// preprocessing × allocation order × memory condition.
@@ -70,9 +42,31 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Start a validating [`ExperimentBuilder`] for `dataset` × `kernel`.
+    /// This is the supported construction path: every knob is checked once
+    /// at [`ExperimentBuilder::build`] time, so an `Experiment` in hand is
+    /// known-runnable (no panics later for out-of-range fractions or
+    /// impossible kernel/policy combinations).
+    pub fn builder(dataset: Dataset, kernel: Kernel) -> ExperimentBuilder {
+        ExperimentBuilder {
+            exp: Experiment::fresh(dataset, kernel),
+        }
+    }
+
     /// A fresh-boot, base-pages, natural-order experiment on `dataset` ×
     /// `kernel`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Experiment::builder(dataset, kernel)…build(), which validates the \
+                configuration up front"
+    )]
     pub fn new(dataset: Dataset, kernel: Kernel) -> Self {
+        Experiment::fresh(dataset, kernel)
+    }
+
+    /// Unvalidated internal constructor backing both [`Self::builder`] and
+    /// the deprecated [`Self::new`] shim.
+    pub(crate) fn fresh(dataset: Dataset, kernel: Kernel) -> Self {
         Experiment {
             dataset,
             kernel,
@@ -223,7 +217,8 @@ impl Experiment {
         self.kernel
     }
 
-    /// Generate (and optionally reorder) the input graph.
+    /// Generate (and optionally reorder) the input graph, through the
+    /// process-wide [`graphcache::shared`] memo.
     fn prepare_graph(&self) -> (Arc<Csr>, u64) {
         let key = GraphKey {
             dataset: self.dataset,
@@ -232,31 +227,7 @@ impl Experiment {
             seed_offset: self.seed_offset,
             preprocessing: self.preprocessing,
         };
-        {
-            // A poisoned lock only means another sweep worker panicked
-            // mid-insert; the memo itself is always left structurally
-            // valid, so recover the guard instead of propagating.
-            let mut cache = graph_cache()
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            if let Some(pos) = cache.iter().position(|(k, ..)| *k == key) {
-                let hit = cache.remove(pos);
-                let out = (Arc::clone(&hit.1), hit.2);
-                cache.insert(0, hit);
-                return out;
-            }
-        }
-        // Generate outside the lock; concurrent sweep threads that race on
-        // the same key produce identical graphs, so a duplicate insert is
-        // only wasted work, never divergence.
-        let (csr, cycles) = self.prepare_graph_uncached(key.scale);
-        let csr = Arc::new(csr);
-        let mut cache = graph_cache()
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        cache.insert(0, (key, Arc::clone(&csr), cycles));
-        cache.truncate(GRAPH_CACHE_ENTRIES);
-        (csr, cycles)
+        graphcache::shared().get_or_prepare(key, || self.prepare_graph_uncached(key.scale))
     }
 
     fn prepare_graph_uncached(&self, scale: u8) -> (Csr, u64) {
@@ -331,6 +302,66 @@ impl Experiment {
         format!("{h:016x}")
     }
 
+    /// Check every knob and kernel/policy combination, returning the
+    /// first problem found. [`ExperimentBuilder::build`] calls this so an
+    /// invalid configuration is rejected before any graph is generated;
+    /// [`Self::try_run`] re-checks so experiments assembled through the
+    /// legacy chained setters get the same diagnostics.
+    fn validate(&self) -> Result<(), GraphmemError> {
+        let invalid = |msg: String| Err(GraphmemError::InvalidConfig(msg));
+        if let Some(interval) = self.sample_interval {
+            if interval == 0 {
+                return invalid("sample interval must be positive".into());
+            }
+        }
+        if let Some(scale) = self.scale {
+            if !(4..=30).contains(&scale) {
+                return invalid(format!("scale {scale} outside the supported 4..=30 (log2)"));
+            }
+        }
+        if self.huge_order == 0 || self.huge_order > 12 {
+            return invalid(format!(
+                "huge order {} outside the supported 1..=12",
+                self.huge_order
+            ));
+        }
+        match self.policy {
+            PagePolicy::SelectiveProperty { fraction } if !(0.0..=1.0).contains(&fraction) => {
+                return invalid(format!("selective fraction {fraction} outside 0..=1"));
+            }
+            PagePolicy::AutoSelective { coverage } if !(0.0..=1.0).contains(&coverage) => {
+                return invalid(format!("auto coverage {coverage} outside 0..=1"));
+            }
+            PagePolicy::PerArray { values: true, .. } if !self.kernel.needs_weights() => {
+                return invalid(format!(
+                    "policy advises the values array but kernel {} is unweighted",
+                    self.kernel.name()
+                ));
+            }
+            _ => {}
+        }
+        if !(0.0..=1.0).contains(&self.condition.fragmentation) {
+            return invalid(format!(
+                "fragmentation {} outside 0..=1",
+                self.condition.fragmentation
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.condition.noise_occupancy) {
+            return invalid(format!(
+                "noise occupancy {} outside 0..=1",
+                self.condition.noise_occupancy
+            ));
+        }
+        // Negative surpluses are legitimate: they model oversubscription
+        // (RAM below the working set, the paper's swap-thrashing regime).
+        if let Surplus::FractionOfWss(f) = self.condition.surplus {
+            if !f.is_finite() {
+                return invalid(format!("surplus fraction {f} must be finite"));
+            }
+        }
+        Ok(())
+    }
+
     /// Execute the experiment.
     ///
     /// # Panics
@@ -358,13 +389,7 @@ impl Experiment {
     /// outcomes) — the sweep supervisor catches those at its isolation
     /// boundary.
     pub fn try_run(&self) -> Result<RunReport, GraphmemError> {
-        if let Some(interval) = self.sample_interval {
-            if interval == 0 {
-                return Err(GraphmemError::InvalidConfig(
-                    "sample interval must be positive".into(),
-                ));
-            }
-        }
+        self.validate()?;
         let (csr, preprocess_cycles) = self.prepare_graph();
         let csr: &Csr = &csr;
         let wss = self.working_set_bytes(csr);
@@ -551,6 +576,134 @@ impl Experiment {
     }
 }
 
+/// Fallible builder for [`Experiment`]: collects the same knobs as the
+/// chained setters, then checks every value and kernel/policy combination
+/// once in [`Self::build`]. Obtained from [`Experiment::builder`].
+///
+/// ```
+/// use graphmem_core::prelude::*;
+///
+/// let exp = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+///     .scale(11)
+///     .policy(PagePolicy::ThpSystemWide)
+///     .build()
+///     .expect("valid configuration");
+/// assert!(exp.run().verified);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    exp: Experiment,
+}
+
+impl ExperimentBuilder {
+    /// Override the graph scale (log2 vertices).
+    pub fn scale(mut self, scale: u8) -> Self {
+        self.exp = self.exp.scale(scale);
+        self
+    }
+
+    /// Set the page-size policy.
+    pub fn policy(mut self, policy: PagePolicy) -> Self {
+        self.exp = self.exp.policy(policy);
+        self
+    }
+
+    /// Set the preprocessing (vertex reordering).
+    pub fn preprocessing(mut self, p: Preprocessing) -> Self {
+        self.exp = self.exp.preprocessing(p);
+        self
+    }
+
+    /// Set the first-touch order of the arrays.
+    pub fn alloc_order(mut self, order: AllocOrder) -> Self {
+        self.exp = self.exp.alloc_order(order);
+        self
+    }
+
+    /// Set the memory condition (pressure / fragmentation).
+    pub fn condition(mut self, c: MemoryCondition) -> Self {
+        self.exp = self.exp.condition(c);
+        self
+    }
+
+    /// Set how graph files are loaded.
+    pub fn file_placement(mut self, fp: FilePlacement) -> Self {
+        self.exp = self.exp.file_placement(fp);
+        self
+    }
+
+    /// Override the huge-page buddy order of the simulated machine.
+    pub fn huge_order(mut self, order: u8) -> Self {
+        self.exp = self.exp.huge_order(order);
+        self
+    }
+
+    /// Disable output verification against the native twin.
+    pub fn skip_verification(mut self) -> Self {
+        self.exp = self.exp.skip_verification();
+        self
+    }
+
+    /// Perturb the dataset's generator seed.
+    pub fn seed_offset(mut self, offset: u64) -> Self {
+        self.exp = self.exp.seed_offset(offset);
+        self
+    }
+
+    /// Ablation knob: enable/disable the khugepaged background daemon.
+    pub fn khugepaged_enabled(mut self, enabled: bool) -> Self {
+        self.exp = self.exp.khugepaged_enabled(enabled);
+        self
+    }
+
+    /// Ablation knob: khugepaged scan interval in simulated cycles.
+    pub fn khugepaged_interval(mut self, cycles: u64) -> Self {
+        self.exp = self.exp.khugepaged_interval(cycles);
+        self
+    }
+
+    /// Ablation knob: fault-time direct-compaction budget in pageblocks.
+    pub fn defrag_scan_blocks(mut self, blocks: usize) -> Self {
+        self.exp = self.exp.defrag_scan_blocks(blocks);
+        self
+    }
+
+    /// Ablation knob: override the unified STLB entry count.
+    pub fn stlb_entries(mut self, entries: u32) -> Self {
+        self.exp = self.exp.stlb_entries(entries);
+        self
+    }
+
+    /// Attach a telemetry [`Tracer`].
+    pub fn telemetry(mut self, tracer: Tracer) -> Self {
+        self.exp = self.exp.telemetry(tracer);
+        self
+    }
+
+    /// Sample epoch metrics every `interval` simulated cycles.
+    pub fn sample_interval(mut self, interval: u64) -> Self {
+        self.exp = self.exp.sample_interval(interval);
+        self
+    }
+
+    /// Select the [`AccessEngine`] driving the access pipeline.
+    pub fn access_engine(mut self, engine: AccessEngine) -> Self {
+        self.exp = self.exp.access_engine(engine);
+        self
+    }
+
+    /// Validate the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphmemError::InvalidConfig`] naming the first
+    /// out-of-range knob or impossible kernel/policy combination.
+    pub fn build(self) -> Result<Experiment, GraphmemError> {
+        self.exp.validate()?;
+        Ok(self.exp)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,14 +712,71 @@ mod tests {
     /// Small but huge-page-meaningful: 32 Ki vertices with 64 KiB huge
     /// pages, so the property array spans 4 huge pages.
     fn exp(kernel: Kernel) -> Experiment {
-        Experiment::new(Dataset::Wiki, kernel)
+        Experiment::builder(Dataset::Wiki, kernel)
             .scale(15)
             .huge_order(4)
+            .build()
+            .expect("valid test config")
     }
 
     /// Tiny and fast, for pure correctness checks.
     fn tiny(kernel: Kernel) -> Experiment {
-        Experiment::new(Dataset::Wiki, kernel).scale(11)
+        Experiment::builder(Dataset::Wiki, kernel)
+            .scale(11)
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs_up_front() {
+        let bad = |b: ExperimentBuilder| {
+            let err = b.build().expect_err("must be rejected");
+            assert!(matches!(err, GraphmemError::InvalidConfig(_)), "{err}");
+        };
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs).scale(2));
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs).sample_interval(0));
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .policy(PagePolicy::SelectiveProperty { fraction: 1.5 }));
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .policy(PagePolicy::AutoSelective { coverage: -0.1 }));
+        // The values array only exists for weighted kernels.
+        bad(
+            Experiment::builder(Dataset::Wiki, Kernel::Bfs).policy(PagePolicy::PerArray {
+                vertex: false,
+                edge: false,
+                values: true,
+                property: false,
+            }),
+        );
+        assert!(Experiment::builder(Dataset::Wiki, Kernel::Sssp)
+            .policy(PagePolicy::PerArray {
+                vertex: false,
+                edge: false,
+                values: true,
+                property: false,
+            })
+            .build()
+            .is_ok());
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .condition(MemoryCondition::fragmented(1.5)));
+        bad(Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .condition(MemoryCondition::pressured(Surplus::FractionOfWss(f64::NAN))));
+        // Negative surpluses model oversubscription — valid, not a typo.
+        assert!(Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .condition(MemoryCondition::pressured(Surplus::FractionOfWss(-0.06)))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn deprecated_new_matches_builder_default() {
+        #[allow(deprecated)]
+        let old = Experiment::new(Dataset::Wiki, Kernel::Bfs).scale(11);
+        let new = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .scale(11)
+            .build()
+            .expect("valid");
+        assert_eq!(old.config_hash(), new.config_hash());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Shared prepared-graph cache.
+//!
+//! Generating and reordering an input graph is deterministic and
+//! host-expensive, and every arm of a figure (policies × memory
+//! conditions) consumes the *identical* graph — regenerating it per run
+//! dominated sweep wall-clock before PR 2 introduced a four-entry LRU
+//! memo inside [`Experiment`](crate::Experiment). The experiment service
+//! shares one process with many concurrent workers, so the memo is now a
+//! first-class, size-configurable cache: one process-wide instance serves
+//! every worker, and a checked-out graph is an immutable [`Arc<Csr>`]
+//! that stays valid regardless of later evictions.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use graphmem_graph::{Csr, Dataset};
+
+use crate::policy::Preprocessing;
+
+/// Key identifying a fully prepared (generated + reordered) input graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphKey {
+    /// Input graph preset.
+    pub dataset: Dataset,
+    /// log2 vertices.
+    pub scale: u8,
+    /// Whether the edge weights were generated (SSSP).
+    pub weighted: bool,
+    /// Generator seed perturbation.
+    pub seed_offset: u64,
+    /// Vertex reordering applied after generation.
+    pub preprocessing: Preprocessing,
+}
+
+/// A cached prepared graph: the shared immutable CSR plus the analytic
+/// preprocessing cycles charged for producing it.
+pub type PreparedGraph = (Arc<Csr>, u64);
+
+/// Default capacity: figure sweeps rotate over the four datasets while
+/// holding everything else fixed, so four entries give every policy /
+/// condition arm a hit without pinning more than a handful of graphs in
+/// host memory.
+pub const DEFAULT_ENTRIES: usize = 4;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Most-recently-used first.
+    entries: Vec<(GraphKey, Arc<Csr>, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Size-bounded LRU cache of prepared graphs, safe to share across
+/// threads. Lookups and inserts take a short mutex; generation happens
+/// outside any lock, so concurrent workers that race on the same key
+/// produce identical graphs and a duplicate insert is only wasted work,
+/// never divergence.
+#[derive(Debug)]
+pub struct PreparedGraphCache {
+    inner: Mutex<Inner>,
+    capacity: Mutex<usize>,
+}
+
+impl PreparedGraphCache {
+    /// An empty cache holding at most `capacity` graphs.
+    pub fn new(capacity: usize) -> Self {
+        PreparedGraphCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: Mutex::new(capacity.max(1)),
+        }
+    }
+
+    /// Resize the cache (existing entries beyond the new capacity are
+    /// evicted LRU-first). The experiment service calls this at startup to
+    /// scale the memo with its worker count.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        *lock_clean(&self.capacity) = capacity;
+        lock_clean(&self.inner).entries.truncate(capacity);
+    }
+
+    /// The current capacity.
+    pub fn capacity(&self) -> usize {
+        *lock_clean(&self.capacity)
+    }
+
+    /// Look up a prepared graph, refreshing its LRU position on a hit.
+    pub fn get(&self, key: &GraphKey) -> Option<PreparedGraph> {
+        let mut inner = lock_clean(&self.inner);
+        if let Some(pos) = inner.entries.iter().position(|(k, ..)| k == key) {
+            let hit = inner.entries.remove(pos);
+            let out = (Arc::clone(&hit.1), hit.2);
+            inner.entries.insert(0, hit);
+            inner.hits += 1;
+            Some(out)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a prepared graph at the MRU position, evicting beyond
+    /// capacity. A concurrent duplicate insert of the same key is
+    /// harmless (both values are identical by determinism); the newer
+    /// entry simply shadows the older one until eviction.
+    pub fn insert(&self, key: GraphKey, csr: Arc<Csr>, preprocess_cycles: u64) {
+        let capacity = self.capacity();
+        let mut inner = lock_clean(&self.inner);
+        inner.entries.insert(0, (key, csr, preprocess_cycles));
+        inner.entries.truncate(capacity);
+    }
+
+    /// Look up `key`, or prepare it with `make` (outside the lock) and
+    /// cache the result.
+    pub fn get_or_prepare(
+        &self,
+        key: GraphKey,
+        make: impl FnOnce() -> (Csr, u64),
+    ) -> PreparedGraph {
+        if let Some(found) = self.get(&key) {
+            return found;
+        }
+        let (csr, cycles) = make();
+        let csr = Arc::new(csr);
+        self.insert(key, Arc::clone(&csr), cycles);
+        (csr, cycles)
+    }
+
+    /// Lifetime `(hits, misses)` counters, for service metrics.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = lock_clean(&self.inner);
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of graphs currently cached.
+    pub fn len(&self) -> usize {
+        lock_clean(&self.inner).entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide shared cache used by every
+/// [`Experiment::run`](crate::Experiment::run) and by all experiment-service
+/// workers.
+pub fn shared() -> &'static PreparedGraphCache {
+    static CACHE: OnceLock<PreparedGraphCache> = OnceLock::new();
+    CACHE.get_or_init(|| PreparedGraphCache::new(DEFAULT_ENTRIES))
+}
+
+/// Lock a mutex, recovering the guard if another thread panicked while
+/// holding it — the cache is always left structurally valid.
+fn lock_clean<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(scale: u8, seed: u64) -> GraphKey {
+        GraphKey {
+            dataset: Dataset::Wiki,
+            scale,
+            weighted: false,
+            seed_offset: seed,
+            preprocessing: Preprocessing::None,
+        }
+    }
+
+    fn graph(scale: u8) -> (Csr, u64) {
+        (Dataset::Wiki.generate_with_scale(scale), 7)
+    }
+
+    #[test]
+    fn hit_refreshes_lru_position_and_counts() {
+        let cache = PreparedGraphCache::new(2);
+        let (a, _) = cache.get_or_prepare(key(8, 0), || graph(8));
+        cache.get_or_prepare(key(8, 1), || graph(8));
+        // Hitting the older entry protects it from the next eviction.
+        let (a2, cycles) = cache.get_or_prepare(key(8, 0), || panic!("must hit"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cycles, 7);
+        cache.get_or_prepare(key(8, 2), || graph(8));
+        assert!(cache.get(&key(8, 0)).is_some(), "refreshed entry survives");
+        assert!(cache.get(&key(8, 1)).is_none(), "LRU entry evicted");
+        let (hits, misses) = cache.stats();
+        assert!(hits >= 2 && misses >= 3, "hits {hits} misses {misses}");
+    }
+
+    #[test]
+    fn capacity_shrink_evicts_lru_first() {
+        let cache = PreparedGraphCache::new(3);
+        for seed in 0..3 {
+            cache.get_or_prepare(key(8, seed), || graph(8));
+        }
+        assert_eq!(cache.len(), 3);
+        cache.set_capacity(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(8, 2)).is_some(), "MRU entry kept");
+    }
+
+    #[test]
+    fn checked_out_graph_survives_eviction() {
+        let cache = PreparedGraphCache::new(1);
+        let (held, _) = cache.get_or_prepare(key(8, 0), || graph(8));
+        let v = held.num_vertices();
+        cache.get_or_prepare(key(8, 1), || graph(8)); // evicts seed 0
+        assert!(cache.get(&key(8, 0)).is_none());
+        assert_eq!(held.num_vertices(), v, "evicted graph still readable");
+    }
+}

@@ -24,20 +24,29 @@
 //!   isolation, retry with backoff, watchdog timeouts, JSONL
 //!   checkpoint/resume manifests, and deterministic fault injection.
 //!
+//! * [`spec`] — the typed [`RunSpec`] description every frontend (CLI
+//!   flags, the experiment service's JSON API) lowers through, with exact
+//!   JSON round-tripping and one shared `config_hash` site.
+//! * [`graphcache`] — the process-wide size-bounded LRU cache of prepared
+//!   (generated + reordered) input graphs shared by sweeps and service
+//!   workers.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use graphmem_core::{Experiment, PagePolicy};
-//! use graphmem_graph::Dataset;
-//! use graphmem_workloads::Kernel;
+//! use graphmem_core::prelude::*;
 //!
-//! let baseline = Experiment::new(Dataset::Wiki, Kernel::Bfs)
+//! let baseline = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
 //!     .scale(10) // tiny graph for the doctest
 //!     .policy(PagePolicy::BaseOnly)
+//!     .build()
+//!     .expect("valid configuration")
 //!     .run();
-//! let thp = Experiment::new(Dataset::Wiki, Kernel::Bfs)
+//! let thp = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
 //!     .scale(10)
 //!     .policy(PagePolicy::ThpSystemWide)
+//!     .build()
+//!     .expect("valid configuration")
 //!     .run();
 //! assert!(thp.verified && baseline.verified);
 //! assert!(thp.compute_cycles <= baseline.compute_cycles);
@@ -50,19 +59,40 @@ pub mod autotune;
 mod condition;
 mod error;
 mod experiment;
+pub mod graphcache;
 mod policy;
 mod report;
+pub mod spec;
 pub mod supervisor;
 pub mod sweep;
 
 pub use autotune::HotnessProfile;
 pub use condition::{MemoryCondition, Surplus};
 pub use error::GraphmemError;
-pub use experiment::Experiment;
+pub use experiment::{Experiment, ExperimentBuilder};
+pub use graphcache::PreparedGraphCache;
 pub use graphmem_os::AccessEngine;
 pub use policy::{PagePolicy, Preprocessing};
 pub use report::RunReport;
+pub use spec::{RunSpec, SweepKind};
 pub use supervisor::{
     read_manifest, run_supervised, FailureRecord, FaultPlan, FaultSpec, SupervisorConfig,
     SweepOutcome,
 };
+
+/// One-line import of the experiment-building surface:
+/// `use graphmem_core::prelude::*;` brings in everything needed to
+/// describe, build, and run an experiment — including the dataset and
+/// kernel enums re-exported from the substrate crates, so examples and
+/// downstream code don't need multi-line import blocks.
+pub mod prelude {
+    pub use crate::condition::{MemoryCondition, Surplus};
+    pub use crate::error::GraphmemError;
+    pub use crate::experiment::{Experiment, ExperimentBuilder};
+    pub use crate::policy::{PagePolicy, Preprocessing};
+    pub use crate::report::RunReport;
+    pub use crate::spec::{RunSpec, SweepKind};
+    pub use graphmem_graph::Dataset;
+    pub use graphmem_os::{AccessEngine, FilePlacement};
+    pub use graphmem_workloads::{AllocOrder, Kernel};
+}

@@ -52,11 +52,18 @@ impl PagePolicy {
         }
     }
 
-    /// Label used in harness output.
+    /// Label used in harness output (the [`Display`](std::fmt::Display)
+    /// rendering, as an owned string).
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PagePolicy::BaseOnly => "4KB".into(),
-            PagePolicy::ThpSystemWide => "THP".into(),
+            PagePolicy::BaseOnly => f.write_str("4KB"),
+            PagePolicy::ThpSystemWide => f.write_str("THP"),
             PagePolicy::PerArray {
                 vertex,
                 edge,
@@ -76,21 +83,21 @@ impl PagePolicy {
                 if *property {
                     parts.push("property");
                 }
-                format!("THP[{}]", parts.join("+"))
+                write!(f, "THP[{}]", parts.join("+"))
             }
             PagePolicy::SelectiveProperty { fraction } => {
-                format!("THP[prop {:.0}%]", fraction * 100.0)
+                write!(f, "THP[prop {:.0}%]", fraction * 100.0)
             }
             PagePolicy::AutoSelective { coverage } => {
-                format!("THP[auto cov{:.0}%]", coverage * 100.0)
+                write!(f, "THP[auto cov{:.0}%]", coverage * 100.0)
             }
-            PagePolicy::HugetlbProperty => "hugetlbfs[property]".into(),
+            PagePolicy::HugetlbProperty => f.write_str("hugetlbfs[property]"),
         }
     }
 }
 
 /// Vertex-reordering preprocessing coupled with the page policy (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Preprocessing {
     /// Use the input's original vertex order.
     #[default]
@@ -105,7 +112,8 @@ pub enum Preprocessing {
 }
 
 impl Preprocessing {
-    /// Label used in harness output.
+    /// Label used in harness output (also the
+    /// [`Display`](std::fmt::Display) rendering).
     pub fn label(&self) -> &'static str {
         match self {
             Preprocessing::None => "orig",
@@ -116,9 +124,29 @@ impl Preprocessing {
     }
 }
 
+impl std::fmt::Display for Preprocessing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(PagePolicy::ThpSystemWide.to_string(), "THP");
+        assert_eq!(
+            PagePolicy::property_only().to_string(),
+            PagePolicy::property_only().label()
+        );
+        assert_eq!(Preprocessing::Dbg.to_string(), "dbg");
+        assert_eq!(
+            Preprocessing::Random.to_string(),
+            Preprocessing::Random.label()
+        );
+    }
 
     #[test]
     fn labels_are_descriptive() {

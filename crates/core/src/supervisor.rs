@@ -539,9 +539,11 @@ mod tests {
     fn tiny_grid(n: usize) -> Vec<Experiment> {
         (0..n)
             .map(|i| {
-                Experiment::new(Dataset::Wiki, Kernel::Bfs)
+                Experiment::builder(Dataset::Wiki, Kernel::Bfs)
                     .scale(11)
                     .seed_offset(i as u64)
+                    .build()
+                    .expect("valid config")
             })
             .collect()
     }
@@ -591,6 +593,12 @@ mod tests {
     #[test]
     fn watchdog_times_out_a_stalled_experiment() {
         let grid = tiny_grid(2);
+        // Warm the prepared-graph memo first: the watchdog budget below is
+        // sized for kernel execution, not first-touch graph generation, so
+        // without this the test would depend on sibling tests having
+        // prepared the same graphs already.
+        let warm = run_supervised(&grid, &SupervisorConfig::default()).unwrap();
+        assert!(warm.is_complete());
         let config = SupervisorConfig {
             timeout: Some(Duration::from_millis(40)),
             faults: FaultPlan::none().inject(1, FaultSpec::Delay { ms: 5_000 }),

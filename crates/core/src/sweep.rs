@@ -115,9 +115,11 @@ mod tests {
     use graphmem_workloads::Kernel;
 
     fn proto() -> Experiment {
-        Experiment::new(Dataset::Wiki, Kernel::Bfs)
+        Experiment::builder(Dataset::Wiki, Kernel::Bfs)
             .scale(15)
             .huge_order(4)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

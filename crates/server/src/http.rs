@@ -1,0 +1,243 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — just enough for the
+//! experiment service's JSON API (and its client side, used by
+//! `graphmem submit` and the loopback tests). One request per
+//! connection, `Connection: close`, no TLS, no chunked encoding: body
+//! framing is `Content-Length` on requests and close-delimited on
+//! streamed responses.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a sweep submission is a few hundred
+/// bytes; anything near this limit is abuse, not traffic).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request: method, path, and (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/runs/3`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed framing (bad request line,
+/// non-numeric or oversized `Content-Length`, non-UTF-8 body) and
+/// propagates socket errors.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no path"))?;
+    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(bad("not an HTTP/1.x request"));
+    }
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+                if content_length > MAX_BODY {
+                    return Err(bad("request body too large"));
+                }
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete JSON response (with `Content-Length`) and flush.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Start a close-delimited streaming response (JSON Lines). The caller
+/// writes rows afterwards and signals the end by closing the connection.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn start_stream(stream: &mut TcpStream) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/jsonl\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Client side: perform one request against `addr`, returning
+/// `(status, body)`. The connection is closed after the exchange.
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors; malformed responses surface as
+/// `InvalidData`.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let status = read_status(&mut reader)?;
+    skip_headers(&mut reader)?;
+    let mut out = String::new();
+    reader.read_to_string(&mut out)?;
+    Ok((status, out))
+}
+
+/// Client side: GET `path` and feed each response line to `on_line` as it
+/// arrives (the streamed `GET /runs/<id>` format). Returns the status.
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors.
+pub fn stream_lines(addr: &str, path: &str, mut on_line: impl FnMut(&str)) -> io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let status = read_status(&mut reader)?;
+    skip_headers(&mut reader)?;
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 {
+        let trimmed = line.trim_end();
+        if !trimmed.is_empty() {
+            on_line(trimmed);
+        }
+        line.clear();
+    }
+    Ok(status)
+}
+
+fn read_status(reader: &mut BufReader<TcpStream>) -> io::Result<u16> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))
+}
+
+fn skip_headers(reader: &mut BufReader<TcpStream>) -> io::Result<()> {
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let req = read_request(&mut conn).expect("parse");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/runs");
+            assert_eq!(req.body, "{\"x\":1}");
+            respond_json(&mut conn, 202, "{\"ok\":true}").expect("respond");
+        });
+        let (status, body) = request(&addr, "POST", "/runs", "{\"x\":1}").expect("request");
+        assert_eq!(status, 202);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn streaming_lines_arrive_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let _ = read_request(&mut conn).expect("parse");
+            start_stream(&mut conn).expect("headers");
+            for i in 0..3 {
+                writeln!(conn, "{{\"row\":{i}}}").expect("row");
+            }
+        });
+        let mut rows = Vec::new();
+        let status = stream_lines(&addr, "/runs/0", |l| rows.push(l.to_string())).expect("stream");
+        assert_eq!(status, 200);
+        assert_eq!(rows, ["{\"row\":0}", "{\"row\":1}", "{\"row\":2}"]);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "BOGUS\r\n\r\n").expect("write");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        assert!(read_request(&mut conn).is_err());
+        client.join().expect("client thread");
+    }
+}

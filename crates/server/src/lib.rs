@@ -1,0 +1,484 @@
+//! # graphmem-server — concurrent experiment service
+//!
+//! A std-only HTTP/1.1 experiment service: clients POST typed
+//! [`RunSpec`](graphmem_core::RunSpec)s (single configs or sweep grids),
+//! a bounded job queue feeds a worker pool that executes each config
+//! through the fault-tolerant supervisor
+//! ([`graphmem_core::run_supervised`]), and a two-tier content-addressed
+//! [`ResultStore`] keyed on the FNV-1a `config_hash` makes repeated
+//! submissions of the same config return the *byte-identical*
+//! `RunReport` JSON without re-running.
+//!
+//! ## API
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /runs` | submit a spec (`{…}` or `{"spec":{…},"sweep":"pressure"}`); `202` with job id + config hashes, `429` when the queue is full |
+//! | `GET /runs/<id>` | stream per-config progress as JSON Lines, then a summary row |
+//! | `GET /results/<hash>` | the stored report JSON, byte-exact (`404` if absent) |
+//! | `GET /metrics` | queue depth, worker utilization, cache hit/miss counters |
+//! | `GET /healthz` | liveness probe |
+//!
+//! Shutdown (SIGINT in the CLI, [`Server::join`] in-process) is
+//! drain-then-flush: the accept loop stops, in-flight configs finish or
+//! are cancelled through the supervisor's cooperative cancel flag,
+//! still-queued configs settle as `interrupted`, and every completed
+//! result has already been flushed to the on-disk shard tier.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod http;
+pub mod jobs;
+pub mod store;
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use graphmem_core::{
+    graphcache, run_supervised, Experiment, GraphmemError, RunSpec, SupervisorConfig, SweepKind,
+};
+use graphmem_telemetry::json::{JsonObject, JsonValue};
+
+use jobs::{ConfigState, Job};
+use store::ResultStore;
+
+/// Everything the service needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing experiments.
+    pub workers: usize,
+    /// Max configs queued (not yet running); beyond this, `POST /runs`
+    /// answers `429`.
+    pub queue_capacity: usize,
+    /// Durable result-store directory; `None` keeps results in memory
+    /// only.
+    pub cache_dir: Option<PathBuf>,
+    /// Hot-tier result entries held in memory.
+    pub mem_entries: usize,
+    /// Prepared-graph cache entries (raised to `workers` if smaller, so
+    /// concurrent workers on distinct graphs don't thrash each other).
+    pub graph_cache_entries: usize,
+    /// Supervisor retries per config (transient failures only).
+    pub retries: u32,
+    /// Optional per-config watchdog timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_dir: None,
+            mem_entries: store::DEFAULT_MEM_ENTRIES,
+            graph_cache_entries: graphcache::DEFAULT_ENTRIES,
+            retries: 1,
+            timeout: None,
+        }
+    }
+}
+
+/// One queued unit of work: a single config of a job.
+#[derive(Debug)]
+struct Task {
+    job: Arc<Job>,
+    index: usize,
+    exp: Experiment,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    queue: Mutex<VecDeque<Task>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_job: AtomicU64,
+    store: ResultStore,
+    shutdown: Arc<AtomicBool>,
+    workers_total: usize,
+    workers_busy: AtomicUsize,
+    jobs_submitted: AtomicU64,
+    configs_done: AtomicU64,
+    configs_failed: AtomicU64,
+    rejected: AtomicU64,
+    retries: u32,
+    timeout: Option<Duration>,
+}
+
+/// A running service instance: accept loop + worker pool, shut down via
+/// [`Server::shutdown`] / [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the listener cannot bind or the
+    /// cache directory cannot be created.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let workers_total = config.workers.max(1);
+        graphcache::shared().set_capacity(config.graph_cache_entries.max(workers_total));
+        let store = ResultStore::open(config.cache_dir.clone(), config.mem_entries)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(ServerState {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            store,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers_total,
+            workers_busy: AtomicUsize::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            configs_done: AtomicU64::new(0),
+            configs_failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            retries: config.retries,
+            timeout: config.timeout,
+        });
+
+        let workers = (0..workers_total)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&listener, &state))
+        };
+
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown without blocking: stops accepting, cancels the
+    /// supervisor's in-flight work cooperatively, wakes idle workers.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue_cv.notify_all();
+    }
+
+    /// Drain and stop: signal shutdown, join the accept loop and worker
+    /// pool, and settle every still-queued config as `interrupted` so
+    /// progress streams terminate. Completed results were flushed to the
+    /// durable tier as they were produced.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let drained: Vec<Task> = lock_clean(&self.state.queue).drain(..).collect();
+        for task in drained {
+            task.job.set_state(task.index, ConfigState::Interrupted);
+        }
+        for job in lock_clean(&self.state.jobs).values() {
+            job.interrupt_pending();
+        }
+    }
+
+    /// Block until `cancel` flips (e.g. a SIGINT flag), then drain and
+    /// stop. This is the CLI's `graphmem serve` main loop.
+    pub fn run_until(self, cancel: &AtomicBool) {
+        while !cancel.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        let task = {
+            let mut queue = lock_clean(&state.queue);
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .0;
+            }
+        };
+        state.workers_busy.fetch_add(1, Ordering::SeqCst);
+        run_task(state, &task);
+        state.workers_busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_task(state: &ServerState, task: &Task) {
+    let fallback = task.exp.config_hash();
+    let hash = task.job.hashes.get(task.index).unwrap_or(&fallback);
+    task.job.set_state(task.index, ConfigState::Running);
+
+    if state.store.get(hash).is_some() {
+        state.configs_done.fetch_add(1, Ordering::Relaxed);
+        task.job
+            .set_state(task.index, ConfigState::Done { cached: true });
+        return;
+    }
+
+    let supervisor = SupervisorConfig {
+        threads: 1,
+        retries: state.retries,
+        timeout: state.timeout,
+        cancel: Some(Arc::clone(&state.shutdown)),
+        ..SupervisorConfig::default()
+    };
+    let settled = match run_supervised(std::slice::from_ref(&task.exp), &supervisor) {
+        Ok(outcome) => match outcome.outcomes.into_iter().next() {
+            Some(Ok(report)) => {
+                let json = report.to_json();
+                if let Err(err) = state.store.put(hash, &json) {
+                    eprintln!("graphmem-server: result flush failed for {hash}: {err}");
+                }
+                state.configs_done.fetch_add(1, Ordering::Relaxed);
+                ConfigState::Done { cached: false }
+            }
+            Some(Err(failure)) => {
+                if matches!(failure.error, GraphmemError::Interrupted) {
+                    ConfigState::Interrupted
+                } else {
+                    state.configs_failed.fetch_add(1, Ordering::Relaxed);
+                    ConfigState::Failed {
+                        code: failure.error.code().to_string(),
+                        message: failure.error.to_string(),
+                    }
+                }
+            }
+            None => {
+                state.configs_failed.fetch_add(1, Ordering::Relaxed);
+                ConfigState::Failed {
+                    code: "internal".to_string(),
+                    message: "supervisor returned no outcome".to_string(),
+                }
+            }
+        },
+        Err(err) => {
+            state.configs_failed.fetch_add(1, Ordering::Relaxed);
+            ConfigState::Failed {
+                code: err.code().to_string(),
+                message: err.to_string(),
+            }
+        }
+    };
+    task.job.set_state(task.index, settled);
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                std::thread::spawn(move || handle_connection(&state, stream));
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("error", message);
+    o.finish()
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let request = match http::read_request(&mut stream) {
+        Ok(req) => req,
+        Err(err) => {
+            let _ = http::respond_json(&mut stream, 400, &error_body(&err.to_string()));
+            return;
+        }
+    };
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/runs") => submit_runs(state, &mut stream, &request.body),
+        ("GET", path) if path.starts_with("/runs/") => {
+            stream_job(state, &mut stream, &path["/runs/".len()..])
+        }
+        ("GET", path) if path.starts_with("/results/") => {
+            serve_result(state, &mut stream, &path["/results/".len()..])
+        }
+        ("GET", "/metrics") => http::respond_json(&mut stream, 200, &metrics_body(state)),
+        ("GET", "/healthz") => http::respond_json(&mut stream, 200, "{\"ok\":true}"),
+        ("POST" | "GET", _) => http::respond_json(&mut stream, 404, &error_body("no such route")),
+        _ => http::respond_json(&mut stream, 405, &error_body("method not allowed")),
+    };
+    let _ = outcome;
+}
+
+/// Parse a `POST /runs` body into the experiment grid it describes. The
+/// body is either a bare spec object or `{"spec":{…},"sweep":"<kind>"}`.
+fn parse_submission(body: &str) -> Result<Vec<Experiment>, String> {
+    let value = JsonValue::parse(body)?;
+    let spec_value = value.get("spec").unwrap_or(&value);
+    let spec = RunSpec::from_json_value(spec_value)?;
+    let sweep = match value.get("sweep") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => {
+            let token = v.as_str().ok_or("sweep must be a string")?;
+            Some(SweepKind::from_token(token)?)
+        }
+    };
+    spec.experiments(sweep).map_err(|e| e.to_string())
+}
+
+fn submit_runs(state: &ServerState, stream: &mut TcpStream, body: &str) -> io::Result<()> {
+    let experiments = match parse_submission(body) {
+        Ok(exps) => exps,
+        Err(message) => return http::respond_json(stream, 400, &error_body(&message)),
+    };
+    let hashes: Vec<String> = experiments.iter().map(Experiment::config_hash).collect();
+
+    // Admission control under the queue lock: either the whole grid fits
+    // or the submission bounces — partial jobs would never settle.
+    let job = {
+        let mut queue = lock_clean(&state.queue);
+        if queue.len() + experiments.len() > state.queue_capacity {
+            drop(queue);
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut o = JsonObject::new();
+            o.field_str("error", "queue full");
+            o.field_u64("queue_capacity", state.queue_capacity as u64);
+            return http::respond_json(stream, 429, &o.finish());
+        }
+        let id = state.next_job.fetch_add(1, Ordering::SeqCst);
+        let job = Arc::new(Job::new(id, hashes.clone()));
+        for (index, exp) in experiments.into_iter().enumerate() {
+            queue.push_back(Task {
+                job: Arc::clone(&job),
+                index,
+                exp,
+            });
+        }
+        job
+    };
+    state.queue_cv.notify_all();
+    state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    lock_clean(&state.jobs).insert(job.id, Arc::clone(&job));
+
+    let mut list = String::from("[");
+    for (i, hash) in hashes.iter().enumerate() {
+        if i > 0 {
+            list.push(',');
+        }
+        list.push('"');
+        list.push_str(hash);
+        list.push('"');
+    }
+    list.push(']');
+    let mut o = JsonObject::new();
+    o.field_u64("job", job.id);
+    o.field_u64("total", job.total() as u64);
+    o.field_raw("hashes", &list);
+    http::respond_json(stream, 202, &o.finish())
+}
+
+fn stream_job(state: &ServerState, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    let Ok(id) = id.parse::<u64>() else {
+        return http::respond_json(stream, 400, &error_body("job id must be an integer"));
+    };
+    let Some(job) = lock_clean(&state.jobs).get(&id).map(Arc::clone) else {
+        return http::respond_json(stream, 404, &error_body("no such job"));
+    };
+    http::start_stream(stream)?;
+    for index in 0..job.total() {
+        let settled = job.wait_settled(index);
+        writeln!(stream, "{}", job.progress_row(index, &settled))?;
+        stream.flush()?;
+    }
+    writeln!(stream, "{}", job.summary_row())?;
+    stream.flush()
+}
+
+fn serve_result(state: &ServerState, stream: &mut TcpStream, hash: &str) -> io::Result<()> {
+    match state.store.peek(hash) {
+        Some(json) => http::respond_json(stream, 200, &json),
+        None => http::respond_json(stream, 404, &error_body("no result for that hash")),
+    }
+}
+
+fn metrics_body(state: &ServerState) -> String {
+    let (result_hits, result_misses) = state.store.stats();
+    let (graph_hits, graph_misses) = graphcache::shared().stats();
+    let mut o = JsonObject::new();
+    o.field_u64("queue_depth", lock_clean(&state.queue).len() as u64);
+    o.field_u64("queue_capacity", state.queue_capacity as u64);
+    o.field_u64("workers", state.workers_total as u64);
+    o.field_u64(
+        "workers_busy",
+        state.workers_busy.load(Ordering::SeqCst) as u64,
+    );
+    o.field_u64(
+        "jobs_submitted",
+        state.jobs_submitted.load(Ordering::Relaxed),
+    );
+    o.field_u64(
+        "configs_completed",
+        state.configs_done.load(Ordering::Relaxed),
+    );
+    o.field_u64(
+        "configs_failed",
+        state.configs_failed.load(Ordering::Relaxed),
+    );
+    o.field_u64(
+        "submissions_rejected",
+        state.rejected.load(Ordering::Relaxed),
+    );
+    o.field_u64("result_hits", result_hits);
+    o.field_u64("result_misses", result_misses);
+    o.field_u64("graph_cache_hits", graph_hits);
+    o.field_u64("graph_cache_misses", graph_misses);
+    o.field_u64("graph_cache_len", graphcache::shared().len() as u64);
+    o.finish()
+}
+
+/// Lock a mutex, recovering the guard if another thread panicked while
+/// holding it.
+fn lock_clean<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}

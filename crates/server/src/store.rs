@@ -1,0 +1,261 @@
+//! Two-tier content-addressed result store.
+//!
+//! Results are keyed on the experiment's FNV-1a `config_hash` — the same
+//! identity run-manifests use — and stored as the *exact* serialized
+//! `RunReport` JSON, so a cache hit returns bytes identical to the
+//! original fresh-run response. The hot tier is a small in-memory LRU of
+//! raw JSON strings; the durable tier is a set of on-disk JSONL shards in
+//! the run-manifest line format (`{"hash":"…","report":{…}}`), readable
+//! by [`graphmem_core::read_manifest`] and by any future server process
+//! pointed at the same `--cache-dir`.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Hot-tier capacity (raw report JSON strings, a few KiB each).
+pub const DEFAULT_MEM_ENTRIES: usize = 256;
+
+/// Size-bounded in-memory LRU over optional on-disk JSONL shards.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    /// MRU-first `(config_hash, raw report JSON)` pairs.
+    mem: Mutex<Vec<(String, Arc<str>)>>,
+    mem_capacity: usize,
+    /// Serializes shard appends (reads are independent line scans).
+    disk: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open a store. With a directory the durable tier is enabled (the
+    /// directory is created; existing shards from a previous process are
+    /// served as hits). Without one, results live only in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn open(dir: Option<PathBuf>, mem_capacity: usize) -> io::Result<ResultStore> {
+        if let Some(d) = &dir {
+            fs::create_dir_all(d)?;
+        }
+        Ok(ResultStore {
+            dir,
+            mem: Mutex::new(Vec::new()),
+            mem_capacity: mem_capacity.max(1),
+            disk: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up a result, counting a hit or miss (the worker path).
+    pub fn get(&self, hash: &str) -> Option<Arc<str>> {
+        let found = self.lookup(hash);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Look up a result without touching the hit/miss counters (the
+    /// `GET /results/<hash>` path — an HTTP probe is not a run request,
+    /// so it must not skew the cache-effectiveness metrics).
+    pub fn peek(&self, hash: &str) -> Option<Arc<str>> {
+        self.lookup(hash)
+    }
+
+    fn lookup(&self, hash: &str) -> Option<Arc<str>> {
+        {
+            let mut mem = lock_clean(&self.mem);
+            if let Some(pos) = mem.iter().position(|(h, _)| h == hash) {
+                let entry = mem.remove(pos);
+                let out = Arc::clone(&entry.1);
+                mem.insert(0, entry);
+                return Some(out);
+            }
+        }
+        let json = self.read_shard(hash)?;
+        let json: Arc<str> = json.into();
+        self.remember(hash, Arc::clone(&json));
+        Some(json)
+    }
+
+    /// Record a fresh result in both tiers. The JSON string is stored
+    /// verbatim — it is the byte-exact response for every future hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the shard append fails (the
+    /// in-memory tier is updated regardless, so the result still serves
+    /// from this process).
+    pub fn put(&self, hash: &str, report_json: &str) -> io::Result<()> {
+        self.remember(hash, report_json.into());
+        let Some(path) = self.shard_path(hash) else {
+            return Ok(());
+        };
+        let _guard: MutexGuard<'_, ()> = lock_clean(&self.disk);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        writeln!(file, "{{\"hash\":\"{hash}\",\"report\":{report_json}}}")?;
+        file.flush()
+    }
+
+    fn remember(&self, hash: &str, json: Arc<str>) {
+        let mut mem = lock_clean(&self.mem);
+        mem.retain(|(h, _)| h != hash);
+        mem.insert(0, (hash.to_string(), json));
+        mem.truncate(self.mem_capacity);
+    }
+
+    fn shard_path(&self, hash: &str) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let shard = hash.chars().next().unwrap_or('0');
+        Some(dir.join(format!("results-{shard}.jsonl")))
+    }
+
+    /// Scan the shard for `hash`, returning the raw report JSON. Later
+    /// lines win (a re-put after a partial write supersedes the old one);
+    /// truncated or foreign lines are skipped.
+    fn read_shard(&self, hash: &str) -> Option<String> {
+        let path = self.shard_path(hash)?;
+        let file = fs::File::open(&path).ok()?;
+        let mut found = None;
+        for line in BufReader::new(file).lines() {
+            let line = line.ok()?;
+            if let Some(json) = extract_report(&line, hash) {
+                found = Some(json.to_string());
+            }
+        }
+        found
+    }
+
+    /// Lifetime `(hits, misses)` of the counted lookup path.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently in the hot tier.
+    pub fn mem_len(&self) -> usize {
+        lock_clean(&self.mem).len()
+    }
+
+    /// The durable-tier directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+/// Parse one shard line of the form `{"hash":"H","report":R}`, returning
+/// `R` verbatim when `H` matches. The lines are written by
+/// [`ResultStore::put`] in exactly this shape, so prefix/suffix slicing
+/// preserves the report bytes exactly; anything else (truncation from a
+/// crashed writer, manual edits) is ignored.
+fn extract_report<'a>(line: &'a str, hash: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix("{\"hash\":\"")?;
+    let rest = rest.strip_prefix(hash)?;
+    let rest = rest.strip_prefix("\",\"report\":")?;
+    // `rest` is the report object plus the record's closing brace;
+    // stripping that one trailing brace leaves the report bytes exactly.
+    rest.strip_suffix('}')
+}
+
+/// Lock a mutex, recovering the guard if another thread panicked while
+/// holding it.
+fn lock_clean<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "graphmem_store_{tag}_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_only_round_trip_counts_hits() {
+        let store = ResultStore::open(None, 2).expect("open");
+        assert!(store.get("aaaa").is_none());
+        store.put("aaaa", "{\"x\":1}").expect("put");
+        assert_eq!(store.get("aaaa").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(store.stats(), (1, 1));
+        // LRU bound: two more entries evict the oldest.
+        store.put("bbbb", "{}").expect("put");
+        store.put("cccc", "{}").expect("put");
+        assert_eq!(store.mem_len(), 2);
+        assert!(store.get("aaaa").is_none());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_store_byte_identically() {
+        let dir = tmp_dir("reload");
+        let json = "{\"labels\":[\"wiki\"],\"compute_cycles\":123,\"pi\":3.141592653589793}";
+        {
+            let store = ResultStore::open(Some(dir.clone()), 4).expect("open");
+            store.put("deadbeef00000000", json).expect("put");
+        }
+        let fresh = ResultStore::open(Some(dir.clone()), 4).expect("reopen");
+        let got = fresh.get("deadbeef00000000").expect("disk hit");
+        assert_eq!(&*got, json, "bytes must survive the disk round trip");
+        assert_eq!(fresh.stats(), (1, 0));
+        // A second read comes from the hot tier.
+        assert!(fresh.peek("deadbeef00000000").is_some());
+        assert_eq!(fresh.mem_len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_lines_use_the_manifest_format() {
+        let dir = tmp_dir("manifest");
+        let store = ResultStore::open(Some(dir.clone()), 4).expect("open");
+        let exp = graphmem_core::Experiment::builder(
+            graphmem_core::prelude::Dataset::Wiki,
+            graphmem_core::prelude::Kernel::Bfs,
+        )
+        .scale(10)
+        .build()
+        .expect("valid config");
+        let report = exp.run();
+        let hash = exp.config_hash();
+        store.put(&hash, &report.to_json()).expect("put");
+        let shard = store.shard_path(&hash).expect("sharded");
+        let entries = graphmem_core::read_manifest(&shard).expect("manifest-compatible");
+        let stored = entries.get(&hash).expect("hash present");
+        assert_eq!(stored.to_json(), report.to_json());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_foreign_lines_are_skipped() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let store = ResultStore::open(Some(dir.clone()), 4).expect("open");
+        let path = store.shard_path("aaaa").expect("path");
+        fs::write(
+            &path,
+            "{\"hash\":\"bbbb\",\"report\":{\"other\":1}}\nnot json at all\n{\"hash\":\"aaaa\",\"report\":{\"mine\":2}}\n{\"hash\":\"aaaa\",\"repo",
+        )
+        .expect("seed shard");
+        assert_eq!(store.get("aaaa").as_deref(), Some("{\"mine\":2}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

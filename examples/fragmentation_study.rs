@@ -11,20 +11,21 @@
 //! cargo run --release --bin fragmentation_study
 //! ```
 
-use graphmem_core::{sweep, Experiment, PagePolicy};
+use graphmem_core::prelude::*;
+use graphmem_core::sweep;
 use graphmem_examples::{example_scale, print_sweep};
-use graphmem_graph::Dataset;
 use graphmem_os::{System, SystemSpec, ThpMode};
 use graphmem_physmem::Fragmenter;
-use graphmem_workloads::{AllocOrder, Kernel};
 
 fn main() {
     anatomy();
 
     let scale = example_scale();
-    let proto = Experiment::new(Dataset::Kron25, Kernel::Bfs)
+    let proto = Experiment::builder(Dataset::Kron25, Kernel::Bfs)
         .scale(scale)
-        .policy(PagePolicy::ThpSystemWide);
+        .policy(PagePolicy::ThpSystemWide)
+        .build()
+        .expect("valid config");
     let baseline = proto.clone().policy(PagePolicy::BaseOnly).run();
 
     let natural = sweep::fragmentation(&proto, &sweep::FRAGMENTATION_LEVELS);

@@ -9,16 +9,17 @@
 //! cargo run --release --bin memory_pressure
 //! ```
 
-use graphmem_core::{sweep, Experiment, MemoryCondition, PagePolicy, Surplus};
+use graphmem_core::prelude::*;
+use graphmem_core::sweep;
 use graphmem_examples::{example_scale, print_sweep};
-use graphmem_graph::Dataset;
-use graphmem_workloads::{AllocOrder, Kernel};
 
 fn main() {
     let scale = example_scale();
-    let proto = Experiment::new(Dataset::Twitter, Kernel::Bfs)
+    let proto = Experiment::builder(Dataset::Twitter, Kernel::Bfs)
         .scale(scale)
-        .policy(PagePolicy::ThpSystemWide);
+        .policy(PagePolicy::ThpSystemWide)
+        .build()
+        .expect("valid config");
 
     println!(
         "memory_pressure: BFS on {} (scale {scale})",

@@ -10,18 +10,17 @@
 //! cargo run --release --bin page_cache_interference
 //! ```
 
-use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Surplus};
+use graphmem_core::prelude::*;
 use graphmem_examples::{example_scale, print_comparison};
-use graphmem_graph::Dataset;
-use graphmem_os::FilePlacement;
-use graphmem_workloads::Kernel;
 
 fn main() {
     let scale = example_scale();
-    let proto = Experiment::new(Dataset::Web, Kernel::Bfs)
+    let proto = Experiment::builder(Dataset::Web, Kernel::Bfs)
         .scale(scale)
         .policy(PagePolicy::ThpSystemWide)
-        .condition(MemoryCondition::pressured(Surplus::FractionOfWss(0.18)));
+        .condition(MemoryCondition::pressured(Surplus::FractionOfWss(0.18)))
+        .build()
+        .expect("valid config");
 
     println!(
         "page_cache_interference: BFS on {} (scale {scale}), THP always, +18% surplus",

@@ -12,18 +12,18 @@
 //! GRAPHMEM_SCALE=default cargo run --release --bin quickstart
 //! ```
 
-use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Preprocessing, Surplus};
+use graphmem_core::prelude::*;
 use graphmem_examples::{example_scale, print_comparison};
-use graphmem_graph::Dataset;
-use graphmem_workloads::Kernel;
 
 fn main() {
     let scale = example_scale();
     // A realistic machine: moderate pressure (~+1 GB-equivalent of slack).
     let pressured = MemoryCondition::pressured(Surplus::FractionOfWss(0.12));
-    let proto = Experiment::new(Dataset::Kron25, Kernel::Bfs)
+    let proto = Experiment::builder(Dataset::Kron25, Kernel::Bfs)
         .scale(scale)
-        .condition(pressured);
+        .condition(pressured)
+        .build()
+        .expect("valid config");
 
     println!(
         "graphmem quickstart: BFS on {} (scale {scale}), moderate memory pressure",
@@ -33,9 +33,11 @@ fn main() {
 
     let baseline = proto.clone().policy(PagePolicy::BaseOnly).run();
     let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
-    let ideal = Experiment::new(Dataset::Kron25, Kernel::Bfs)
+    let ideal = Experiment::builder(Dataset::Kron25, Kernel::Bfs)
         .scale(scale)
         .policy(PagePolicy::ThpSystemWide)
+        .build()
+        .expect("valid config")
         .run(); // fresh boot, unbounded huge pages
     let selective = proto
         .clone()

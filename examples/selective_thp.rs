@@ -11,10 +11,9 @@
 //! cargo run --release --bin selective_thp
 //! ```
 
-use graphmem_core::{sweep, Experiment, MemoryCondition, PagePolicy, Preprocessing};
+use graphmem_core::prelude::*;
+use graphmem_core::sweep;
 use graphmem_examples::{example_scale, print_sweep};
-use graphmem_graph::Dataset;
-use graphmem_workloads::Kernel;
 
 fn main() {
     let scale = example_scale();
@@ -22,9 +21,11 @@ fn main() {
     let cond = MemoryCondition::fragmented(0.5);
 
     for dataset in [Dataset::Kron25, Dataset::Twitter] {
-        let proto = Experiment::new(dataset, Kernel::Bfs)
+        let proto = Experiment::builder(dataset, Kernel::Bfs)
             .scale(scale)
-            .condition(cond);
+            .condition(cond)
+            .build()
+            .expect("valid config");
         let baseline = proto.clone().policy(PagePolicy::BaseOnly).run();
 
         println!("\n#### {dataset} (scale {scale}), +3GB-equivalent surplus, 50% fragmentation");

@@ -49,11 +49,13 @@ fn in_degree_predicts_property_page_hotness() {
 #[test]
 fn auto_policy_adapts_to_vertex_order() {
     let fraction_of = |pre: Preprocessing| {
-        let r = Experiment::new(Dataset::Kron25, Kernel::Bfs)
+        let r = Experiment::builder(Dataset::Kron25, Kernel::Bfs)
             .scale(15)
             .huge_order(4)
             .preprocessing(pre)
             .policy(PagePolicy::AutoSelective { coverage: 0.6 })
+            .build()
+            .expect("valid config")
             .run();
         assert!(r.verified);
         // The resolved fraction is recoverable from advised bytes.

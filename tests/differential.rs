@@ -46,11 +46,13 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
 }
 
 fn run_engine(ds: Dataset, kernel: Kernel, engine: AccessEngine) -> RunReport {
-    Experiment::new(ds, kernel)
+    Experiment::builder(ds, kernel)
         .scale(tiny_scale(ds))
         .huge_order(4)
         .policy(PagePolicy::ThpSystemWide)
         .access_engine(engine)
+        .build()
+        .expect("valid config")
         .run()
 }
 
@@ -73,12 +75,14 @@ fn all_kernels_all_datasets_bit_identical() {
 #[test]
 fn sampled_series_bit_identical() {
     let run = |engine| {
-        Experiment::new(Dataset::Wiki, Kernel::Pagerank)
+        Experiment::builder(Dataset::Wiki, Kernel::Pagerank)
             .scale(tiny_scale(Dataset::Wiki))
             .huge_order(4)
             .policy(PagePolicy::ThpSystemWide)
             .sample_interval(200_000)
             .access_engine(engine)
+            .build()
+            .expect("valid config")
             .run()
     };
     let legacy = run(AccessEngine::Legacy);

@@ -11,7 +11,11 @@ use graphmem_telemetry::{EventMask, TraceConfig, Tracer};
 use graphmem_workloads::{AllocOrder, Kernel};
 
 fn exp(dataset: Dataset, kernel: Kernel) -> Experiment {
-    Experiment::new(dataset, kernel).scale(15).huge_order(4)
+    Experiment::builder(dataset, kernel)
+        .scale(15)
+        .huge_order(4)
+        .build()
+        .expect("valid config")
 }
 
 /// Paper §2.2 / Fig. 3: with 4 KiB pages the DTLB miss rate is high and
@@ -217,12 +221,14 @@ fn correctness_under_adversarial_memory_conditions() {
     ];
     for kernel in Kernel::ALL {
         for cond in conditions {
-            let r = Experiment::new(Dataset::Wiki, kernel)
+            let r = Experiment::builder(Dataset::Wiki, kernel)
                 .scale(13)
                 .huge_order(4)
                 .policy(PagePolicy::ThpSystemWide)
                 .preprocessing(Preprocessing::Dbg)
                 .condition(cond)
+                .build()
+                .expect("valid config")
                 .run();
             assert!(r.verified, "{kernel} wrong under {cond:?}");
         }

@@ -1,0 +1,124 @@
+//! Concurrency hammer for the shared prepared-graph cache: many threads
+//! demanding overlapping graphs through a small LRU must never deadlock,
+//! never hand out a wrong graph, and must keep checked-out graphs alive
+//! across evictions.
+
+use std::sync::Arc;
+
+use graphmem_core::graphcache::{GraphKey, PreparedGraphCache};
+use graphmem_core::prelude::*;
+
+fn key(seed_offset: u64) -> GraphKey {
+    GraphKey {
+        dataset: Dataset::Wiki,
+        scale: 8,
+        weighted: false,
+        seed_offset,
+        preprocessing: Preprocessing::None,
+    }
+}
+
+#[test]
+fn concurrent_hammer_returns_consistent_graphs() {
+    // Capacity 2 with 4 distinct keys forces constant eviction under
+    // contention — the worst case for the LRU bookkeeping.
+    let cache = Arc::new(PreparedGraphCache::new(2));
+    let workers: Vec<_> = (0..8)
+        .map(|worker: u64| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut checked_out = Vec::new();
+                for round in 0..32u64 {
+                    let seed = (worker + round) % 4;
+                    let (graph, cycles) = cache.get_or_prepare(key(seed), || {
+                        (
+                            Dataset::Wiki.generate_with_scale(8),
+                            // Distinct sentinel per key: lets every reader
+                            // verify it got the entry it asked for.
+                            1000 + seed,
+                        )
+                    });
+                    assert_eq!(cycles, 1000 + seed, "cycles follow the key");
+                    assert!(graph.num_vertices() > 0);
+                    checked_out.push((seed, graph));
+                }
+                // Every Arc handed out stays valid even though most of
+                // these entries were evicted long ago.
+                for (seed, graph) in &checked_out {
+                    let (again, _) = cache.get_or_prepare(key(*seed), || {
+                        (Dataset::Wiki.generate_with_scale(8), 1000 + seed)
+                    });
+                    assert_eq!(graph.num_vertices(), again.num_vertices());
+                    assert_eq!(graph.num_edges(), again.num_edges());
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("hammer thread");
+    }
+
+    assert!(cache.len() <= 2, "capacity bound held under contention");
+    let (hits, misses) = cache.stats();
+    assert!(hits > 0 && misses > 0, "hammer exercised both paths");
+}
+
+#[test]
+fn capacity_changes_are_safe_under_load() {
+    let cache = Arc::new(PreparedGraphCache::new(4));
+    let resizer = {
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            for capacity in [1usize, 3, 2, 4, 1] {
+                cache.set_capacity(capacity);
+                std::thread::yield_now();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|worker: u64| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for round in 0..16u64 {
+                    let seed = (worker * 16 + round) % 5;
+                    let (graph, _) = cache
+                        .get_or_prepare(key(seed), || (Dataset::Wiki.generate_with_scale(8), 0));
+                    assert!(graph.num_vertices() > 0);
+                }
+            })
+        })
+        .collect();
+    resizer.join().expect("resizer thread");
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+    assert!(cache.len() <= cache.capacity());
+}
+
+#[test]
+fn experiments_share_one_graph_between_configs() {
+    // Two experiments differing only in page policy must prepare the
+    // graph once: the second run's report charges zero fresh preprocess
+    // work beyond what the memo returns.
+    let shared = graphmem_core::graphcache::shared();
+    let (hits_before, _) = shared.stats();
+    let base = Experiment::builder(Dataset::Web, Kernel::Bfs)
+        .scale(10)
+        .seed_offset(4242) // unique key so parallel tests can't interfere
+        .build()
+        .expect("valid config")
+        .run();
+    let thp = Experiment::builder(Dataset::Web, Kernel::Bfs)
+        .scale(10)
+        .seed_offset(4242)
+        .policy(PagePolicy::ThpSystemWide)
+        .build()
+        .expect("valid config")
+        .run();
+    assert_eq!(
+        base.preprocess_cycles, thp.preprocess_cycles,
+        "memoized preparation charges identical cycles"
+    );
+    let (hits_after, _) = shared.stats();
+    assert!(hits_after > hits_before, "second run hit the shared memo");
+}

@@ -6,10 +6,12 @@ use graphmem_graph::Dataset;
 use graphmem_workloads::Kernel;
 
 fn exp(seed: u64) -> Experiment {
-    Experiment::new(Dataset::Kron25, Kernel::Bfs)
+    Experiment::builder(Dataset::Kron25, Kernel::Bfs)
         .scale(14)
         .huge_order(4)
         .seed_offset(seed)
+        .build()
+        .expect("valid config")
 }
 
 #[test]

@@ -47,13 +47,13 @@ proptest! {
         } else {
             AllocOrder::Natural
         };
-        let r = Experiment::new(Dataset::Wiki, kernel)
+        let r = Experiment::builder(Dataset::Wiki, kernel)
             .scale(12)
             .huge_order(4)
             .policy(policy)
             .condition(cond)
             .alloc_order(order)
-            .preprocessing(preprocess)
+            .preprocessing(preprocess).build().expect("valid config")
             .run();
         prop_assert!(r.verified, "wrong result under {policy:?} {cond:?}");
         prop_assert!(r.compute_cycles > 0);
@@ -109,11 +109,11 @@ proptest! {
         policy in arb_policy(),
         kernel_idx in 0usize..3,
     ) {
-        let r = Experiment::new(Dataset::Wiki, Kernel::ALL[kernel_idx])
+        let r = Experiment::builder(Dataset::Wiki, Kernel::ALL[kernel_idx])
             .scale(12)
             .huge_order(4)
             .policy(policy)
-            .sample_interval(interval)
+            .sample_interval(interval).build().expect("valid config")
             .run();
         prop_assert!(r.verified);
         let series = r.series.as_ref().expect("sampling was enabled");

@@ -21,9 +21,11 @@ use proptest::prelude::*;
 fn tiny_grid(n: usize) -> Vec<Experiment> {
     (0..n)
         .map(|i| {
-            Experiment::new(Dataset::Wiki, Kernel::Bfs)
+            Experiment::builder(Dataset::Wiki, Kernel::Bfs)
                 .scale(11)
                 .seed_offset(i as u64)
+                .build()
+                .expect("valid config")
         })
         .collect()
 }
