@@ -74,7 +74,12 @@ SUBMIT (submit only):
 
 TELEMETRY (run only):
     --telemetry <PATH>                       stream kernel events to PATH (JSONL)
-    --series <PATH>                          write the sampled series to PATH (CSV)
+    --series <PATH>                          write the sampled series to PATH (CSV);
+                                             with --attribution also writes
+                                             PATH.memstate.csv (fragmentation/coverage)
+    --attribution                            per-array TLB/walk attribution profile
+                                             (table in prose mode, \"attribution\" key
+                                             in --json reports)
     --json                                   print the report as one JSON object
 
 EXIT CODES:
@@ -86,6 +91,7 @@ EXAMPLES:
     graphmem run --dataset kron --kernel bfs --policy thp --surplus 0.12
     graphmem run --policy selective:0.2 --preprocess dbg --frag 0.5 --surplus 0.35
     graphmem run --policy thp --telemetry t.jsonl --sample-interval 100000 --json
+    graphmem run --policy 4k --attribution --sample-interval 100000 --series s.csv
     graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
     graphmem sweep pressure --policy thp --manifest runs.jsonl --retries 2 --timeout 600
     graphmem serve --workers 4 --cache-dir results/

@@ -47,6 +47,9 @@ pub struct ExecArgs {
     pub telemetry: Option<String>,
     /// Write the sampled metrics series to this CSV file.
     pub series: Option<String>,
+    /// Enable the translation-attribution profiler (per-array TLB/walk
+    /// accounting plus fragmentation/coverage series).
+    pub attribution: bool,
     /// Print the report as one JSON object instead of prose.
     pub json: bool,
     /// Worker threads for `sweep` (defaults to the machine's parallelism).
@@ -248,6 +251,7 @@ fn exec_flag(exec: &mut ExecArgs, flag: &str, it: &mut ArgIter<'_>) -> Result<bo
     match flag {
         "--telemetry" => exec.telemetry = Some(next_value(it, flag)?.to_string()),
         "--series" => exec.series = Some(next_value(it, flag)?.to_string()),
+        "--attribution" => exec.attribution = true,
         "--json" => exec.json = true,
         "--threads" => {
             let n: usize = next_value(it, flag)?
@@ -495,6 +499,11 @@ mod tests {
         assert_eq!(r.spec.sample_interval, Some(100_000));
         assert_eq!(r.exec.series.as_deref(), Some("/tmp/s.csv"));
         assert!(r.exec.json);
+        assert!(!r.exec.attribution);
+        let Command::Run(r) = parse(&args("run --attribution")).unwrap() else {
+            panic!()
+        };
+        assert!(r.exec.attribution);
         assert!(parse(&args("run --sample-interval 0")).is_err());
         assert!(parse(&args("run --sample-interval many")).is_err());
         assert!(parse(&args("run --telemetry")).is_err());

@@ -70,6 +70,9 @@ fn run_cmd(args: &RunArgs) -> u8 {
         experiment =
             experiment.telemetry(Tracer::enabled(TraceConfig::default().sink(Box::new(sink))));
     }
+    if args.exec.attribution {
+        experiment = experiment.attribution(true);
+    }
     let report = match experiment.try_run() {
         Ok(r) => r,
         Err(e) => {
@@ -82,11 +85,26 @@ fn run_cmd(args: &RunArgs) -> u8 {
             eprintln!("cannot write series file {path}: {e}");
             return EXIT_FAILURE;
         }
+        // The attribution profiler's memory-state series rides along as a
+        // second CSV next to the metrics series.
+        if let Some(mem) = report.attribution.as_ref().and_then(|a| a.memory.as_ref()) {
+            let mpath = format!("{path}.memstate.csv");
+            if let Err(e) = mem.write_csv(&mpath) {
+                eprintln!("cannot write memory-state series file {mpath}: {e}");
+                return EXIT_FAILURE;
+            }
+        }
     }
     if args.exec.json {
         println!("{}", report.to_json());
     } else {
         print_report(&report);
+        if let Some(attr) = &report.attribution {
+            println!("  attribution (per array, whole run):");
+            for line in attr.render_table().lines() {
+                println!("    {line}");
+            }
+        }
     }
     EXIT_OK
 }
@@ -534,6 +552,22 @@ mod tests {
         };
         let report = run.spec.to_experiment().unwrap().run();
         print_report(&report); // smoke: formatting must not panic
+    }
+
+    #[test]
+    fn attribution_flag_attaches_profile() {
+        let Command::Run(run) =
+            parse(&args("run --dataset wiki --scale 11 --attribution --json")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(run.exec.attribution);
+        let report = run.spec.to_experiment().unwrap().attribution(true).run();
+        assert!(report.to_json().contains(r#""attribution":{"regions":["#));
+        let attr = report.attribution.expect("profile attached");
+        assert!(attr.region("property_array").is_some());
+        // The rendered table is what prose mode prints.
+        assert!(attr.render_table().contains("property_array"));
     }
 
     #[test]

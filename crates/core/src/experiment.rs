@@ -7,6 +7,7 @@ use graphmem_os::{AccessEngine, FilePlacement, System, SystemSpec, ThpMode};
 use graphmem_telemetry::Tracer;
 use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
+use crate::attribution::AttributionReport;
 use crate::autotune::HotnessProfile;
 use crate::condition::{MemoryCondition, Surplus};
 use crate::error::GraphmemError;
@@ -39,6 +40,7 @@ pub struct Experiment {
     telemetry: Tracer,
     sample_interval: Option<u64>,
     engine: AccessEngine,
+    attribution: bool,
 }
 
 impl Experiment {
@@ -86,6 +88,7 @@ impl Experiment {
             telemetry: Tracer::disabled(),
             sample_interval: None,
             engine: AccessEngine::default(),
+            attribution: false,
         }
     }
 
@@ -207,6 +210,16 @@ impl Experiment {
         self
     }
 
+    /// Enable the translation-attribution profiler: per-array TLB/walk
+    /// accounting plus the epoch-sampled fragmentation/coverage series,
+    /// attached to the report as [`RunReport::attribution`]. Attribution
+    /// is pure observation — the rest of the report stays bit-identical —
+    /// so, like telemetry, it is excluded from [`Self::config_key`].
+    pub fn attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
     /// The dataset under test.
     pub fn dataset(&self) -> Dataset {
         self.dataset
@@ -264,8 +277,8 @@ impl Experiment {
     }
 
     /// A stable textual key covering every field that affects the
-    /// simulated result. The telemetry handle is deliberately excluded:
-    /// attaching a tracer observes a run without changing it.
+    /// simulated result. The telemetry handle and the attribution flag are
+    /// deliberately excluded: both observe a run without changing it.
     pub fn config_key(&self) -> String {
         format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
@@ -438,6 +451,11 @@ impl Experiment {
         if let Some(interval) = self.sample_interval {
             sys.enable_sampling(interval);
         }
+        if self.attribution {
+            // Before any VMA exists, so condition artifacts and graph
+            // arrays alike get charged from their first touch.
+            sys.enable_attribution(true);
+        }
         let hugetlb_property = matches!(policy, PagePolicy::HugetlbProperty);
         if hugetlb_property {
             // Boot-time reservation: before any pressure or fragmentation
@@ -487,6 +505,7 @@ impl Experiment {
         }
 
         let series = sys.take_series();
+        let attribution = AttributionReport::collect(&mut sys);
         let _ = self.telemetry.flush();
 
         Ok(RunReport {
@@ -512,6 +531,7 @@ impl Experiment {
             total_huge_bytes,
             verified,
             series,
+            attribution,
         })
     }
 
@@ -846,10 +866,34 @@ mod tests {
         ));
         assert_eq!(a.config_hash(), b.config_hash());
         assert_eq!(a.config_hash().len(), 16);
+        // Attribution is observation, like telemetry: same identity.
+        let profiled = tiny(Kernel::Bfs).attribution(true);
+        assert_eq!(a.config_hash(), profiled.config_hash());
         let c = tiny(Kernel::Bfs).policy(PagePolicy::ThpSystemWide);
         assert_ne!(a.config_hash(), c.config_hash());
         let d = tiny(Kernel::Bfs).seed_offset(1);
         assert_ne!(a.config_hash(), d.config_hash());
+    }
+
+    #[test]
+    fn attribution_attaches_profile_without_perturbing_the_run() {
+        let plain = tiny(Kernel::Bfs).run();
+        let profiled = tiny(Kernel::Bfs).attribution(true).run();
+        let attr = profiled.attribution.as_ref().expect("profile attached");
+        // Every graph array shows up as an attributed region with traffic.
+        for name in ["vertex_array", "edge_array", "property_array"] {
+            let r = attr
+                .region(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(r.counters.accesses_total() > 0, "{name} saw no accesses");
+            assert!(r.counters.stlb_misses_total() > 0, "{name} never walked");
+            assert!(r.mapped_bytes > 0, "{name} not mapped");
+        }
+        // Observation only: stripping the profile leaves a report
+        // byte-identical to a run that never enabled it.
+        let mut stripped = profiled.clone();
+        stripped.attribution = None;
+        assert_eq!(stripped.to_json(), plain.to_json());
     }
 
     #[test]

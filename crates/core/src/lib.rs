@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attribution;
 pub mod autotune;
 mod condition;
 mod error;
@@ -66,6 +67,7 @@ pub mod spec;
 pub mod supervisor;
 pub mod sweep;
 
+pub use attribution::{AttributionReport, RegionReport};
 pub use autotune::HotnessProfile;
 pub use condition::{MemoryCondition, Surplus};
 pub use error::GraphmemError;
@@ -86,6 +88,7 @@ pub use supervisor::{
 /// kernel enums re-exported from the substrate crates, so examples and
 /// downstream code don't need multi-line import blocks.
 pub mod prelude {
+    pub use crate::attribution::{AttributionReport, RegionReport};
     pub use crate::condition::{MemoryCondition, Surplus};
     pub use crate::error::GraphmemError;
     pub use crate::experiment::{Experiment, ExperimentBuilder};

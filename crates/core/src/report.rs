@@ -5,6 +5,8 @@ use graphmem_telemetry::json::{JsonObject, JsonValue};
 use graphmem_telemetry::MetricsSeries;
 use graphmem_vm::PerfCounters;
 
+use crate::attribution::AttributionReport;
+
 /// Everything measured during one [`Experiment`](crate::Experiment) run —
 /// the simulated analogue of the paper's `app_output`/`results.txt`
 /// artifacts (runtime, TLB miss rates, page-walk counts) plus huge-page
@@ -39,6 +41,9 @@ pub struct RunReport {
     /// Epoch-sampled metrics time series, when sampling was enabled (see
     /// [`Experiment::sample_interval`](crate::Experiment::sample_interval)).
     pub series: Option<MetricsSeries>,
+    /// Per-array translation attribution, when profiling was enabled (see
+    /// [`Experiment::attribution`](crate::Experiment::attribution)).
+    pub attribution: Option<AttributionReport>,
 }
 
 impl RunReport {
@@ -154,6 +159,9 @@ impl RunReport {
         if let Some(series) = &self.series {
             o.field_raw("series", &series.to_json());
         }
+        if let Some(attribution) = &self.attribution {
+            o.field_raw("attribution", &attribution.to_json());
+        }
         o.finish()
     }
 
@@ -255,6 +263,10 @@ impl RunReport {
             Some(sv) => Some(MetricsSeries::from_json_value(sv)?),
             None => None,
         };
+        let attribution = match v.get("attribution") {
+            Some(av) => Some(AttributionReport::from_json_value(av)?),
+            None => None,
+        };
         Ok(RunReport {
             labels,
             init_cycles: tu("init_cycles")?,
@@ -271,6 +283,7 @@ impl RunReport {
                 .and_then(JsonValue::as_bool)
                 .ok_or("report field 'verified' missing or not a bool")?,
             series,
+            attribution,
         })
     }
 
@@ -322,6 +335,7 @@ mod tests {
             total_huge_bytes: 50,
             verified: true,
             series: None,
+            attribution: None,
         }
     }
 
@@ -346,8 +360,11 @@ mod tests {
         assert!(j.contains(r#""os":{"faults":0"#));
         assert!(j.contains(r#""verified":true"#));
         assert!(!j.contains(r#""series""#));
+        assert!(!j.contains(r#""attribution""#));
         r.series = Some(MetricsSeries::new(100));
         assert!(r.to_json().contains(r#""series":{"interval":100"#));
+        r.attribution = Some(AttributionReport::default());
+        assert!(r.to_json().contains(r#""attribution":{"regions":[]"#));
     }
 
     #[test]
@@ -357,6 +374,15 @@ mod tests {
         r.perf.data_level_hits = [9, 8, 7, 6];
         r.os.swap_outs = (1 << 53) + 1; // above f64 integer precision
         r.series = Some(MetricsSeries::new(100));
+        r.attribution = Some(AttributionReport {
+            regions: vec![crate::attribution::RegionReport {
+                name: "edge_array".into(),
+                mapped_bytes: 4096,
+                huge_bytes: 0,
+                ..Default::default()
+            }],
+            memory: None,
+        });
         let text = r.to_json();
         let back = RunReport::from_json(&text).unwrap();
         assert_eq!(back.labels, r.labels);

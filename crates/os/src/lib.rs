@@ -67,4 +67,5 @@ pub use vma::{AddressSpace, Vma, VmaId};
 
 // Re-export the address-space vocabulary callers need to talk to a
 // [`System`], so downstream crates don't have to depend on `graphmem-vm`.
-pub use graphmem_vm::{PageSize, VirtAddr};
+pub use graphmem_telemetry::{MemStateSample, MemStateSeries};
+pub use graphmem_vm::{PageSize, RegionCounters, VirtAddr};

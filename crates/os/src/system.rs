@@ -4,11 +4,12 @@ use std::collections::{HashMap, VecDeque};
 
 use graphmem_physmem::{Frame, FrameRange, NodeId, Owner, Zone, FRAME_SIZE};
 use graphmem_telemetry::{
-    EpochSampler, EventKind, MetricsSample, MetricsSeries, ReclaimKind, Tracer,
+    EpochSampler, EventKind, MemStateSample, MemStateSeries, MetricsSample, MetricsSeries,
+    ReclaimKind, Tracer,
 };
 use graphmem_vm::{
     AccessTrace, Fault, FaultKind, MemorySystem, PageGeometry, PageSize, PageTable, PerfCounters,
-    VirtAddr,
+    RegionCounters, VirtAddr,
 };
 
 use crate::config::{FilePlacement, OsCostModel, SystemSpec, ThpMode, ThpPolicy};
@@ -134,6 +135,18 @@ pub struct System {
     /// Cached `telemetry.is_enabled()` so the hot path can skip the
     /// per-access `set_clock` stamps entirely when no tracer is attached.
     pub(crate) telemetry_on: bool,
+    /// Whether per-region attribution is on (see
+    /// [`System::enable_attribution`]). Mirrors the MMU's table so the
+    /// batch APIs know to fall to the region-tagging scalar path.
+    pub(crate) attribution_on: bool,
+    /// One-entry VMA-resolution cache for region tagging: `(start, end,
+    /// region id)` of the last VMA hit, so consecutive accesses to the same
+    /// array skip the address-space walk.
+    pub(crate) attr_region_cache: Option<(VirtAddr, VirtAddr, usize)>,
+    /// Per-epoch memory-state series (buddyinfo, fragmentation, per-VMA
+    /// huge coverage), recorded alongside the metrics sampler when
+    /// attribution is on.
+    pub(crate) memstate: Option<MemStateSeries>,
     pub(crate) hugetlb_pool: Vec<FrameRange>,
     /// Pgtable deposits: leaf-table frames reserved per huge mapping
     /// (keyed by the region's base VPN) so a later split never has to
@@ -196,6 +209,9 @@ impl System {
             engine: AccessEngine::default(),
             next_event_cycle: 0,
             telemetry_on: false,
+            attribution_on: false,
+            attr_region_cache: None,
+            memstate: None,
             hugetlb_pool: Vec::new(),
             deposits: HashMap::new(),
         };
@@ -343,6 +359,9 @@ impl System {
         if let Some(t) = &mut self.tracer {
             t.push(addr, is_write);
         }
+        if self.attribution_on {
+            self.note_region(addr);
+        }
         match self.engine {
             AccessEngine::Legacy => self.access_legacy_engine(addr, is_write),
             AccessEngine::Batched => {
@@ -485,7 +504,11 @@ impl System {
     /// the faulting element only) — but the engine dispatch and telemetry
     /// checks are paid once per run instead of once per element.
     pub fn access_run(&mut self, base: VirtAddr, stride: u64, count: u64, is_write: bool) {
-        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+        if self.engine == AccessEngine::Legacy
+            || self.telemetry_on
+            || self.tracer.is_some()
+            || self.attribution_on
+        {
             for i in 0..count {
                 self.access(base.add(i * stride), is_write);
             }
@@ -506,7 +529,11 @@ impl System {
         indices: &[u32],
         is_write: bool,
     ) {
-        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+        if self.engine == AccessEngine::Legacy
+            || self.telemetry_on
+            || self.tracer.is_some()
+            || self.attribution_on
+        {
             for &i in indices {
                 self.access(base.add(u64::from(i) * elem_bytes), is_write);
             }
@@ -521,7 +548,11 @@ impl System {
     /// load then store of the same element (the scatter-add pattern in
     /// PageRank's push phase).
     pub fn access_gather_rmw(&mut self, base: VirtAddr, elem_bytes: u64, indices: &[u32]) {
-        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
+        if self.engine == AccessEngine::Legacy
+            || self.telemetry_on
+            || self.tracer.is_some()
+            || self.attribution_on
+        {
             for &i in indices {
                 let addr = base.add(u64::from(i) * elem_bytes);
                 self.access(addr, false);
@@ -659,6 +690,137 @@ impl System {
         Some(sampler.into_series())
     }
 
+    /// Enable per-region translation-cost attribution: every subsequent
+    /// access is charged to the VMA containing its address (see
+    /// `graphmem_vm::attribution`), and — when epoch sampling is also on —
+    /// a [`MemStateSeries`] of buddyinfo/fragmentation/coverage snapshots
+    /// is recorded alongside the metrics series.
+    ///
+    /// Pure observation: simulated clocks, counters, and TLB/cache state
+    /// advance identically whether or not attribution is on (the batch
+    /// APIs fall to the scalar tagging path, which drives the same
+    /// per-element pipeline).
+    pub fn enable_attribution(&mut self, on: bool) {
+        self.attribution_on = on;
+        self.attr_region_cache = None;
+        self.mmu.enable_attribution(on);
+        self.memstate = if on {
+            Some(MemStateSeries::new())
+        } else {
+            None
+        };
+    }
+
+    /// Whether per-region attribution is currently enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution_on
+    }
+
+    /// Per-region attribution counters accumulated so far, indexed by
+    /// region id (= VMA id, in [`AddressSpace::iter`] order). `None` when
+    /// attribution is off.
+    pub fn attribution_regions(&self) -> Option<&[RegionCounters]> {
+        self.mmu.attribution_regions()
+    }
+
+    /// Names of all regions (VMAs) in region-id order.
+    pub fn region_names(&self) -> Vec<String> {
+        self.aspace
+            .iter()
+            .map(|(_, v)| v.name().to_string())
+            .collect()
+    }
+
+    /// Per-region mapping reports `(name, report)` in region-id order.
+    pub fn region_mapping_reports(&self) -> Vec<(String, MappingReport)> {
+        self.aspace
+            .iter()
+            .map(|(_, vma)| {
+                let (base, huge) = self.pt.count_mapped(vma.start(), vma.end());
+                let huge_bytes = huge * self.geom.bytes(PageSize::Huge);
+                (
+                    vma.name().to_string(),
+                    MappingReport {
+                        base_pages: base,
+                        huge_pages: huge,
+                        huge_bytes,
+                        mapped_bytes: base * FRAME_SIZE + huge_bytes,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Stop memory-state recording and take the series, closing it with a
+    /// final snapshot. `None` if attribution was never enabled.
+    pub fn take_memstate(&mut self) -> Option<MemStateSeries> {
+        self.memstate.as_ref()?;
+        self.record_memstate();
+        self.memstate.take()
+    }
+
+    /// Resolve `addr` to its VMA and point the MMU's attribution cursor at
+    /// it. One-entry cache: graph kernels access the same array in long
+    /// bursts, so the address-space walk is rarely taken. Addresses outside
+    /// every VMA (never produced by the workloads) leave the cursor where
+    /// it was.
+    #[inline]
+    fn note_region(&mut self, addr: VirtAddr) {
+        if let Some((start, end, id)) = self.attr_region_cache {
+            if addr >= start && addr < end {
+                self.mmu.set_region(id);
+                return;
+            }
+        }
+        if let Some((id, vma)) = self.aspace.find(addr) {
+            self.attr_region_cache = Some((vma.start(), vma.end(), id.0));
+            self.mmu.set_region(id.0);
+        }
+    }
+
+    /// Build one memory-state snapshot: local-zone buddy free lists,
+    /// fragmentation index, and per-VMA huge coverage.
+    pub fn memstate_sample(&self) -> MemStateSample {
+        let zone = &self.zones[self.local_node as usize];
+        let huge_order = zone.config().huge_order;
+        let coverage = self
+            .aspace
+            .iter()
+            .map(|(_, vma)| {
+                let (base, huge) = self.pt.count_mapped(vma.start(), vma.end());
+                let huge_bytes = huge * self.geom.bytes(PageSize::Huge);
+                let mapped = base * FRAME_SIZE + huge_bytes;
+                if mapped == 0 {
+                    0.0
+                } else {
+                    huge_bytes as f64 / mapped as f64
+                }
+            })
+            .collect();
+        MemStateSample {
+            cycle: self.clock,
+            free_frames: zone.free_frames(),
+            free_huge_blocks: zone.free_huge_blocks(),
+            unusable_index: zone.unusable_index(huge_order),
+            buddy: zone.buddyinfo(),
+            coverage,
+        }
+    }
+
+    /// Append a memory-state snapshot if recording is on (called on every
+    /// sampled epoch and at series take-time).
+    fn record_memstate(&mut self) {
+        if self.memstate.is_none() {
+            return;
+        }
+        let sample = self.memstate_sample();
+        let names = self.region_names();
+        if let Some(ms) = &mut self.memstate {
+            ms.note_regions(&names);
+            ms.push(sample);
+        }
+    }
+
     /// Build an epoch snapshot of the cumulative counters plus
     /// instantaneous gauges of the local zone and address space.
     pub fn metrics_sample(&self) -> MetricsSample {
@@ -698,6 +860,7 @@ impl System {
             if let Some(s) = self.sampler.as_mut() {
                 s.record(sample);
             }
+            self.record_memstate();
             self.recompute_event_horizon();
         }
     }

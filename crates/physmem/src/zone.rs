@@ -127,6 +127,35 @@ impl Zone {
         1.0 - huge_free as f64 / self.free_frames as f64
     }
 
+    /// `/proc/buddyinfo`-style snapshot of the free lists: element `o` is
+    /// the number of free blocks of exactly order `o`, for
+    /// `0..=huge_order`, summed across migratetypes.
+    pub fn buddyinfo(&self) -> Vec<u64> {
+        (0..=self.cfg.huge_order)
+            .map(|o| self.free.count_all(o) as u64)
+            .collect()
+    }
+
+    /// The kernel's *unusable free space index* for allocations of
+    /// `2^order` frames: the fraction of free memory that sits in blocks
+    /// too small to satisfy such an allocation. `0.0` = every free byte is
+    /// usable at this order; `1.0` = none is. At the huge order this is
+    /// exactly [`Self::fragmentation_level`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` exceeds the configured huge order.
+    pub fn unusable_index(&self, order: u8) -> f64 {
+        assert!(order <= self.cfg.huge_order, "order above huge order");
+        if self.free_frames == 0 {
+            return 0.0;
+        }
+        let usable: u64 = (order..=self.cfg.huge_order)
+            .map(|o| (self.free.count_all(o) as u64) << o)
+            .sum();
+        1.0 - usable as f64 / self.free_frames as f64
+    }
+
     /// Event counters.
     pub fn stats(&self) -> &ZoneStats {
         &self.stats
@@ -708,5 +737,40 @@ mod tests {
         let f = z.alloc_frame(Owner::user()).unwrap();
         z.free_frame(f);
         z.free_frame(f);
+    }
+
+    #[test]
+    fn buddyinfo_accounts_every_free_frame() {
+        let mut z = zone(2048, 9); // 4 pristine huge blocks
+        let info = z.buddyinfo();
+        assert_eq!(info.len(), 10); // orders 0..=9
+        assert_eq!(info[9], 4);
+        assert_eq!(info[..9].iter().sum::<u64>(), 0);
+        // One base-frame allocation splits a block down to order 0.
+        let f = z.alloc_frame(Owner::user()).unwrap();
+        let info = z.buddyinfo();
+        assert_eq!(info[9], 3);
+        for o in 0..9 {
+            assert_eq!(info[o as usize], 1, "one split remainder at order {o}");
+        }
+        let total: u64 = info.iter().enumerate().map(|(o, &c)| c << o as u64).sum();
+        assert_eq!(total, z.free_frames());
+        z.free_frame(f);
+        assert_eq!(z.buddyinfo()[9], 4, "eager merge restores the block");
+    }
+
+    #[test]
+    fn unusable_index_matches_fragmentation_at_huge_order() {
+        let mut z = zone(2048, 9);
+        assert_eq!(z.unusable_index(9), 0.0);
+        assert_eq!(z.unusable_index(0), 0.0);
+        let _f = z.alloc_frame(Owner::user()).unwrap();
+        assert_eq!(z.unusable_index(9), z.fragmentation_level());
+        // Order 0 can use every free frame.
+        assert_eq!(z.unusable_index(0), 0.0);
+        // Higher orders are monotonically harder to satisfy.
+        for o in 1..=9u8 {
+            assert!(z.unusable_index(o) >= z.unusable_index(o - 1));
+        }
     }
 }

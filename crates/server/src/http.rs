@@ -12,13 +12,18 @@ use std::net::TcpStream;
 /// bytes; anything near this limit is abuse, not traffic).
 pub const MAX_BODY: usize = 1 << 20;
 
-/// A parsed request: method, path, and (possibly empty) body.
+/// A parsed request: method, path, content negotiation, and (possibly
+/// empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, …
     pub method: String,
     /// The request target, e.g. `/runs/3`.
     pub path: String,
+    /// The `Accept` header value, lower-cased (empty when absent). Routes
+    /// offering more than one representation (`GET /metrics`) negotiate
+    /// on this.
+    pub accept: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: String,
 }
@@ -49,6 +54,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let (method, path) = (method.to_string(), path.to_string());
 
     let mut content_length = 0usize;
+    let mut accept = String::new();
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -67,6 +73,8 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
                 if content_length > MAX_BODY {
                     return Err(bad("request body too large"));
                 }
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_ascii_lowercase();
             }
         }
     }
@@ -74,7 +82,12 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        accept,
+        body,
+    })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -104,6 +117,22 @@ pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Resu
     stream.flush()
 }
 
+/// Write a complete plain-text response (the Prometheus exposition
+/// format's `text/plain; version=0.0.4`) and flush.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_text(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
 /// Start a close-delimited streaming response (JSON Lines). The caller
 /// writes rows afterwards and signals the end by closing the connection.
 ///
@@ -126,10 +155,33 @@ pub fn start_stream(stream: &mut TcpStream) -> io::Result<()> {
 /// Propagates connect/read/write errors; malformed responses surface as
 /// `InvalidData`.
 pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request_accept(addr, method, path, "", body)
+}
+
+/// Like [`request`], additionally sending an `Accept` header when
+/// `accept` is non-empty (e.g. `text/plain` to scrape `GET /metrics` in
+/// the Prometheus exposition format).
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors; malformed responses surface as
+/// `InvalidData`.
+pub fn request_accept(
+    addr: &str,
+    method: &str,
+    path: &str,
+    accept: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
+    let accept_header = if accept.is_empty() {
+        String::new()
+    } else {
+        format!("Accept: {accept}\r\n")
+    };
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{accept_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()?;

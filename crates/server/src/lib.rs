@@ -343,7 +343,14 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
         ("GET", path) if path.starts_with("/results/") => {
             serve_result(state, &mut stream, &path["/results/".len()..])
         }
-        ("GET", "/metrics") => http::respond_json(&mut stream, 200, &metrics_body(state)),
+        // Content negotiation: Prometheus scrapers ask for text/plain and
+        // get the exposition format; everything else keeps the JSON body.
+        ("GET", "/metrics") if request.accept.contains("text/plain") => {
+            http::respond_text(&mut stream, 200, &MetricsSnapshot::take(state).prometheus())
+        }
+        ("GET", "/metrics") => {
+            http::respond_json(&mut stream, 200, &MetricsSnapshot::take(state).json())
+        }
         ("GET", "/healthz") => http::respond_json(&mut stream, 200, "{\"ok\":true}"),
         ("POST" | "GET", _) => http::respond_json(&mut stream, 404, &error_body("no such route")),
         _ => http::respond_json(&mut stream, 405, &error_body("method not allowed")),
@@ -442,39 +449,157 @@ fn serve_result(state: &ServerState, stream: &mut TcpStream, hash: &str) -> io::
     }
 }
 
-fn metrics_body(state: &ServerState) -> String {
-    let (result_hits, result_misses) = state.store.stats();
-    let (graph_hits, graph_misses) = graphcache::shared().stats();
-    let mut o = JsonObject::new();
-    o.field_u64("queue_depth", lock_clean(&state.queue).len() as u64);
-    o.field_u64("queue_capacity", state.queue_capacity as u64);
-    o.field_u64("workers", state.workers_total as u64);
-    o.field_u64(
-        "workers_busy",
-        state.workers_busy.load(Ordering::SeqCst) as u64,
-    );
-    o.field_u64(
-        "jobs_submitted",
-        state.jobs_submitted.load(Ordering::Relaxed),
-    );
-    o.field_u64(
-        "configs_completed",
-        state.configs_done.load(Ordering::Relaxed),
-    );
-    o.field_u64(
-        "configs_failed",
-        state.configs_failed.load(Ordering::Relaxed),
-    );
-    o.field_u64(
-        "submissions_rejected",
-        state.rejected.load(Ordering::Relaxed),
-    );
-    o.field_u64("result_hits", result_hits);
-    o.field_u64("result_misses", result_misses);
-    o.field_u64("graph_cache_hits", graph_hits);
-    o.field_u64("graph_cache_misses", graph_misses);
-    o.field_u64("graph_cache_len", graphcache::shared().len() as u64);
-    o.finish()
+/// One coherent-enough reading of every service metric, taken once and
+/// rendered as either JSON or the Prometheus text exposition so the two
+/// representations always agree field-for-field.
+#[derive(Debug, Clone, Copy)]
+struct MetricsSnapshot {
+    queue_depth: u64,
+    queue_capacity: u64,
+    workers: u64,
+    workers_busy: u64,
+    jobs_submitted: u64,
+    configs_completed: u64,
+    configs_failed: u64,
+    submissions_rejected: u64,
+    result_hits: u64,
+    result_misses: u64,
+    graph_cache_hits: u64,
+    graph_cache_misses: u64,
+    graph_cache_len: u64,
+}
+
+impl MetricsSnapshot {
+    /// Every metric is an independent statistic: a scrape needs no
+    /// ordering relationship between counters (a reader observing
+    /// `configs_completed` slightly behind `jobs_submitted` is fine), so
+    /// all loads are uniformly `Relaxed` — mixing in `SeqCst` for some
+    /// fields bought no extra consistency, only the appearance of it.
+    fn take(state: &ServerState) -> MetricsSnapshot {
+        let (result_hits, result_misses) = state.store.stats();
+        let (graph_cache_hits, graph_cache_misses) = graphcache::shared().stats();
+        MetricsSnapshot {
+            queue_depth: lock_clean(&state.queue).len() as u64,
+            queue_capacity: state.queue_capacity as u64,
+            workers: state.workers_total as u64,
+            workers_busy: state.workers_busy.load(Ordering::Relaxed) as u64,
+            jobs_submitted: state.jobs_submitted.load(Ordering::Relaxed),
+            configs_completed: state.configs_done.load(Ordering::Relaxed),
+            configs_failed: state.configs_failed.load(Ordering::Relaxed),
+            submissions_rejected: state.rejected.load(Ordering::Relaxed),
+            result_hits,
+            result_misses,
+            graph_cache_hits,
+            graph_cache_misses,
+            graph_cache_len: graphcache::shared().len() as u64,
+        }
+    }
+
+    /// Name, value, kind, and help line for every metric, in a stable
+    /// order shared by both renderings.
+    fn rows(&self) -> [(&'static str, u64, &'static str, &'static str); 13] {
+        [
+            (
+                "queue_depth",
+                self.queue_depth,
+                "gauge",
+                "Configs queued and not yet running",
+            ),
+            (
+                "queue_capacity",
+                self.queue_capacity,
+                "gauge",
+                "Queue size beyond which submissions are rejected",
+            ),
+            (
+                "workers",
+                self.workers,
+                "gauge",
+                "Experiment worker threads",
+            ),
+            (
+                "workers_busy",
+                self.workers_busy,
+                "gauge",
+                "Workers currently executing a config",
+            ),
+            (
+                "jobs_submitted",
+                self.jobs_submitted,
+                "counter",
+                "Accepted POST /runs submissions",
+            ),
+            (
+                "configs_completed",
+                self.configs_completed,
+                "counter",
+                "Configs finished successfully (including cached)",
+            ),
+            (
+                "configs_failed",
+                self.configs_failed,
+                "counter",
+                "Configs that settled as failed",
+            ),
+            (
+                "submissions_rejected",
+                self.submissions_rejected,
+                "counter",
+                "Submissions bounced with 429 (queue full)",
+            ),
+            (
+                "result_hits",
+                self.result_hits,
+                "counter",
+                "Result-store lookups answered from cache",
+            ),
+            (
+                "result_misses",
+                self.result_misses,
+                "counter",
+                "Result-store lookups that required a run",
+            ),
+            (
+                "graph_cache_hits",
+                self.graph_cache_hits,
+                "counter",
+                "Prepared-graph cache hits",
+            ),
+            (
+                "graph_cache_misses",
+                self.graph_cache_misses,
+                "counter",
+                "Prepared-graph cache misses",
+            ),
+            (
+                "graph_cache_len",
+                self.graph_cache_len,
+                "gauge",
+                "Prepared graphs currently cached",
+            ),
+        ]
+    }
+
+    fn json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (name, value, _, _) in self.rows() {
+            o.field_u64(name, value);
+        }
+        o.finish()
+    }
+
+    /// The Prometheus text exposition (format version 0.0.4): one
+    /// `# HELP` / `# TYPE` / sample triplet per metric, `graphmem_`
+    /// prefixed.
+    fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value, kind, help) in self.rows() {
+            out.push_str(&format!(
+                "# HELP graphmem_{name} {help}\n# TYPE graphmem_{name} {kind}\ngraphmem_{name} {value}\n"
+            ));
+        }
+        out
+    }
 }
 
 /// Lock a mutex, recovering the guard if another thread panicked while

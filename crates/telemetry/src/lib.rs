@@ -26,10 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod histogram;
 pub mod json;
+pub mod memstate;
 pub mod metrics;
 pub mod trace;
 
 pub use event::{DemotionReason, Event, EventKind, EventMask, FaultOutcome, ReclaimKind, TlbLevel};
+pub use histogram::Histogram;
+pub use memstate::{MemStateSample, MemStateSeries};
 pub use metrics::{EpochSampler, MetricsSample, MetricsSeries};
 pub use trace::{EventSink, JsonlSink, TraceConfig, TraceStats, Tracer};

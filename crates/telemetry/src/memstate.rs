@@ -1,0 +1,316 @@
+//! Per-epoch snapshots of physical-memory and mapping state.
+//!
+//! [`MetricsSample`](crate::MetricsSample) captures *hardware and OS
+//! counters*; this module captures the complementary *memory state*: the
+//! buddy allocator's free lists (`/proc/buddyinfo` style), the paper's
+//! fragmentation / unusable-free-space index, and per-region huge-page
+//! coverage. A [`MemStateSeries`] rides along on the run report only when
+//! attribution is enabled, so the default report format is unchanged.
+//!
+//! Coverage vectors may be *ragged*: regions mapped mid-run simply start
+//! appearing in later samples. The series keeps the region-name list so
+//! column `i` of a coverage vector is always `regions()[i]`.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::{self, JsonObject, JsonValue};
+
+/// One snapshot of zone + mapping state at a simulated cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStateSample {
+    /// Simulated cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Free base frames in the zone.
+    pub free_frames: u64,
+    /// Fully-free huge blocks (order `huge_order` buddies).
+    pub free_huge_blocks: u64,
+    /// Fraction of free memory unusable for huge allocations (the paper's
+    /// §4.4.1 fragmentation metric; 0 = pristine, 1 = fully fragmented).
+    pub unusable_index: f64,
+    /// Free block counts per order, `buddy[o]` = free blocks of order `o`
+    /// (`/proc/buddyinfo` row for the zone).
+    pub buddy: Vec<u64>,
+    /// Huge-page coverage fraction per tracked region, aligned with
+    /// [`MemStateSeries::regions`]; may be shorter than the final region
+    /// list if regions were mapped after this sample.
+    pub coverage: Vec<f64>,
+}
+
+impl MemStateSample {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("cycle", self.cycle)
+            .field_u64("free_frames", self.free_frames)
+            .field_u64("free_huge_blocks", self.free_huge_blocks)
+            .field_f64("unusable_index", self.unusable_index)
+            .field_raw(
+                "buddy",
+                &json::array(self.buddy.iter().map(|b| b.to_string())),
+            )
+            .field_raw(
+                "coverage",
+                &json::array(self.coverage.iter().map(|c| json::number(*c))),
+            );
+        o.finish()
+    }
+
+    /// Rebuild from a parsed [`JsonValue`] (inverse of [`Self::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("memstate field '{k}' missing or not an integer"))
+        };
+        let buddy = v
+            .get("buddy")
+            .and_then(JsonValue::as_array)
+            .ok_or("memstate field 'buddy' missing")?
+            .iter()
+            .map(|b| {
+                b.as_u64()
+                    .ok_or_else(|| "memstate: bad buddy count".to_string())
+            })
+            .collect::<Result<Vec<u64>, String>>()?;
+        let coverage = v
+            .get("coverage")
+            .and_then(JsonValue::as_array)
+            .ok_or("memstate field 'coverage' missing")?
+            .iter()
+            .map(|c| {
+                c.as_f64()
+                    .ok_or_else(|| "memstate: bad coverage value".to_string())
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        Ok(MemStateSample {
+            cycle: u("cycle")?,
+            free_frames: u("free_frames")?,
+            free_huge_blocks: u("free_huge_blocks")?,
+            unusable_index: v
+                .get("unusable_index")
+                .and_then(JsonValue::as_f64)
+                .ok_or("memstate field 'unusable_index' missing")?,
+            buddy,
+            coverage,
+        })
+    }
+}
+
+/// A time-ordered series of [`MemStateSample`]s plus the region names the
+/// coverage columns refer to.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStateSeries {
+    regions: Vec<String>,
+    samples: Vec<MemStateSample>,
+}
+
+impl MemStateSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the (current, possibly grown) list of tracked region names.
+    /// The list only ever extends: regions are never dropped mid-run.
+    pub fn note_regions(&mut self, names: &[String]) {
+        if names.len() > self.regions.len() {
+            self.regions = names.to_vec();
+        }
+    }
+
+    /// Append a snapshot (must be in time order).
+    pub fn push(&mut self, sample: MemStateSample) {
+        if let Some(last) = self.samples.last() {
+            debug_assert!(sample.cycle >= last.cycle, "samples must be in time order");
+        }
+        self.samples.push(sample);
+    }
+
+    /// Region names the coverage columns are aligned with.
+    pub fn regions(&self) -> &[String] {
+        &self.regions
+    }
+
+    /// All snapshots, oldest first.
+    pub fn samples(&self) -> &[MemStateSample] {
+        &self.samples
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no snapshot has been taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serialize as a JSON object: `{"regions":[…],"samples":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_raw(
+            "regions",
+            &json::array(
+                self.regions
+                    .iter()
+                    .map(|r| format!("\"{}\"", json::escape(r))),
+            ),
+        )
+        .field_raw(
+            "samples",
+            &json::array(self.samples.iter().map(MemStateSample::to_json)),
+        );
+        o.finish()
+    }
+
+    /// Rebuild from a parsed [`JsonValue`] (inverse of [`Self::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let regions = v
+            .get("regions")
+            .and_then(JsonValue::as_array)
+            .ok_or("memstate series field 'regions' missing")?
+            .iter()
+            .map(|r| {
+                r.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "memstate: bad region name".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?;
+        let samples = v
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .ok_or("memstate series field 'samples' missing")?
+            .iter()
+            .map(MemStateSample::from_json_value)
+            .collect::<Result<Vec<MemStateSample>, String>>()?;
+        Ok(MemStateSeries { regions, samples })
+    }
+
+    /// CSV rendering. Buddy columns are `buddy_o<order>`; coverage columns
+    /// are `cov_<region>`. Samples taken before a region was mapped leave
+    /// its coverage cell empty.
+    pub fn to_csv(&self) -> String {
+        let orders = self
+            .samples
+            .iter()
+            .map(|s| s.buddy.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::from("cycle,free_frames,free_huge_blocks,unusable_index");
+        for o in 0..orders {
+            out.push_str(&format!(",buddy_o{o}"));
+        }
+        for r in &self.regions {
+            out.push_str(&format!(",cov_{r}"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                s.cycle, s.free_frames, s.free_huge_blocks, s.unusable_index
+            ));
+            for o in 0..orders {
+                out.push_str(&format!(",{}", s.buddy.get(o).copied().unwrap_or(0)));
+            }
+            for i in 0..self.regions.len() {
+                match s.coverage.get(i) {
+                    Some(c) => out.push_str(&format!(",{c}")),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write [`Self::to_csv`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64, cov: &[f64]) -> MemStateSample {
+        MemStateSample {
+            cycle,
+            free_frames: 4096 - cycle,
+            free_huge_blocks: 8,
+            unusable_index: 0.25,
+            buddy: vec![3, 2, 1, 0, 8],
+            coverage: cov.to_vec(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let mut s = MemStateSeries::new();
+        s.note_regions(&["vertex_array".to_string()]);
+        s.push(sample(100, &[0.5]));
+        s.note_regions(&["vertex_array".to_string(), "dist".to_string()]);
+        s.push(sample(200, &[0.5, 0.875]));
+        let text = s.to_json();
+        let back = MemStateSeries::from_json_value(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn ragged_coverage_pads_csv_cells() {
+        let mut s = MemStateSeries::new();
+        s.push(sample(100, &[]));
+        s.note_regions(&["a".to_string(), "b".to_string()]);
+        s.push(sample(200, &[0.5, 1.0]));
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "cycle,free_frames,free_huge_blocks,unusable_index,buddy_o0,buddy_o1,buddy_o2,buddy_o3,buddy_o4,cov_a,cov_b"
+        );
+        assert!(
+            lines[1].ends_with(",,"),
+            "pre-map sample pads coverage: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].ends_with(",0.5,1"),
+            "mapped sample has values: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn note_regions_only_extends() {
+        let mut s = MemStateSeries::new();
+        s.note_regions(&["a".to_string(), "b".to_string()]);
+        s.note_regions(&["a".to_string()]);
+        assert_eq!(s.regions().len(), 2);
+    }
+
+    #[test]
+    fn empty_series_round_trips() {
+        let s = MemStateSeries::new();
+        let back =
+            MemStateSeries::from_json_value(&JsonValue::parse(&s.to_json()).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert!(back.is_empty());
+        assert_eq!(back.len(), 0);
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod attribution;
 mod cache;
 mod config;
 mod counters;
@@ -62,6 +63,7 @@ mod tlb;
 mod trace;
 
 pub use addr::{PageGeometry, PageSize, VirtAddr};
+pub use attribution::RegionCounters;
 pub use cache::{CacheGeometry, CacheHierarchy, CacheLevel};
 pub use config::{CostModel, MmuConfig, TlbConfig, TlbGeometry};
 pub use counters::PerfCounters;

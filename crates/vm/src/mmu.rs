@@ -6,6 +6,7 @@ use graphmem_physmem::{NodeId, FRAME_SIZE};
 use graphmem_telemetry::{EventKind, EventMask, TlbLevel, Tracer};
 
 use crate::addr::{PageGeometry, PageSize, VirtAddr};
+use crate::attribution::{size_idx, AttributionTable, RegionCounters};
 use crate::cache::{CacheHierarchy, CacheLevel};
 use crate::config::MmuConfig;
 use crate::counters::PerfCounters;
@@ -64,6 +65,10 @@ pub struct MemorySystem {
     /// access-bit scanning that Ingens/HawkEye-style policies rely on;
     /// disabled (None) unless the OS turns it on.
     utilization: Option<HashMap<u64, Vec<bool>>>,
+    /// Optional per-region translation-cost attribution (see the
+    /// [`attribution`](crate::attribution) module). Side-band observation:
+    /// never touches counters, TLB/cache state, or cycle charges.
+    attribution: Option<AttributionTable>,
     /// Telemetry handle (disabled by default: one branch per emit site).
     tracer: Tracer,
 }
@@ -86,6 +91,7 @@ impl MemorySystem {
             caches: CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3),
             counters: PerfCounters::new(),
             utilization: None,
+            attribution: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -122,6 +128,38 @@ impl MemorySystem {
         if let Some(map) = &mut self.utilization {
             map.remove(&hvpn);
         }
+    }
+
+    /// Enable per-region translation-cost attribution (clears any previous
+    /// table). Costs a little host time per access; simulated timing and
+    /// [`PerfCounters`] are unaffected.
+    pub fn enable_attribution(&mut self, on: bool) {
+        self.attribution = if on {
+            Some(AttributionTable::default())
+        } else {
+            None
+        };
+    }
+
+    /// Whether attribution is currently enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// Charge subsequent accesses to `region` (a VMA id threaded in by the
+    /// OS). No-op when attribution is disabled, so callers may tag
+    /// unconditionally.
+    #[inline]
+    pub fn set_region(&mut self, region: usize) {
+        if let Some(attr) = &mut self.attribution {
+            attr.set_region(region);
+        }
+    }
+
+    /// Per-region counters accumulated so far (None when attribution is
+    /// off), indexed by region id.
+    pub fn attribution_regions(&self) -> Option<&[RegionCounters]> {
+        self.attribution.as_ref().map(AttributionTable::regions)
     }
 
     /// The configuration this system was built with.
@@ -189,8 +227,16 @@ impl MemorySystem {
             self.counters.dtlb_misses += 1;
             if let Some(e) = self.lookup_stlb(vaddr) {
                 self.counters.stlb_hits += 1;
-                cycles += self.cfg.cost.stlb_hit_penalty;
-                self.counters.translation_cycles += self.cfg.cost.stlb_hit_penalty;
+                let penalty = self.cfg.cost.stlb_hit_penalty;
+                cycles += penalty;
+                self.counters.translation_cycles += penalty;
+                if let Some(attr) = &mut self.attribution {
+                    let c = attr.cur();
+                    let i = size_idx(e.size);
+                    c.dtlb_misses[i] += 1;
+                    c.stlb_hits[i] += 1;
+                    c.translation_cycles[i] += penalty;
+                }
                 self.fill_l1(e);
                 e
             } else {
@@ -199,12 +245,28 @@ impl MemorySystem {
                 match self.walk(pt, vaddr) {
                     Ok((e, walk_cycles)) => {
                         cycles += walk_cycles;
+                        if let Some(attr) = &mut self.attribution {
+                            let c = attr.cur();
+                            let i = size_idx(e.size);
+                            c.dtlb_misses[i] += 1;
+                            c.stlb_misses[i] += 1;
+                        }
                         self.fill_l1(e);
                         self.fill_stlb(e);
                         e
                     }
                     Err((kind, walk_cycles)) => {
                         self.counters.faults += 1;
+                        if let Some(attr) = &mut self.attribution {
+                            let c = attr.cur();
+                            // Size never learned: charge the base column,
+                            // and count the faulted attempt so per-region
+                            // accesses sum to the aggregate.
+                            c.accesses[0] += 1;
+                            c.dtlb_misses[0] += 1;
+                            c.stlb_misses[0] += 1;
+                            c.faults += 1;
+                        }
                         return Err(Fault {
                             vaddr,
                             kind,
@@ -228,6 +290,9 @@ impl MemorySystem {
         cycles: u64,
         walked: bool,
     ) -> AccessCost {
+        if let Some(attr) = &mut self.attribution {
+            attr.cur().accesses[size_idx(entry.size)] += 1;
+        }
         if self.utilization.is_some() && entry.size == PageSize::Huge {
             let frames = self.geom.frames(PageSize::Huge) as usize;
             let sub = (vaddr.vpn() % frames as u64) as usize;
@@ -285,8 +350,16 @@ impl MemorySystem {
             self.counters.dtlb_misses += 1;
             if let Some(e) = self.lookup_stlb(vaddr) {
                 self.counters.stlb_hits += 1;
-                cycles += self.cfg.cost.stlb_hit_penalty;
-                self.counters.translation_cycles += self.cfg.cost.stlb_hit_penalty;
+                let penalty = self.cfg.cost.stlb_hit_penalty;
+                cycles += penalty;
+                self.counters.translation_cycles += penalty;
+                if let Some(attr) = &mut self.attribution {
+                    let c = attr.cur();
+                    let i = size_idx(e.size);
+                    c.dtlb_misses[i] += 1;
+                    c.stlb_hits[i] += 1;
+                    c.translation_cycles[i] += penalty;
+                }
                 self.fill_l1(e);
                 e
             } else {
@@ -295,12 +368,27 @@ impl MemorySystem {
                 match self.walk(pt, vaddr) {
                     Ok((e, walk_cycles)) => {
                         cycles += walk_cycles;
+                        if let Some(attr) = &mut self.attribution {
+                            let c = attr.cur();
+                            let i = size_idx(e.size);
+                            c.dtlb_misses[i] += 1;
+                            c.stlb_misses[i] += 1;
+                        }
                         self.fill_l1(e);
                         self.fill_stlb(e);
                         e
                     }
                     Err((kind, walk_cycles)) => {
                         self.counters.faults += 1;
+                        if let Some(attr) = &mut self.attribution {
+                            let c = attr.cur();
+                            // Mirrors `access_slow`: a size-unknown fault is
+                            // charged to the base column.
+                            c.accesses[0] += 1;
+                            c.dtlb_misses[0] += 1;
+                            c.stlb_misses[0] += 1;
+                            c.faults += 1;
+                        }
                         return Err(Fault {
                             vaddr,
                             kind,
@@ -311,6 +399,9 @@ impl MemorySystem {
             }
         };
 
+        if let Some(attr) = &mut self.attribution {
+            attr.cur().accesses[size_idx(entry.size)] += 1;
+        }
         if self.utilization.is_some() && entry.size == PageSize::Huge {
             let frames = self.geom.frames(PageSize::Huge) as usize;
             let sub = (vaddr.vpn() % frames as u64) as usize;
@@ -421,6 +512,24 @@ impl MemorySystem {
             pte_reads += 1;
         }
         self.counters.translation_cycles += cycles;
+        if let Some(attr) = &mut self.attribution {
+            let c = attr.cur();
+            match result {
+                WalkResult::Mapped(leaf) => {
+                    let i = size_idx(leaf.size);
+                    c.walk_pte_reads[i] += u64::from(pte_reads);
+                    c.translation_cycles[i] += cycles;
+                    c.walk_latency.record(cycles);
+                }
+                // Faulting walks: size never learned, so PTE reads land in
+                // the base column and the cycles in `fault_cycles` (the
+                // latency histogram holds only completed walks).
+                WalkResult::NotMapped | WalkResult::Swapped(_) => {
+                    c.walk_pte_reads[0] += u64::from(pte_reads);
+                    c.fault_cycles += cycles;
+                }
+            }
+        }
         match result {
             WalkResult::Mapped(leaf) => {
                 self.pwc.fill(vpn, table_levels);

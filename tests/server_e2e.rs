@@ -149,6 +149,62 @@ fn second_submission_is_served_from_the_cache_byte_identically() {
 }
 
 #[test]
+fn metrics_negotiate_prometheus_text_and_agree_with_json() {
+    let (server, addr) = start_server(None, 64);
+
+    // Default (no Accept): JSON body, unchanged shape.
+    let (status, json_body) = http::request(&addr, "GET", "/metrics", "").expect("json metrics");
+    assert_eq!(status, 200);
+    let json = JsonValue::parse(&json_body).expect("metrics JSON");
+
+    // Prometheus scrape: text/plain negotiation flips the representation.
+    let (status, text) =
+        http::request_accept(&addr, "GET", "/metrics", "text/plain", "").expect("text metrics");
+    assert_eq!(status, 200);
+    assert!(
+        text.starts_with("# HELP graphmem_queue_depth"),
+        "exposition starts with HELP: {text}"
+    );
+    for key in [
+        "queue_depth",
+        "queue_capacity",
+        "workers",
+        "workers_busy",
+        "jobs_submitted",
+        "configs_completed",
+        "configs_failed",
+        "submissions_rejected",
+        "result_hits",
+        "result_misses",
+        "graph_cache_hits",
+        "graph_cache_misses",
+        "graph_cache_len",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE graphmem_{key} ")),
+            "TYPE line for {key} missing:\n{text}"
+        );
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with(&format!("graphmem_{key} ")))
+            .unwrap_or_else(|| panic!("sample line for {key} missing:\n{text}"));
+        // On an idle server every counter is stable across the two
+        // scrapes, so the representations must agree value-for-value.
+        let value: u64 = sample
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("numeric sample");
+        assert_eq!(
+            json.get(key).and_then(JsonValue::as_u64),
+            Some(value),
+            "JSON and Prometheus disagree on {key}"
+        );
+    }
+    server.join();
+}
+
+#[test]
 fn full_queue_answers_429_and_unknown_routes_404() {
     // Zero workers can't exist; instead saturate a tiny queue: capacity 1
     // with a 4-config sweep can never be admitted.
