@@ -1,0 +1,40 @@
+#!/bin/bash
+# Bench regression gate for the page-run translation fast path.
+#
+# Reads the committed smoke-scale throughput baseline
+# (`fig01_accesses_per_s_fastpath` in BENCH_fastpath_smoke.json — recorded
+# by the same tiny-grid smoke run this script performs, so the comparison
+# is same-scale), re-measures it, and fails when the fresh number regresses
+# more than 25% below the committed one. CI runners are slower and noisier
+# than the development host that recorded the baseline, so the floor is
+# deliberately loose: it catches an accidental return to per-element
+# translation (a multi-x cliff), not single-digit noise. Override the floor
+# fraction with GRAPHMEM_GATE_FLOOR.
+set -eu
+cd "$(dirname "$0")"
+
+extract() {
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
+}
+
+baseline=$(extract BENCH_fastpath_smoke.json fig01_accesses_per_s_fastpath)
+[ -n "$baseline" ] || { echo "no committed baseline in BENCH_fastpath_smoke.json"; exit 1; }
+
+# The bench overwrites BENCH_fastpath.json in the working directory;
+# stash the committed record and restore it so the gate never dirties
+# the tree.
+cp BENCH_fastpath.json BENCH_fastpath.committed.json
+trap 'mv -f BENCH_fastpath.committed.json BENCH_fastpath.json' EXIT
+
+GRAPHMEM_SCALE=tiny cargo bench -p graphmem-bench --bench bench_fastpath -- --smoke
+
+current=$(extract BENCH_fastpath.json fig01_accesses_per_s_fastpath)
+[ -n "$current" ] || { echo "smoke bench produced no throughput figure"; exit 1; }
+
+awk -v c="$current" -v b="$baseline" -v f="${GRAPHMEM_GATE_FLOOR:-0.75}" 'BEGIN {
+  floor = f * b
+  printf "fast-path throughput: %.0f accesses/s (committed %.0f, floor %.0f)\n", c, b, floor
+  if (c >= floor) { print "bench gate: OK"; exit 0 }
+  print "bench gate: REGRESSION — fast path lost more than 25% throughput"
+  exit 1
+}'

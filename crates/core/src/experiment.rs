@@ -506,6 +506,8 @@ impl Experiment {
 
         let series = sys.take_series();
         let attribution = AttributionReport::collect(&mut sys);
+        let (memo_hits, memo_misses) = sys.memo_stats();
+        crate::memostats::record(memo_hits, memo_misses);
         let _ = self.telemetry.flush();
 
         Ok(RunReport {

@@ -61,6 +61,7 @@ mod condition;
 mod error;
 mod experiment;
 pub mod graphcache;
+pub mod memostats;
 mod policy;
 mod report;
 pub mod spec;

@@ -9,7 +9,7 @@ use graphmem_telemetry::{
 };
 use graphmem_vm::{
     AccessTrace, Fault, FaultKind, MemorySystem, PageGeometry, PageSize, PageTable, PerfCounters,
-    RegionCounters, VirtAddr,
+    RegionCounters, TranslationMemo, VirtAddr,
 };
 
 use crate::config::{FilePlacement, OsCostModel, SystemSpec, ThpMode, ThpPolicy};
@@ -147,6 +147,25 @@ pub struct System {
     /// huge coverage), recorded alongside the metrics sampler when
     /// attribution is on.
     pub(crate) memstate: Option<MemStateSeries>,
+    /// Host-side page-run fast-path statistics: elements bulk-charged via a
+    /// [`TranslationMemo`] (hits) vs. real probed accesses on the fast path
+    /// (misses). Pure host observability — never part of the simulated
+    /// state, never compared by differential tests.
+    pub(crate) memo_hits: u64,
+    pub(crate) memo_misses: u64,
+    /// The persistent translation cursor: the memo of the most recent
+    /// probed fast-path access, carried across batch calls and scalar
+    /// accesses so consecutive touches of one page — a vertex's edge
+    /// segment, then the next vertex's — skip the re-probe. Cleared
+    /// whenever TLBs or the page table may change (due events, fault
+    /// handling, unmapping syscalls, engine/telemetry switches).
+    pub(crate) run_memo: Option<TranslationMemo>,
+    /// Cached extent of `run_memo`'s mapping page, as `page start` and
+    /// `page bytes` (`u64::MAX`/`0` when no memo), so the cursor-hit test
+    /// is two integer ops: `addr - lo < span`. Huge-page memos make this
+    /// span 2 MB-class, which is where THP runs earn their keep.
+    pub(crate) memo_lo: u64,
+    pub(crate) memo_span: u64,
     pub(crate) hugetlb_pool: Vec<FrameRange>,
     /// Pgtable deposits: leaf-table frames reserved per huge mapping
     /// (keyed by the region's base VPN) so a later split never has to
@@ -212,6 +231,11 @@ impl System {
             attribution_on: false,
             attr_region_cache: None,
             memstate: None,
+            memo_hits: 0,
+            memo_misses: 0,
+            run_memo: None,
+            memo_lo: u64::MAX,
+            memo_span: 0,
             hugetlb_pool: Vec::new(),
             deposits: HashMap::new(),
         };
@@ -293,6 +317,8 @@ impl System {
     /// Panics if `addr` is not inside any VMA.
     pub fn release_region(&mut self, addr: VirtAddr) {
         self.charge(self.cost.syscall);
+        // Unmapping invalidates TLB entries the cursor may rely on.
+        self.clear_run_memo();
         let (_, vma) = self.aspace.find(addr).expect("release outside any VMA");
         let hugetlb = vma.hugetlb();
         let (start, end) = (vma.start(), vma.end());
@@ -359,36 +385,109 @@ impl System {
         if let Some(t) = &mut self.tracer {
             t.push(addr, is_write);
         }
-        if self.attribution_on {
-            self.note_region(addr);
-        }
         match self.engine {
-            AccessEngine::Legacy => self.access_legacy_engine(addr, is_write),
+            AccessEngine::Legacy => {
+                if self.attribution_on {
+                    self.note_region(addr);
+                }
+                self.access_legacy_engine(addr, is_write);
+            }
             AccessEngine::Batched => {
                 if self.telemetry_on {
+                    if self.attribution_on {
+                        self.note_region(addr);
+                    }
                     self.access_stamped(addr, is_write);
                 } else {
-                    self.access_hot(addr, is_write);
+                    // Scalar accesses ride (and refresh) the translation
+                    // cursor too: a get/set interleaved with batch calls
+                    // neither loses the memo nor needs a re-probe when it
+                    // lands on the memo's page. `access_cursor` does its
+                    // own region tagging on the probe path.
+                    self.access_cursor(addr, is_write);
                 }
             }
         }
     }
 
-    /// Batched-engine hot path, telemetry off: no clock stamps, one
-    /// watermark compare instead of three daemon checks. Callers must have
-    /// already recorded the access-trace entry and checked `telemetry_on`
-    /// is false (`set_clock` would be a no-op anyway, but skipping it is
-    /// the point).
+    /// Batched-engine hot path, telemetry off: one access through the
+    /// persistent translation cursor. A cursor hit — the address lands on
+    /// the mapping page of the last probed access — bulk-charges the
+    /// element as a proven L1 TLB hit (no TLB probe, no region re-tag); a
+    /// miss runs the full probed pipeline and refreshes the cursor.
+    ///
+    /// Region tagging on the hit path is skipped soundly: whenever the
+    /// cursor is live, the attribution region latch was set by the probe
+    /// that created it, and pages never span VMAs, so re-tagging would be
+    /// a no-op.
     #[inline]
-    fn access_hot(&mut self, addr: VirtAddr, is_write: bool) {
+    fn access_cursor(&mut self, addr: VirtAddr, is_write: bool) {
+        // The second clause keeps the budget subtraction positive: syscall
+        // charges or populate's bulk cycles can push the clock past a
+        // stale-low horizon without running events. Falling to the probe
+        // path there is exactly scalar stepping — access first, then the
+        // event check fires inside `access_probed_hot`.
+        if addr.0.wrapping_sub(self.memo_lo) < self.memo_span && self.clock < self.next_event_cycle
+        {
+            let memo = self.run_memo.expect("cursor extent live without a memo");
+            let budget = self.next_event_cycle - self.clock;
+            let charge = self
+                .mmu
+                .charge_page_hits(&memo, addr, 0, 1, is_write, budget);
+            self.clock += charge.cycles;
+            self.memo_hits += 1;
+            if self.clock >= self.next_event_cycle {
+                self.run_due_events();
+            }
+            return;
+        }
+        if self.attribution_on {
+            self.note_region(addr);
+        }
+        self.memo_misses += 1;
+        let memo = self.access_probed_hot(addr, is_write);
+        self.set_run_memo(memo);
+    }
+
+    /// Install (or clear) the persistent translation cursor, keeping the
+    /// cached page extent in step.
+    #[inline]
+    fn set_run_memo(&mut self, memo: Option<TranslationMemo>) {
+        self.run_memo = memo;
+        match &memo {
+            Some(m) => (self.memo_lo, self.memo_span) = self.mmu.memo_extent(m),
+            None => (self.memo_lo, self.memo_span) = (u64::MAX, 0),
+        }
+    }
+
+    /// Clear the persistent translation cursor. Required before anything
+    /// that can mutate TLBs or remap pages outside the probed pipeline.
+    #[inline]
+    pub(crate) fn clear_run_memo(&mut self) {
+        self.run_memo = None;
+        self.memo_lo = u64::MAX;
+        self.memo_span = 0;
+    }
+
+    /// [`Self::access_hot`] for the page-run fast path: identical simulated
+    /// behaviour, but returns the [`TranslationMemo`] of the successful
+    /// access so the caller can bulk-charge follow-up same-page elements.
+    ///
+    /// Returns `None` when due events ran after the access — daemons can
+    /// flush TLBs, so the memo must be discarded and the next element
+    /// re-probed. A fault does not invalidate the eventual memo: the
+    /// successful retry is itself a fresh proof of residency.
+    #[inline]
+    fn access_probed_hot(&mut self, addr: VirtAddr, is_write: bool) -> Option<TranslationMemo> {
         for _attempt in 0..4 {
-            match self.mmu.access(&self.pt, addr, is_write) {
-                Ok(cost) => {
+            match self.mmu.access_probed(&self.pt, addr, is_write) {
+                Ok((cost, memo)) => {
                     self.clock += cost.cycles;
                     if self.clock >= self.next_event_cycle {
                         self.run_due_events();
+                        return None;
                     }
-                    return;
+                    return Some(memo);
                 }
                 Err(fault) => {
                     self.clock += fault.cycles;
@@ -459,6 +558,9 @@ impl System {
     /// resolve identically.
     #[cold]
     fn run_due_events(&mut self) {
+        // Daemons can promote, demote, migrate, and flush TLBs: the
+        // translation cursor is no longer proof of residency.
+        self.clear_run_memo();
         self.maybe_khugepaged();
         self.maybe_kbloatd();
         self.maybe_sample();
@@ -489,6 +591,8 @@ impl System {
     /// simulated state.
     pub fn set_access_engine(&mut self, engine: AccessEngine) {
         self.engine = engine;
+        // The legacy pipeline fills TLBs without maintaining the cursor.
+        self.clear_run_memo();
         self.recompute_event_horizon();
     }
 
@@ -501,27 +605,91 @@ impl System {
     /// starting at `base`, `stride` bytes apart. Semantically identical to
     /// calling [`System::read`]/[`System::write`] per element — same
     /// counters, same cycles, same fault handling (a mid-run fault retries
-    /// the faulting element only) — but the engine dispatch and telemetry
-    /// checks are paid once per run instead of once per element.
+    /// the faulting element only) — but translation is amortized at page
+    /// granularity: one real [`MemorySystem::access_probed`] per base page,
+    /// with the remaining same-page elements bulk-charged through
+    /// [`MemorySystem::charge_page_hits`]. Bulk charges are split at the
+    /// event horizon so daemons and samplers fire on the same cycle they
+    /// would under scalar stepping, and the memo is discarded whenever
+    /// events run (they may flush TLBs).
     pub fn access_run(&mut self, base: VirtAddr, stride: u64, count: u64, is_write: bool) {
-        if self.engine == AccessEngine::Legacy
-            || self.telemetry_on
-            || self.tracer.is_some()
-            || self.attribution_on
-        {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
             for i in 0..count {
                 self.access(base.add(i * stride), is_write);
             }
             return;
         }
-        for i in 0..count {
-            self.access_hot(base.add(i * stride), is_write);
+        let mut i = 0u64;
+        while i < count {
+            let addr = base.add(i * stride);
+            let memo = if addr.0.wrapping_sub(self.memo_lo) < self.memo_span
+                && self.clock < self.next_event_cycle
+            {
+                // Element i is already proven resident by the persistent
+                // cursor (possibly set by a previous batch call): no probe,
+                // bulk-charge straight from here. The horizon clause keeps
+                // the budget subtraction positive (see `access_cursor`).
+                self.run_memo.expect("cursor extent live without a memo")
+            } else {
+                if self.attribution_on {
+                    // The probed page's elements all share the probe's VMA
+                    // (VMAs are huge-page aligned), so per-probe tagging
+                    // equals the scalar path's per-element tagging.
+                    self.note_region(addr);
+                }
+                self.memo_misses += 1;
+                let memo = self.access_probed_hot(addr, is_write);
+                self.set_run_memo(memo);
+                i += 1;
+                let Some(memo) = memo else { continue };
+                memo
+            };
+            // Elements from i onward that stay on the memo's mapping page
+            // (the whole huge page for a huge entry).
+            let page_end = self.memo_lo + self.memo_span;
+            let next = base.0 + i * stride;
+            // stride == 0 (a repeated address) divides to None: every
+            // remaining element stays on the probed page.
+            let mut remaining = if i >= count || next >= page_end {
+                0
+            } else {
+                (page_end - next - 1)
+                    .checked_div(stride)
+                    .map_or(count - i, |fit| (fit + 1).min(count - i))
+            };
+            while remaining > 0 {
+                // `clock < next_event_cycle` holds here (events just ran or
+                // were proven not due), so the budget is positive.
+                let budget = self.next_event_cycle - self.clock;
+                let charge = self.mmu.charge_page_hits(
+                    &memo,
+                    base.add(i * stride),
+                    stride,
+                    remaining,
+                    is_write,
+                    budget,
+                );
+                self.clock += charge.cycles;
+                self.memo_hits += charge.elems;
+                i += charge.elems;
+                remaining -= charge.elems;
+                if self.clock >= self.next_event_cycle {
+                    self.run_due_events();
+                    if remaining > 0 {
+                        // Events may have flushed TLBs: the memo is stale;
+                        // re-probe the next element as a fresh page leader.
+                        break;
+                    }
+                }
+            }
         }
     }
 
     /// Gather variant of [`System::access_run`] for the pointer-indirect
     /// property-array pattern: one access per index, at
-    /// `base + index * elem_bytes`, in slice order.
+    /// `base + index * elem_bytes`, in slice order. Consecutive indices
+    /// landing on the same mapping page — the same 2 MB-class page under
+    /// THP — skip the translation probe via the persistent cursor.
     pub fn access_gather(
         &mut self,
         base: VirtAddr,
@@ -529,30 +697,23 @@ impl System {
         indices: &[u32],
         is_write: bool,
     ) {
-        if self.engine == AccessEngine::Legacy
-            || self.telemetry_on
-            || self.tracer.is_some()
-            || self.attribution_on
-        {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
             for &i in indices {
                 self.access(base.add(u64::from(i) * elem_bytes), is_write);
             }
             return;
         }
         for &i in indices {
-            self.access_hot(base.add(u64::from(i) * elem_bytes), is_write);
+            self.access_cursor(base.add(u64::from(i) * elem_bytes), is_write);
         }
     }
 
     /// Gather read-modify-write: for each index in slice order, a simulated
     /// load then store of the same element (the scatter-add pattern in
-    /// PageRank's push phase).
+    /// PageRank's push phase). The store always lands on the load's page,
+    /// so it rides the cursor the load just refreshed.
     pub fn access_gather_rmw(&mut self, base: VirtAddr, elem_bytes: u64, indices: &[u32]) {
-        if self.engine == AccessEngine::Legacy
-            || self.telemetry_on
-            || self.tracer.is_some()
-            || self.attribution_on
-        {
+        if self.engine == AccessEngine::Legacy || self.telemetry_on || self.tracer.is_some() {
             for &i in indices {
                 let addr = base.add(u64::from(i) * elem_bytes);
                 self.access(addr, false);
@@ -562,9 +723,16 @@ impl System {
         }
         for &i in indices {
             let addr = base.add(u64::from(i) * elem_bytes);
-            self.access_hot(addr, false);
-            self.access_hot(addr, true);
+            self.access_cursor(addr, false);
+            self.access_cursor(addr, true);
         }
+    }
+
+    /// Host-side page-run fast-path statistics: `(hits, misses)` — elements
+    /// bulk-charged via a remembered translation vs. real probed accesses.
+    /// Observability only; no effect on simulated state.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
     }
 
     /// Advance the clock by `cycles` of bulk (non-kernel) work, keeping
@@ -661,6 +829,7 @@ impl System {
         }
         self.telemetry_on = tracer.is_enabled();
         self.telemetry = tracer;
+        self.clear_run_memo();
         self.recompute_event_horizon();
     }
 
@@ -703,6 +872,10 @@ impl System {
     pub fn enable_attribution(&mut self, on: bool) {
         self.attribution_on = on;
         self.attr_region_cache = None;
+        // The cursor-hit path skips region tagging on the strength of the
+        // probe that created the memo; a probe made under the old setting
+        // proves nothing now.
+        self.clear_run_memo();
         self.mmu.enable_attribution(on);
         self.memstate = if on {
             Some(MemStateSeries::new())
@@ -1000,6 +1173,9 @@ impl System {
     }
 
     fn handle_fault(&mut self, fault: Fault) {
+        // Fault service can allocate, reclaim, compact, swap, and
+        // invalidate translations: the cursor's residency proof is void.
+        self.clear_run_memo();
         self.fault_dispatch(fault);
     }
 

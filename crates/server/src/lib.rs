@@ -467,6 +467,8 @@ struct MetricsSnapshot {
     graph_cache_hits: u64,
     graph_cache_misses: u64,
     graph_cache_len: u64,
+    translation_memo_hits: u64,
+    translation_memo_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -478,6 +480,7 @@ impl MetricsSnapshot {
     fn take(state: &ServerState) -> MetricsSnapshot {
         let (result_hits, result_misses) = state.store.stats();
         let (graph_cache_hits, graph_cache_misses) = graphcache::shared().stats();
+        let (translation_memo_hits, translation_memo_misses) = graphmem_core::memostats::snapshot();
         MetricsSnapshot {
             queue_depth: lock_clean(&state.queue).len() as u64,
             queue_capacity: state.queue_capacity as u64,
@@ -492,12 +495,14 @@ impl MetricsSnapshot {
             graph_cache_hits,
             graph_cache_misses,
             graph_cache_len: graphcache::shared().len() as u64,
+            translation_memo_hits,
+            translation_memo_misses,
         }
     }
 
     /// Name, value, kind, and help line for every metric, in a stable
     /// order shared by both renderings.
-    fn rows(&self) -> [(&'static str, u64, &'static str, &'static str); 13] {
+    fn rows(&self) -> [(&'static str, u64, &'static str, &'static str); 15] {
         [
             (
                 "queue_depth",
@@ -576,6 +581,18 @@ impl MetricsSnapshot {
                 self.graph_cache_len,
                 "gauge",
                 "Prepared graphs currently cached",
+            ),
+            (
+                "translation_memo_hits",
+                self.translation_memo_hits,
+                "counter",
+                "Simulated accesses bulk-charged via a remembered translation",
+            ),
+            (
+                "translation_memo_misses",
+                self.translation_memo_misses,
+                "counter",
+                "Simulated accesses that performed a real MMU probe on the fast path",
             ),
         ]
     }

@@ -67,7 +67,7 @@ pub use attribution::RegionCounters;
 pub use cache::{CacheGeometry, CacheHierarchy, CacheLevel};
 pub use config::{CostModel, MmuConfig, TlbConfig, TlbGeometry};
 pub use counters::PerfCounters;
-pub use mmu::{AccessCost, Fault, FaultKind, MemorySystem};
+pub use mmu::{AccessCost, Fault, FaultKind, MemorySystem, PageRunCharge, TranslationMemo};
 pub use pagetable::{Leaf, MapError, PageTable, WalkResult};
 pub use tlb::SetAssocTlb;
 pub use trace::AccessTrace;

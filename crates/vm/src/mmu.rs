@@ -45,6 +45,51 @@ pub enum FaultKind {
     SwappedOut(u64),
 }
 
+/// Proof, returned by [`MemorySystem::access_probed`], that one *mapping
+/// page* (base or huge) just translated successfully — the ticket that
+/// admits follow-up accesses anywhere on that page into
+/// [`MemorySystem::charge_page_hits`].
+///
+/// The guarantee it carries: the probed access ran the full scalar pipeline
+/// and left the resolved entry resident in its L1 DTLB (hit-refreshed or
+/// just filled). Any subsequent scalar access within the entry's page
+/// therefore deterministically takes that L1-hit path, as long as no TLB
+/// mutation (fill, invalidate, flush) intervenes:
+///
+/// - base entry: the access's base VPN is the entry's VPN, so the base
+///   DTLB probe hits;
+/// - huge entry: a huge leaf in the page table implies no base DTLB entry
+///   covers *any* of its constituent base pages — base entries are only
+///   filled from base leaves, and every base→huge remap (promotion) does a
+///   full TLB flush — so the base probe misses and the huge probe hits.
+///
+/// Bulk charges never fill, so the memo stays valid until the caller runs
+/// something that can mutate TLBs or the page table (OS daemons, fault
+/// handling, unmapping syscalls) and must then discard it.
+#[derive(Debug, Clone, Copy)]
+pub struct TranslationMemo {
+    entry: TlbEntry,
+}
+
+impl TranslationMemo {
+    /// Page size of the mapping this memo covers.
+    #[inline]
+    pub fn page_size(&self) -> PageSize {
+        self.entry.size
+    }
+}
+
+/// Outcome of one [`MemorySystem::charge_page_hits`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRunCharge {
+    /// Elements actually charged — short of the requested count exactly
+    /// when the cycle budget was crossed (the crossing element is included,
+    /// matching scalar access-then-check stepping).
+    pub elems: u64,
+    /// Cycles accrued by the charged elements.
+    pub cycles: u64,
+}
+
 /// The simulated MMU + cache front end of one core.
 ///
 /// See the crate-level example for typical use. All state (TLBs, page-walk
@@ -200,6 +245,25 @@ impl MemorySystem {
         vaddr: VirtAddr,
         is_write: bool,
     ) -> Result<AccessCost, Fault> {
+        self.access_probed(pt, vaddr, is_write).map(|(c, _)| c)
+    }
+
+    /// [`Self::access`], additionally returning a [`TranslationMemo`] for
+    /// the resolved page so the caller can bulk-charge follow-up same-page
+    /// accesses through [`Self::charge_page_hits`]. Identical simulated
+    /// behaviour to `access` — it *is* `access`; the memo is a pure
+    /// out-parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault`] when no present translation covers `vaddr`.
+    #[inline]
+    pub fn access_probed(
+        &mut self,
+        pt: &PageTable,
+        vaddr: VirtAddr,
+        is_write: bool,
+    ) -> Result<(AccessCost, TranslationMemo), Fault> {
         self.counters.accesses += 1;
         if is_write {
             self.counters.writes += 1;
@@ -209,14 +273,20 @@ impl MemorySystem {
 
         let base_vpn = self.geom.page_number(vaddr, PageSize::Base);
         if let Some(e) = self.dtlb_base.lookup(base_vpn, PageSize::Base) {
-            return Ok(self.finish_data_access(e, vaddr, 0, false));
+            let cost = self.finish_data_access(e, vaddr, 0, false);
+            return Ok((cost, TranslationMemo { entry: e }));
         }
-        self.access_slow(pt, vaddr)
+        let (cost, entry) = self.access_slow(pt, vaddr)?;
+        Ok((cost, TranslationMemo { entry }))
     }
 
     /// Everything past the base-page L1 probe: huge-page L1, STLB, and the
     /// hardware walk. Out of line so the fast path stays small.
-    fn access_slow(&mut self, pt: &PageTable, vaddr: VirtAddr) -> Result<AccessCost, Fault> {
+    fn access_slow(
+        &mut self,
+        pt: &PageTable,
+        vaddr: VirtAddr,
+    ) -> Result<(AccessCost, TlbEntry), Fault> {
         let mut cycles = 0u64;
         let mut walked = false;
 
@@ -277,7 +347,173 @@ impl MemorySystem {
             }
         };
 
-        Ok(self.finish_data_access(entry, vaddr, cycles, walked))
+        Ok((self.finish_data_access(entry, vaddr, cycles, walked), entry))
+    }
+
+    /// The virtual extent a [`TranslationMemo`] covers, as
+    /// `(page start, page bytes)` of its mapping page — 2 MB-class spans
+    /// for huge entries. Callers cache this to test coverage of follow-up
+    /// addresses with two integer compares.
+    #[inline]
+    pub fn memo_extent(&self, memo: &TranslationMemo) -> (u64, u64) {
+        let shift = self.geom.shift(memo.entry.size);
+        (memo.entry.vpn << shift, 1u64 << shift)
+    }
+
+    /// Bulk-charge `count` same-page accesses — `start`, `start + stride`,
+    /// … — that a [`TranslationMemo`] proves would each be scalar L1 TLB
+    /// hits, stopping once accrued cycles reach `budget` (the crossing
+    /// element is included, because scalar stepping charges an access and
+    /// *then* checks the event horizon). "Same-page" means the memo's
+    /// *mapping* page: a whole huge page for a huge entry.
+    ///
+    /// Replays exactly what `count` scalar [`Self::access`] calls would
+    /// have done, element for element:
+    ///
+    /// - access/read/write counters and TLB recency: for a base entry, n
+    ///   base-DTLB hit charges; for a huge entry, n base-DTLB miss ticks
+    ///   plus n huge-DTLB hit charges (a huge L1 hit is not a
+    ///   `dtlb_misses` event, and neither probe charges cycles);
+    /// - data caches: within the page, the first access to each L1 line
+    ///   (the *line leader*) is a real [`CacheHierarchy::access`] probe —
+    ///   its service level is genuinely unknown — while the followers it
+    ///   proves resident are bulk-charged L1 hits at L1 cost;
+    /// - attribution: `elems` accesses tagged to the current region under
+    ///   the entry's page-size column, exactly as n scalar tail calls;
+    /// - utilization (huge entries, tracking on): the touched bit of every
+    ///   constituent base page a charged element lands on is set, exactly
+    ///   the bits n scalar accesses would have set.
+    ///
+    /// The caller must ensure all `count` elements lie on the memo's
+    /// mapping page and that no TLB mutation happened since the memo was
+    /// issued.
+    pub fn charge_page_hits(
+        &mut self,
+        memo: &TranslationMemo,
+        start: VirtAddr,
+        stride: u64,
+        count: u64,
+        is_write: bool,
+        budget: u64,
+    ) -> PageRunCharge {
+        debug_assert!(count > 0);
+        let entry = memo.entry;
+        debug_assert_eq!(self.geom.page_number(start, entry.size), entry.vpn);
+        debug_assert_eq!(
+            self.geom
+                .page_number(start.add((count - 1) * stride), entry.size),
+            entry.vpn
+        );
+        // The huge-memo residency argument (see TranslationMemo): no base
+        // DTLB entry may shadow any sub-page we are about to bulk-charge.
+        #[cfg(debug_assertions)]
+        if entry.size == PageSize::Huge {
+            for vaddr in [start, start.add((count - 1) * stride)] {
+                debug_assert!(
+                    !self
+                        .dtlb_base
+                        .resident(self.geom.page_number(vaddr, PageSize::Base), PageSize::Base),
+                    "base DTLB entry shadows a huge-memo sub-page"
+                );
+            }
+        }
+        let remote = entry.node != self.cfg.local_node;
+        let l1_cost = self.cfg.cost.level_cycles(CacheLevel::L1, remote);
+        let line_bytes = self.caches.l1_line_bytes();
+        let mut cycles = 0u64;
+        let mut elems = 0u64;
+        'run: while elems < count {
+            let vaddr = start.add(elems * stride);
+            let paddr = self.global_paddr(entry, vaddr);
+            let level = self.caches.access(paddr);
+            let c = self.cfg.cost.level_cycles(level, remote);
+            self.counters.data_cycles += c;
+            self.counters.data_level_hits[match level {
+                CacheLevel::L1 => 0,
+                CacheLevel::L2 => 1,
+                CacheLevel::L3 => 2,
+                CacheLevel::Memory => 3,
+            }] += 1;
+            cycles += c;
+            elems += 1;
+            if cycles >= budget {
+                break 'run;
+            }
+            // Followers on the leader's L1 line are guaranteed L1 hits;
+            // cap the bulk charge so the budget-crossing element is the
+            // last one charged.
+            // stride == 0 (gather revisits) divides to None: the whole
+            // remainder sits on the leader's line.
+            let mut tail = (line_bytes - 1 - (paddr & (line_bytes - 1)))
+                .checked_div(stride)
+                .map_or(count - elems, |fit| fit.min(count - elems));
+            if l1_cost > 0 {
+                tail = tail.min((budget - cycles).div_ceil(l1_cost));
+            }
+            if tail > 0 {
+                self.caches.charge_l1_hits(paddr, tail);
+                self.counters.data_cycles += l1_cost * tail;
+                self.counters.data_level_hits[0] += tail;
+                cycles += l1_cost * tail;
+                elems += tail;
+                if cycles >= budget {
+                    break 'run;
+                }
+            }
+        }
+        self.counters.accesses += elems;
+        if is_write {
+            self.counters.writes += elems;
+        } else {
+            self.counters.reads += elems;
+        }
+        match entry.size {
+            PageSize::Base => self.dtlb_base.charge_hits(entry.vpn, PageSize::Base, elems),
+            PageSize::Huge => {
+                // Scalar stepping probes the base DTLB first and misses
+                // (the probed access proved no base entry covers this
+                // page), then hits the huge DTLB.
+                self.dtlb_base.charge_misses(elems);
+                self.dtlb_huge.charge_hits(entry.vpn, PageSize::Huge, elems);
+            }
+        }
+        if let Some(attr) = &mut self.attribution {
+            attr.cur().accesses[size_idx(entry.size)] += elems;
+        }
+        if entry.size == PageSize::Huge && self.utilization.is_some() {
+            // Scalar stepping sets the touched bit of each element's base
+            // sub-page; replay that for the charged elements. Bits are
+            // idempotent, so marking once per distinct sub-page in element
+            // order reproduces the scalar final state.
+            let frames = self.geom.frames(PageSize::Huge);
+            let base_bytes = self.geom.bytes(PageSize::Base);
+            if let Some(map) = &mut self.utilization {
+                let bits = map
+                    .entry(entry.vpn)
+                    .or_insert_with(|| vec![false; frames as usize]);
+                let last = self
+                    .geom
+                    .page_number(start.add((elems - 1) * stride), PageSize::Base);
+                // Mark one bit per *distinct* sub-page of the element
+                // sequence, jumping straight to the first element past each
+                // sub-page boundary instead of walking every element
+                // (addresses are non-decreasing in the element index, and
+                // bits are idempotent, so the final state is exactly what
+                // per-element marking would produce).
+                let mut vaddr = start;
+                loop {
+                    let vpn = self.geom.page_number(vaddr, PageSize::Base);
+                    bits[(vpn % frames) as usize] = true;
+                    if vpn == last || stride == 0 {
+                        break;
+                    }
+                    let boundary = (vpn + 1) * base_bytes;
+                    let k = (boundary - start.0).div_ceil(stride);
+                    vaddr = start.add(k * stride);
+                }
+            }
+        }
+        PageRunCharge { elems, cycles }
     }
 
     /// Shared tail of every successful translation: huge-page utilization
@@ -497,7 +733,8 @@ impl MemorySystem {
         let vpn = vaddr.vpn();
         // Levels that point at tables: all but the last path element.
         let table_levels = path.len().saturating_sub(1);
-        let skip = match self.pwc.deepest_hit(vpn, table_levels) {
+        let pwc_hit = self.pwc.deepest_hit(vpn, table_levels);
+        let skip = match pwc_hit {
             Some(level) => level + 1,
             None => 0,
         };
@@ -532,7 +769,7 @@ impl MemorySystem {
         }
         match result {
             WalkResult::Mapped(leaf) => {
-                self.pwc.fill(vpn, table_levels);
+                self.pwc.fill(vpn, table_levels, pwc_hit);
                 if self.tracer.wants(EventMask::PAGE_WALK) {
                     self.tracer.emit(EventKind::PageWalk {
                         vaddr: vaddr.0,
@@ -777,6 +1014,129 @@ mod tests {
         r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap();
         // Second walk skips the three upper levels via the PDE cache.
         assert_eq!(r.mmu.counters().walk_pte_reads, reads_after_first + 1);
+    }
+
+    /// `charge_page_hits` must equal n scalar accesses on a warmed base
+    /// page — counters, cache state, TLB recency — for strides that stay
+    /// within and that straddle L1 lines, and regardless of where a cycle
+    /// budget splits the run.
+    #[test]
+    fn bulk_page_charge_matches_scalar_base_page() {
+        for stride in [4u64, 8, 64, 96] {
+            for budget_split in [u64::MAX, 1, 57, 300] {
+                let mut fast = rig(9);
+                let mut scalar = rig(9);
+                map_base(&mut fast, 0x4000);
+                map_base(&mut scalar, 0x4000);
+                let count = (4096 - 4) / stride; // elements after the probe
+                let (probe_f, memo) = fast
+                    .mmu
+                    .access_probed(&fast.pt, VirtAddr(0x4000), false)
+                    .unwrap();
+                let probe_s = scalar
+                    .mmu
+                    .access(&scalar.pt, VirtAddr(0x4000), false)
+                    .unwrap();
+                assert_eq!(probe_f, probe_s);
+                // Fast side: charge with an arbitrary first budget, then
+                // finish the remainder unbudgeted (as the OS loop does
+                // after servicing its event horizon).
+                let start = VirtAddr(0x4000 + stride);
+                let c1 = fast
+                    .mmu
+                    .charge_page_hits(&memo, start, stride, count, true, budget_split);
+                let mut done = c1.elems;
+                let mut fast_cycles = c1.cycles;
+                if done < count {
+                    let rest = fast.mmu.charge_page_hits(
+                        &memo,
+                        start.add(done * stride),
+                        stride,
+                        count - done,
+                        true,
+                        u64::MAX,
+                    );
+                    done += rest.elems;
+                    fast_cycles += rest.cycles;
+                }
+                assert_eq!(done, count);
+                // Scalar side: one access per element.
+                let mut scalar_cycles = 0u64;
+                for i in 0..count {
+                    let cost = scalar
+                        .mmu
+                        .access(&scalar.pt, start.add(i * stride), true)
+                        .unwrap();
+                    scalar_cycles += cost.cycles;
+                }
+                assert_eq!(fast_cycles, scalar_cycles, "stride {stride}");
+                assert_eq!(fast.mmu.counters(), scalar.mmu.counters());
+                assert_eq!(fast.mmu.cache_stats(), scalar.mmu.cache_stats());
+                // Recency canary: drive both through an identical follow-up
+                // stream that forces evictions; divergent stamps would
+                // surface as divergent costs or counters.
+                for i in 0..200u64 {
+                    map_base(&mut fast, 0x100_0000 + i * 0x1000);
+                    map_base(&mut scalar, 0x100_0000 + i * 0x1000);
+                    let a = VirtAddr(0x100_0000 + i * 0x1000);
+                    let rf = fast.mmu.access(&fast.pt, a, false);
+                    let rs = scalar.mmu.access(&scalar.pt, a, false);
+                    assert_eq!(rf, rs);
+                }
+                assert_eq!(fast.mmu.counters(), scalar.mmu.counters());
+            }
+        }
+    }
+
+    /// Same equivalence on a huge-page mapping: bulk charges must tick the
+    /// base DTLB's miss clock and refresh the huge DTLB, with attribution
+    /// landing in the huge column.
+    #[test]
+    fn bulk_page_charge_matches_scalar_huge_page() {
+        let mut fast = rig(9);
+        let mut scalar = rig(9);
+        for r in [&mut fast, &mut scalar] {
+            let cfg = r.zone.config();
+            let hr = r.zone.alloc(cfg.huge_order, Owner::user()).unwrap();
+            let hv = VirtAddr(cfg.huge_bytes() * 2);
+            let zone = &mut r.zone;
+            r.pt.map(hv, PageSize::Huge, hr.base, 1, &mut || {
+                zone.alloc_frame(Owner::Kernel)
+            })
+            .unwrap();
+            r.mmu.enable_attribution(true);
+            r.mmu.set_region(3);
+            // Warm the base DTLB with a conflicting base page so its miss
+            // clock is live on both sides.
+            map_base(r, 0x1000);
+            r.mmu.access(&r.pt, VirtAddr(0x1000), false).unwrap();
+        }
+        let hv = VirtAddr(fast.zone.config().huge_bytes() * 2);
+        let (probe_f, memo) = fast.mmu.access_probed(&fast.pt, hv, false).unwrap();
+        let probe_s = scalar.mmu.access(&scalar.pt, hv, false).unwrap();
+        assert_eq!(probe_f, probe_s);
+        let start = hv.add(8);
+        let charge = fast
+            .mmu
+            .charge_page_hits(&memo, start, 8, 511, false, u64::MAX);
+        assert_eq!(charge.elems, 511);
+        let mut scalar_cycles = 0;
+        for i in 0..511u64 {
+            scalar_cycles += scalar
+                .mmu
+                .access(&scalar.pt, start.add(i * 8), false)
+                .unwrap()
+                .cycles;
+        }
+        assert_eq!(charge.cycles, scalar_cycles);
+        assert_eq!(fast.mmu.counters(), scalar.mmu.counters());
+        assert_eq!(fast.mmu.cache_stats(), scalar.mmu.cache_stats());
+        let (af, asc) = (
+            fast.mmu.attribution_regions().unwrap()[3].clone(),
+            scalar.mmu.attribution_regions().unwrap()[3].clone(),
+        );
+        assert_eq!(af, asc);
+        assert_eq!(af.accesses[1], 512, "all huge-page accesses attributed");
     }
 
     #[test]

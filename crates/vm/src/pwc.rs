@@ -37,24 +37,25 @@ impl SmallLru {
 
     fn insert(&mut self, key: u64) {
         self.clock += 1;
-        if let Some(i) = self.keys.iter().position(|&k| k == key) {
-            self.stamps[i] = self.clock;
-            return;
+        // One pass: refresh on a duplicate, else remember the LRU victim
+        // (least stamp, first index on ties, like `min_by_key`).
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k == key {
+                self.stamps[i] = self.clock;
+                return;
+            }
+            let s = self.stamps[i];
+            if s < oldest {
+                oldest = s;
+                victim = i;
+            }
         }
         if self.keys.len() < self.capacity {
             self.keys.push(key);
             self.stamps.push(self.clock);
             return;
-        }
-        // Evict the least-recently stamped entry (first index on ties,
-        // like `min_by_key`).
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for (i, &s) in self.stamps.iter().enumerate() {
-            if s < oldest {
-                oldest = s;
-                victim = i;
-            }
         }
         self.keys[victim] = key;
         self.stamps[victim] = self.clock;
@@ -117,9 +118,16 @@ impl PageWalkCaches {
     }
 
     /// Record that levels `0..filled` of the walk for `vpn` read valid
-    /// table pointers.
-    pub(crate) fn fill(&mut self, vpn: u64, filled: usize) {
+    /// table pointers. `refreshed` is the level [`Self::deepest_hit`] just
+    /// hit for this same `vpn`, if any: `contains` already re-stamped that
+    /// entry, and nothing else touched its array since, so re-inserting it
+    /// would only repeat the scan — skipping it leaves the stamp *order*
+    /// (all the LRU ever compares) identical.
+    pub(crate) fn fill(&mut self, vpn: u64, filled: usize, refreshed: Option<usize>) {
         for level in 0..filled.min(3) {
+            if refreshed == Some(level) {
+                continue;
+            }
             let p = self.prefix(vpn, level);
             self.levels[level].insert(p);
         }
@@ -152,7 +160,7 @@ mod tests {
         let mut p = pwc();
         let vpn = 0x12345;
         assert_eq!(p.deepest_hit(vpn, 3), None);
-        p.fill(vpn, 3);
+        p.fill(vpn, 3, None);
         assert_eq!(p.deepest_hit(vpn, 3), Some(2));
         // A different address sharing only the top-level prefix hits level 0.
         let far = vpn ^ (1 << 20);
@@ -162,7 +170,7 @@ mod tests {
     #[test]
     fn max_level_limits_lookup() {
         let mut p = pwc();
-        p.fill(7, 3);
+        p.fill(7, 3, None);
         // Huge-page walk: level 2 holds the leaf, only levels 0..2 usable.
         assert_eq!(p.deepest_hit(7, 2), Some(1));
     }
@@ -174,10 +182,10 @@ mod tests {
         let a = 1u64 << 27;
         let b = 2u64 << 27;
         let c = 3u64 << 27;
-        p.fill(a, 1);
-        p.fill(b, 1);
+        p.fill(a, 1, None);
+        p.fill(b, 1, None);
         assert_eq!(p.deepest_hit(a, 3), Some(0)); // refresh a
-        p.fill(c, 1); // evicts b
+        p.fill(c, 1, None); // evicts b
         assert_eq!(p.deepest_hit(b, 3), None);
         assert_eq!(p.deepest_hit(a, 3), Some(0));
     }
@@ -185,7 +193,7 @@ mod tests {
     #[test]
     fn invalidate_leaf_dir_clears_only_level2() {
         let mut p = pwc();
-        p.fill(99, 3);
+        p.fill(99, 3, None);
         p.invalidate_leaf_dir(99);
         assert_eq!(p.deepest_hit(99, 3), Some(1));
     }
@@ -193,7 +201,7 @@ mod tests {
     #[test]
     fn flush_clears_everything() {
         let mut p = pwc();
-        p.fill(5, 3);
+        p.fill(5, 3, None);
         p.flush();
         assert_eq!(p.deepest_hit(5, 3), None);
     }

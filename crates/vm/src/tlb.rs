@@ -37,11 +37,21 @@ pub struct SetAssocTlb {
     entries: Vec<TlbEntry>,
     stamps: Vec<u64>,
     clock: u64,
-    /// Number of valid ways; lets lookups on an empty array (e.g. the huge
-    /// DTLB of a base-pages-only run) return without scanning. Skipping
-    /// the scan is invisible to the model: stamps only ever compare
-    /// against each other, so unticked clocks never change an outcome.
-    live: u32,
+    /// Number of valid ways per page size (`[base, huge]`); lets lookups
+    /// for a size with no resident entries — the huge probe of a
+    /// base-pages-only run, or the base probe of a fully-promoted unified
+    /// STLB — return without scanning. Skipping the scan (and its clock
+    /// tick) is invisible to the model: stamps only ever compare against
+    /// each other, and dropping dead ticks renumbers the clock
+    /// monotonically, which preserves every stamp ordering and therefore
+    /// every LRU outcome.
+    live: [u32; 2],
+}
+
+/// Index into per-size occupancy counts.
+#[inline]
+fn size_slot(size: PageSize) -> usize {
+    (size == PageSize::Huge) as usize
 }
 
 /// Pack a (vpn, size) probe into one comparable word. VPNs fit in 48 bits,
@@ -76,7 +86,7 @@ impl SetAssocTlb {
             entries: vec![placeholder; entries as usize],
             stamps: vec![0; entries as usize],
             clock: 0,
-            live: 0,
+            live: [0; 2],
         }
     }
 
@@ -93,7 +103,7 @@ impl SetAssocTlb {
     /// Look up `vpn` of page size `size`; refreshes LRU on hit.
     #[inline]
     pub(crate) fn lookup(&mut self, vpn: u64, size: PageSize) -> Option<TlbEntry> {
-        if self.live == 0 {
+        if self.live[size_slot(size)] == 0 {
             return None;
         }
         let base = self.set_base(vpn);
@@ -135,12 +145,62 @@ impl SetAssocTlb {
         }
         let out = displaced.then(|| self.entries[base + victim]);
         if self.keys[base + victim] == u64::MAX {
-            self.live += 1;
+            self.live[size_slot(entry.size)] += 1;
+        } else if let Some(v) = out {
+            // A valid entry of a possibly different size was displaced.
+            self.live[size_slot(v.size)] -= 1;
+            self.live[size_slot(entry.size)] += 1;
         }
         self.keys[base + victim] = key;
         self.entries[base + victim] = entry;
         self.stamps[base + victim] = self.clock;
         out
+    }
+
+    /// Replay the bookkeeping of `n` back-to-back lookups that all hit the
+    /// resident entry for `vpn`/`size`, without scanning `n` times.
+    ///
+    /// `n` sequential [`Self::lookup`] hits tick the clock once each and
+    /// leave the way stamped with the final clock value; `clock += n` plus
+    /// one stamp write produces the *same* final state, because stamps only
+    /// ever compare against each other. The caller must have proven the
+    /// entry resident (a preceding real lookup or fill on the same page);
+    /// bulk charges never fill, so residency cannot change under them.
+    #[inline]
+    pub(crate) fn charge_hits(&mut self, vpn: u64, size: PageSize, n: u64) {
+        let base = self.set_base(vpn);
+        let key = probe_key(vpn, size);
+        self.clock += n;
+        for w in 0..self.ways as usize {
+            if self.keys[base + w] == key {
+                self.stamps[base + w] = self.clock;
+                return;
+            }
+        }
+        debug_assert!(false, "charge_hits on a non-resident entry");
+    }
+
+    /// Replay the clock effect of `n` back-to-back *base-size* lookups
+    /// that all missed: each scalar miss that scans ticks the probe clock
+    /// once and stamps nothing; a probe for a size with no resident
+    /// entries returns before ticking (see [`Self::lookup`]). Only the
+    /// base DTLB takes bulk miss charges, so the base slot is the one that
+    /// gates the tick. `live` cannot change mid-charge because bulk
+    /// charges never fill.
+    #[inline]
+    pub(crate) fn charge_misses(&mut self, n: u64) {
+        if self.live[size_slot(PageSize::Base)] > 0 {
+            self.clock += n;
+        }
+    }
+
+    /// Non-mutating residency check (no clock tick, no LRU refresh) —
+    /// only for debug assertions, where a real probe would perturb the
+    /// state being checked.
+    #[cfg(debug_assertions)]
+    pub(crate) fn resident(&self, vpn: u64, size: PageSize) -> bool {
+        let base = self.set_base(vpn);
+        self.keys[base..base + self.ways as usize].contains(&probe_key(vpn, size))
     }
 
     /// Drop the entry for `vpn`/`size` if present.
@@ -150,7 +210,7 @@ impl SetAssocTlb {
         for w in 0..self.ways as usize {
             if self.keys[base + w] == key {
                 self.keys[base + w] = u64::MAX;
-                self.live -= 1;
+                self.live[size_slot(size)] -= 1;
             }
         }
     }
@@ -177,7 +237,7 @@ impl SetAssocTlb {
     pub fn flush(&mut self) {
         self.keys.fill(u64::MAX);
         self.stamps.fill(0);
-        self.live = 0;
+        self.live = [0; 2];
     }
 
     /// Number of currently valid entries (diagnostics).
@@ -262,5 +322,53 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_panics() {
         let _ = SetAssocTlb::new(7, 2);
+    }
+
+    /// `charge_hits(n)` must leave clock, stamps, and therefore future LRU
+    /// decisions identical to `n` scalar lookups of the same entry.
+    #[test]
+    fn bulk_hit_charge_matches_scalar_lookups() {
+        for n in [1u64, 2, 7, 1024] {
+            let mut scalar = SetAssocTlb::new(8, 2);
+            let mut bulk = SetAssocTlb::new(8, 2);
+            for t in [&mut scalar, &mut bulk] {
+                t.insert(e(0));
+                t.insert(e(4)); // same set as 0
+            }
+            for _ in 0..n {
+                assert!(scalar.lookup(4, PageSize::Base).is_some());
+            }
+            bulk.charge_hits(4, PageSize::Base, n);
+            assert_eq!(scalar.clock, bulk.clock);
+            assert_eq!(scalar.stamps, bulk.stamps);
+            // The LRU consequence: vpn 0 is now the victim in both.
+            scalar.insert(e(8));
+            bulk.insert(e(8));
+            assert!(scalar.lookup(0, PageSize::Base).is_none());
+            assert!(bulk.lookup(0, PageSize::Base).is_none());
+            assert!(bulk.lookup(4, PageSize::Base).is_some());
+        }
+    }
+
+    /// `charge_misses(n)` must match `n` scalar missing lookups on both an
+    /// empty array (no clock tick) and a populated one (one tick each).
+    #[test]
+    fn bulk_miss_charge_matches_scalar_lookups() {
+        let mut scalar = SetAssocTlb::new(8, 2);
+        let mut bulk = SetAssocTlb::new(8, 2);
+        for _ in 0..5 {
+            assert!(scalar.lookup(9, PageSize::Base).is_none());
+        }
+        bulk.charge_misses(5);
+        assert_eq!(scalar.clock, bulk.clock); // both 0: empty arrays skip the tick
+        for t in [&mut scalar, &mut bulk] {
+            t.insert(e(1));
+        }
+        for _ in 0..5 {
+            assert!(scalar.lookup(9, PageSize::Base).is_none());
+        }
+        bulk.charge_misses(5);
+        assert_eq!(scalar.clock, bulk.clock);
+        assert_eq!(scalar.stamps, bulk.stamps);
     }
 }

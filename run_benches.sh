@@ -10,6 +10,9 @@ cd /root/repo
   echo "== hot-path engine headline -> BENCH_hotpath.json =="
   GRAPHMEM_SCALE="${GRAPHMEM_HOTPATH_SCALE:-small}" \
     cargo bench -p graphmem-bench --bench bench_hotpath 2>&1
+  echo "== page-run fast-path headline -> BENCH_fastpath.json =="
+  GRAPHMEM_SCALE="${GRAPHMEM_HOTPATH_SCALE:-small}" \
+    cargo bench -p graphmem-bench --bench bench_fastpath 2>&1
   echo "== machine-readable headline reports -> bench_reports.jsonl =="
   cargo build --release --bin graphmem 2>&1
   GRAPHMEM="$CARGO_TARGET_DIR/release/graphmem"

@@ -9,7 +9,7 @@
 
 use graphmem_core::{AccessEngine, Experiment, PagePolicy, RunReport};
 use graphmem_graph::Dataset;
-use graphmem_os::{System, SystemSpec, VirtAddr};
+use graphmem_os::{System, SystemSpec, ThpMode, VirtAddr};
 use graphmem_workloads::{AllocOrder, GraphArrays, Kernel};
 use proptest::prelude::*;
 
@@ -92,6 +92,39 @@ fn sampled_series_bit_identical() {
         "series too short to be probative"
     );
     assert_reports_identical(&legacy, &batched, "sampled pagerank");
+}
+
+/// `--attribution` used to force the batch APIs down the scalar path; now
+/// it rides the page-run fast path (bulk region tagging per page). The
+/// attribution tables — and everything else — must stay bit-identical to
+/// the legacy engine, including the memstate series a sampled attribution
+/// run records.
+#[test]
+fn attribution_bit_identical_on_fast_path() {
+    let run = |engine| {
+        Experiment::builder(Dataset::Wiki, Kernel::Pagerank)
+            .scale(tiny_scale(Dataset::Wiki))
+            .huge_order(4)
+            .policy(PagePolicy::ThpSystemWide)
+            .sample_interval(250_000)
+            .access_engine(engine)
+            .build()
+            .expect("valid config")
+            .attribution(true)
+            .run()
+    };
+    let legacy = run(AccessEngine::Legacy);
+    let batched = run(AccessEngine::Batched);
+    let regions = batched
+        .attribution
+        .as_ref()
+        .expect("attribution enabled")
+        .regions
+        .len();
+    assert!(regions > 1, "need several regions to be probative");
+    // `assert_reports_identical` compares the serialized report, which
+    // embeds the full attribution tables and memstate series.
+    assert_reports_identical(&legacy, &batched, "attribution-on pagerank");
 }
 
 /// Per-array profiles (reads/writes/seq-breaks/page histograms) are not
@@ -240,5 +273,50 @@ proptest! {
         }
         prop_assert_eq!(sys.perf(), twin.perf());
         prop_assert_eq!(sys.os_stats(), twin.os_stats());
+    }
+
+    /// Bulk `charge_page_hits` equals n scalar hits for arbitrary run
+    /// length, page size (huge order + THP mode), and event-horizon split
+    /// point: an epoch sampler forces bulk charges to split mid-page at
+    /// arbitrary cycle boundaries, and the sampled series must capture the
+    /// identical counter snapshots at the identical cycles as scalar
+    /// stepping through the legacy engine.
+    #[test]
+    fn bulk_charges_split_at_event_horizon_match_scalar(
+        huge_order in prop_oneof![Just(4u8), Just(6u8)],
+        thp_always in any::<bool>(),
+        interval in 5_000u64..80_000,
+        stride_elems in 1u64..4,
+        count in 1u64..3000,
+        start in 0u32..1000,
+        write in any::<bool>(),
+    ) {
+        let build = |engine| {
+            let mut spec = SystemSpec::scaled_with_order(64, huge_order);
+            if thp_always {
+                spec.thp.mode = ThpMode::Always;
+            }
+            let mut s = System::new(spec);
+            s.set_access_engine(engine);
+            s.enable_sampling(interval);
+            let b = s.mmap(1 << 21, "stream");
+            (s, b)
+        };
+        let (mut sys, base) = build(AccessEngine::Batched);
+        let (mut twin, tbase) = build(AccessEngine::Legacy);
+        let off = u64::from(start) * 8;
+        let stride = stride_elems * 8;
+        sys.access_run(base.add(off), stride, count, write);
+        for i in 0..count {
+            let addr = tbase.add(off + i * stride);
+            if write { twin.write(addr) } else { twin.read(addr) }
+        }
+        prop_assert_eq!(sys.clock(), twin.clock());
+        prop_assert_eq!(sys.perf(), twin.perf());
+        prop_assert_eq!(sys.os_stats(), twin.os_stats());
+        prop_assert_eq!(sys.take_series(), twin.take_series());
+        // Every fast-path element is either bulk-charged or probed.
+        let (hits, misses) = sys.memo_stats();
+        prop_assert_eq!(hits + misses, count);
     }
 }

@@ -132,6 +132,10 @@ fn second_submission_is_served_from_the_cache_byte_identically() {
         metric(&addr, "graph_cache_hits") > 0,
         "graph memo was shared"
     );
+    assert!(
+        metric(&addr, "translation_memo_hits") > 0,
+        "batched runs exercise the page-run fast path"
+    );
 
     server.join();
 
@@ -179,6 +183,8 @@ fn metrics_negotiate_prometheus_text_and_agree_with_json() {
         "graph_cache_hits",
         "graph_cache_misses",
         "graph_cache_len",
+        "translation_memo_hits",
+        "translation_memo_misses",
     ] {
         assert!(
             text.contains(&format!("# TYPE graphmem_{key} ")),
