@@ -56,8 +56,11 @@ SWEEP (sweep only):
     --resume <PATH>                          skip configs already completed in PATH
     --retries <N>                            retry transient failures N times [0]
     --timeout <SECS>                         per-experiment wall-clock watchdog
-    --chaos <K@I,...>                        inject faults: panic|io|delay:<ms> at
-                                             grid index I (testing/CI only)
+    --chaos <K@I,...>                        inject faults (testing/CI only):
+                                             compute kinds panic|io|delay:<ms> fire at
+                                             grid index I; IO kinds eio|enospc|io-torn
+                                             fire at durable-write index I
+    --fsync <always|never|every:N>           manifest fsync cadence [always]
 
 SERVE (serve only):
     --addr <HOST:PORT>                       bind address [127.0.0.1:7171]
@@ -66,6 +69,13 @@ SERVE (serve only):
     --cache-dir <DIR>                        durable result store (JSONL shards)
     --retries <N>                            supervisor retries per config [1]
     --timeout <SECS>                         per-config watchdog
+    --fsync <always|never|every:N>           result-store fsync cadence [always]
+    --chaos <K@I,...>                        inject faults (same grammar as sweep);
+                                             compute kinds fire at the Ith executed
+                                             config, IO kinds at the Ith store append
+    --breaker <K>                            open a config's circuit after K straight
+                                             panic/timeout failures (0 disables) [5]
+    --breaker-cooldown <SECS>                open -> half-open probe delay [10]
 
 SUBMIT (submit only):
     --addr <HOST:PORT>                       service address [127.0.0.1:7171]

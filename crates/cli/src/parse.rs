@@ -10,7 +10,9 @@ use graphmem_core::spec::{
     dataset_from_token, file_from_token, kernel_from_token, order_from_token, policy_from_token,
     preprocess_from_token, surplus_from_token,
 };
-use graphmem_core::{AccessEngine, FaultSpec, MemoryCondition, RunSpec, Surplus, SweepKind};
+use graphmem_core::{
+    AccessEngine, FaultSpec, FsyncPolicy, IoFaultKind, MemoryCondition, RunSpec, Surplus, SweepKind,
+};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +71,12 @@ pub struct ExecArgs {
     pub timeout_secs: Option<f64>,
     /// Deterministic fault injections, as `(grid index, fault)` pairs.
     pub chaos: Vec<(usize, FaultSpec)>,
+    /// Deterministic *IO* fault injections against the manifest writer,
+    /// as `(record index, fault)` pairs (`eio`, `enospc`, `io-torn`).
+    pub io_chaos: Vec<(u64, IoFaultKind)>,
+    /// Fsync cadence for the run manifest (`None` keeps the supervisor's
+    /// default, which is `always`).
+    pub fsync: Option<FsyncPolicy>,
 }
 
 /// A `graphmem serve` invocation.
@@ -86,6 +94,19 @@ pub struct ServeArgs {
     pub retries: u32,
     /// Per-config watchdog, in seconds (scaled to millis precision).
     pub timeout_ms: Option<u64>,
+    /// Fsync cadence for result-store shards (`None` = server default,
+    /// which is `always`).
+    pub fsync: Option<FsyncPolicy>,
+    /// Deterministic compute-fault injections against the Nth *executed*
+    /// (non-cached) config, for degraded-mode and breaker testing.
+    pub chaos: Vec<(usize, FaultSpec)>,
+    /// Deterministic IO-fault injections against the Nth store append.
+    pub io_chaos: Vec<(u64, IoFaultKind)>,
+    /// Circuit-breaker trip threshold (`None` = server default; `0`
+    /// disables breaking entirely).
+    pub breaker: Option<u32>,
+    /// Circuit-breaker half-open cooldown, in milliseconds.
+    pub breaker_cooldown_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -97,6 +118,11 @@ impl Default for ServeArgs {
             cache_dir: None,
             retries: 1,
             timeout_ms: None,
+            fsync: None,
+            chaos: Vec::new(),
+            io_chaos: Vec::new(),
+            breaker: None,
+            breaker_cooldown_ms: None,
         }
     }
 }
@@ -286,10 +312,19 @@ fn exec_flag(exec: &mut ExecArgs, flag: &str, it: &mut ArgIter<'_>) -> Result<bo
                 .map_err(|_| ParseError("--retries needs an integer".into()))?;
         }
         "--timeout" => exec.timeout_secs = Some(parse_timeout(next_value(it, flag)?)?),
-        "--chaos" => exec.chaos = parse_chaos(next_value(it, flag)?)?,
+        "--chaos" => {
+            let plan = parse_chaos(next_value(it, flag)?)?;
+            exec.chaos = plan.compute;
+            exec.io_chaos = plan.io;
+        }
+        "--fsync" => exec.fsync = Some(parse_fsync(next_value(it, flag)?)?),
         _ => return Ok(false),
     }
     Ok(true)
+}
+
+fn parse_fsync(v: &str) -> Result<FsyncPolicy, ParseError> {
+    FsyncPolicy::from_token(v).map_err(|e| ParseError(format!("--fsync: {e}")))
 }
 
 fn parse_timeout(v: &str) -> Result<f64, ParseError> {
@@ -354,6 +389,24 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
                 let secs = parse_timeout(next_value(&mut it, flag)?)?;
                 serve.timeout_ms = Some((secs * 1000.0) as u64);
             }
+            "--fsync" => serve.fsync = Some(parse_fsync(next_value(&mut it, flag)?)?),
+            "--chaos" => {
+                let plan = parse_chaos(next_value(&mut it, flag)?)?;
+                serve.chaos = plan.compute;
+                serve.io_chaos = plan.io;
+            }
+            "--breaker" => {
+                serve.breaker = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| ParseError("--breaker needs an integer threshold".into()))?,
+                );
+            }
+            "--breaker-cooldown" => {
+                let secs = parse_timeout(next_value(&mut it, flag)?)
+                    .map_err(|e| ParseError(e.0.replace("--timeout", "--breaker-cooldown")))?;
+                serve.breaker_cooldown_ms = Some((secs * 1000.0) as u64);
+            }
             other => return err(format!("unknown option '{other}'")),
         }
     }
@@ -382,38 +435,52 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, ParseError> {
     Ok(submit)
 }
 
+/// A parsed `--chaos` list, split by which layer each fault targets:
+/// compute faults fire inside the experiment at a grid index, IO faults
+/// fire inside the durable writer at a record index.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ChaosPlan {
+    compute: Vec<(usize, FaultSpec)>,
+    io: Vec<(u64, IoFaultKind)>,
+}
+
 /// Parse a fault-injection spec: a comma list of `<kind>@<index>` where
-/// kind is `panic`, `io`, or `delay:<ms>` (e.g. `panic@2,io@5`).
-fn parse_chaos(v: &str) -> Result<Vec<(usize, FaultSpec)>, ParseError> {
-    let mut plan = Vec::new();
+/// kind is a compute fault (`panic`, `io`, `delay:<ms>`, keyed by grid
+/// index) or an IO fault (`eio`, `enospc`, `io-torn`, keyed by durable
+/// record index) — e.g. `panic@2,io@5,enospc@3`.
+fn parse_chaos(v: &str) -> Result<ChaosPlan, ParseError> {
+    const KINDS: &str = "panic|io|delay:<ms>|eio|enospc|io-torn";
+    let mut plan = ChaosPlan::default();
     for part in v.split(',') {
         let Some((kind, index)) = part.split_once('@') else {
             return err(format!(
-                "--chaos entry '{part}' must be <kind>@<index> (panic|io|delay:<ms>)"
+                "--chaos entry '{part}' must be <kind>@<index> ({KINDS})"
             ));
         };
-        let index: usize = index
+        let index: u64 = index
             .parse()
             .map_err(|_| ParseError(format!("--chaos entry '{part}': bad index '{index}'")))?;
-        let fault = if let Some(ms) = kind.strip_prefix("delay:") {
+        if let Some(ms) = kind.strip_prefix("delay:") {
             let ms: u64 = ms.parse().map_err(|_| {
                 ParseError(format!(
                     "--chaos entry '{part}': bad delay '{ms}' (milliseconds)"
                 ))
             })?;
-            FaultSpec::Delay { ms }
+            plan.compute.push((index as usize, FaultSpec::Delay { ms }));
         } else {
             match kind {
-                "panic" => FaultSpec::Panic,
-                "io" => FaultSpec::IoError,
+                "panic" => plan.compute.push((index as usize, FaultSpec::Panic)),
+                "io" => plan.compute.push((index as usize, FaultSpec::IoError)),
+                "eio" => plan.io.push((index, IoFaultKind::Eio)),
+                "enospc" => plan.io.push((index, IoFaultKind::Enospc)),
+                "io-torn" => plan.io.push((index, IoFaultKind::Torn)),
                 other => {
                     return err(format!(
-                        "--chaos entry '{part}': unknown fault '{other}' (panic|io|delay:<ms>)"
+                        "--chaos entry '{part}': unknown fault '{other}' ({KINDS})"
                     ))
                 }
             }
-        };
-        plan.push((index, fault));
+        }
     }
     Ok(plan)
 }
@@ -593,6 +660,38 @@ mod tests {
                 (0, FaultSpec::Delay { ms: 250 }),
             ]
         );
+        assert!(r.exec.io_chaos.is_empty());
+        assert_eq!(r.exec.fsync, None, "fsync defaults to the supervisor's");
+    }
+
+    #[test]
+    fn durability_flags() {
+        // One --chaos list mixes compute and IO faults; they split by
+        // target layer.
+        let Command::Sweep(_, r) = parse(&args(
+            "sweep pressure --fsync every:8 --chaos panic@1,io-torn@3,enospc@0,eio@7",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.exec.fsync, Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(r.exec.chaos, vec![(1, FaultSpec::Panic)]);
+        assert_eq!(
+            r.exec.io_chaos,
+            vec![
+                (3, IoFaultKind::Torn),
+                (0, IoFaultKind::Enospc),
+                (7, IoFaultKind::Eio),
+            ]
+        );
+        let Command::Sweep(_, r) = parse(&args("sweep pressure --fsync never")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.exec.fsync, Some(FsyncPolicy::Never));
+        let e = parse(&args("sweep pressure --fsync sometimes")).unwrap_err();
+        assert!(e.to_string().contains("--fsync"), "{e}");
+        let e = parse(&args("sweep pressure --fsync every:0")).unwrap_err();
+        assert!(e.to_string().contains("--fsync"), "{e}");
     }
 
     #[test]
@@ -645,6 +744,32 @@ mod tests {
         assert_eq!(s.timeout_ms, Some(500));
         assert!(parse(&args("serve --workers 0")).is_err());
         assert!(parse(&args("serve --dataset wiki")).is_err());
+    }
+
+    #[test]
+    fn serve_durability_flags() {
+        let Command::Serve(s) = parse(&args(
+            "serve --fsync every:4 --chaos enospc@2,panic@0 --breaker 3 --breaker-cooldown 0.25",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.fsync, Some(FsyncPolicy::EveryN(4)));
+        assert_eq!(s.chaos, vec![(0, FaultSpec::Panic)]);
+        assert_eq!(s.io_chaos, vec![(2, IoFaultKind::Enospc)]);
+        assert_eq!(s.breaker, Some(3));
+        assert_eq!(s.breaker_cooldown_ms, Some(250));
+        // `--breaker 0` is valid: it disables circuit breaking.
+        let Command::Serve(s) = parse(&args("serve --breaker 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.breaker, Some(0));
+        let e = parse(&args("serve --breaker lots")).unwrap_err();
+        assert!(e.to_string().contains("--breaker"), "{e}");
+        let e = parse(&args("serve --breaker-cooldown -2")).unwrap_err();
+        assert!(e.to_string().contains("--breaker-cooldown"), "{e}");
+        let e = parse(&args("serve --fsync every:")).unwrap_err();
+        assert!(e.to_string().contains("--fsync"), "{e}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use graphmem_core::{
-    run_supervised, FaultPlan, RunReport, SupervisorConfig, SweepKind, SweepOutcome,
+    run_supervised, FaultPlan, IoFaultPlan, RunReport, SupervisorConfig, SweepKind, SweepOutcome,
 };
 use graphmem_graph::Dataset;
 use graphmem_server::{http, Server, ServerConfig};
@@ -183,6 +183,10 @@ fn supervisor_config(exec: &ExecArgs, threads: usize) -> SupervisorConfig {
     for (index, fault) in &exec.chaos {
         faults = faults.inject(*index, fault.clone());
     }
+    let mut manifest_faults = IoFaultPlan::none();
+    for (index, kind) in &exec.io_chaos {
+        manifest_faults = manifest_faults.inject(*index, *kind);
+    }
     SupervisorConfig {
         threads,
         retries: exec.retries,
@@ -190,6 +194,8 @@ fn supervisor_config(exec: &ExecArgs, threads: usize) -> SupervisorConfig {
         manifest: exec.manifest.as_ref().map(PathBuf::from),
         resume: exec.resume.as_ref().map(PathBuf::from),
         faults,
+        fsync: exec.fsync.unwrap_or_default(),
+        manifest_faults,
         cancel: Some(sigint_flag()),
         ..SupervisorConfig::default()
     }
@@ -277,6 +283,15 @@ fn sweep_cmd(kind: SweepKind, args: &RunArgs) -> u8 {
 }
 
 fn serve_cmd(args: &ServeArgs) -> u8 {
+    let mut io_faults = IoFaultPlan::none();
+    for (index, kind) in &args.io_chaos {
+        io_faults = io_faults.inject(*index, *kind);
+    }
+    let mut compute_faults = FaultPlan::none();
+    for (index, fault) in &args.chaos {
+        compute_faults = compute_faults.inject(*index, fault.clone());
+    }
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         addr: args.addr.clone(),
         workers: args.workers,
@@ -284,7 +299,14 @@ fn serve_cmd(args: &ServeArgs) -> u8 {
         cache_dir: args.cache_dir.as_ref().map(PathBuf::from),
         retries: args.retries,
         timeout: args.timeout_ms.map(Duration::from_millis),
-        ..ServerConfig::default()
+        fsync: args.fsync.unwrap_or(defaults.fsync),
+        io_faults,
+        compute_faults,
+        breaker_threshold: args.breaker.unwrap_or(defaults.breaker_threshold),
+        breaker_cooldown: args
+            .breaker_cooldown_ms
+            .map_or(defaults.breaker_cooldown, Duration::from_millis),
+        ..defaults
     };
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -1,0 +1,329 @@
+//! Per-configuration circuit breaking for experiment scheduling.
+//!
+//! The supervisor retries transient failures, but a *poisonous* config —
+//! one that panics or times out every attempt — would otherwise keep
+//! re-entering the worker pool and burn its full retry budget (plus a
+//! watchdog timeout per attempt) on every submission. [`CircuitBreakers`]
+//! is a registry of classic three-state breakers keyed by `config_hash`:
+//!
+//! ```text
+//!              K consecutive counting failures
+//!   ┌────────┐ ─────────────────────────────▶ ┌────────┐
+//!   │ Closed │                                │  Open  │──┐ admit()
+//!   └────────┘ ◀──────────┐                   └────────┘  │ rejects
+//!        ▲                │ probe succeeds        │       │
+//!        │                │                cooldown elapsed
+//!        │          ┌──────────┐                  │
+//!        └──────────│ Half-open│ ◀────────────────┘
+//!   any success     └──────────┘   one probe admitted
+//!                         │
+//!                         │ probe fails (counting)
+//!                         ▼ back to Open, cooldown restarts
+//! ```
+//!
+//! Only *counting* failures (panics and watchdog timeouts — the
+//! deterministic, config-shaped outcomes) advance a breaker; transient
+//! IO failures reset the consecutive counter, because they say nothing
+//! about the config itself. A rejected submission fails fast with
+//! [`GraphmemError::CircuitOpen`](crate::GraphmemError::CircuitOpen)
+//! instead of occupying a worker.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`CircuitBreakers`] registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive counting failures (panic/timeout) that trip a breaker
+    /// open. `0` disables breaking entirely.
+    pub threshold: u32,
+    /// How long a tripped breaker stays open before admitting one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: Duration::from_secs(10),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A registry that never trips (threshold 0).
+    pub fn disabled() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 0,
+            cooldown: Duration::ZERO,
+        }
+    }
+}
+
+/// The scheduling verdict for one submission of a config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed (or disabled): run normally.
+    Admit,
+    /// Breaker was open and the cooldown elapsed: run as the single
+    /// half-open probe — its outcome decides whether the breaker closes
+    /// or re-opens.
+    AdmitProbe,
+    /// Breaker open (or a probe already in flight): fail fast without
+    /// occupying a worker.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { fails: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A point-in-time view of the registry, for `/healthz`, `/metrics`,
+/// and logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// `config_hash`es currently open or probing (sorted, so output is
+    /// deterministic).
+    pub open: Vec<String>,
+    /// Distinct configs the registry has seen.
+    pub tracked: u64,
+    /// Closed → open transitions over the registry's lifetime.
+    pub trips: u64,
+    /// Submissions rejected while open.
+    pub rejections: u64,
+}
+
+/// Registry of per-`config_hash` circuit breakers, shared across the
+/// server's worker pool (and any supervised sweep that opts in).
+#[derive(Debug)]
+pub struct CircuitBreakers {
+    config: BreakerConfig,
+    states: Mutex<HashMap<String, State>>,
+    trips: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl CircuitBreakers {
+    /// A registry with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreakers {
+        CircuitBreakers {
+            config,
+            states: Mutex::new(HashMap::new()),
+            trips: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The tuning this registry runs with.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, State>> {
+        // Breaker state is a plain map of copyable enums: a panic while
+        // holding the lock cannot leave it torn, so poisoning is
+        // recoverable.
+        match self.states.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Decide whether a submission of `config_hash` may run now.
+    pub fn admit(&self, config_hash: &str) -> BreakerDecision {
+        if self.config.threshold == 0 {
+            return BreakerDecision::Admit;
+        }
+        let mut states = self.lock();
+        match states.get(config_hash).copied() {
+            None | Some(State::Closed { .. }) => BreakerDecision::Admit,
+            Some(State::Open { since }) => {
+                if since.elapsed() >= self.config.cooldown {
+                    states.insert(config_hash.to_string(), State::HalfOpen);
+                    BreakerDecision::AdmitProbe
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    BreakerDecision::Reject
+                }
+            }
+            Some(State::HalfOpen) => {
+                // One probe at a time: concurrent submissions wait out
+                // the in-flight probe.
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                BreakerDecision::Reject
+            }
+        }
+    }
+
+    /// Record a successful run: any state collapses back to closed.
+    pub fn record_success(&self, config_hash: &str) {
+        if self.config.threshold == 0 {
+            return;
+        }
+        self.lock()
+            .insert(config_hash.to_string(), State::Closed { fails: 0 });
+    }
+
+    /// Record a failed run. `counting` is true for the config-shaped
+    /// outcomes (panic, watchdog timeout); transient failures pass false
+    /// and reset the consecutive counter instead. Returns `true` when
+    /// this failure tripped (or re-tripped) the breaker open.
+    pub fn record_failure(&self, config_hash: &str, counting: bool) -> bool {
+        if self.config.threshold == 0 {
+            return false;
+        }
+        let mut states = self.lock();
+        let state = states
+            .entry(config_hash.to_string())
+            .or_insert(State::Closed { fails: 0 });
+        match (*state, counting) {
+            (State::Closed { fails }, true) => {
+                let fails = fails + 1;
+                if fails >= self.config.threshold {
+                    *state = State::Open {
+                        since: Instant::now(),
+                    };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    *state = State::Closed { fails };
+                    false
+                }
+            }
+            (State::Closed { .. }, false) => {
+                *state = State::Closed { fails: 0 };
+                false
+            }
+            // A failed probe re-opens immediately and restarts the
+            // cooldown; a transiently-failed probe closes the breaker —
+            // the config itself did not misbehave.
+            (State::HalfOpen, true) | (State::Open { .. }, true) => {
+                *state = State::Open {
+                    since: Instant::now(),
+                };
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            (State::HalfOpen, false) | (State::Open { .. }, false) => {
+                *state = State::Closed { fails: 0 };
+                false
+            }
+        }
+    }
+
+    /// How many consecutive counting failures `config_hash` has accrued
+    /// (0 when unknown, open, or probing).
+    pub fn consecutive_failures(&self, config_hash: &str) -> u32 {
+        match self.lock().get(config_hash) {
+            Some(State::Closed { fails }) => *fails,
+            _ => 0,
+        }
+    }
+
+    /// A point-in-time view for health and metrics endpoints.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let states = self.lock();
+        let mut open: Vec<String> = states
+            .iter()
+            .filter(|(_, s)| matches!(s, State::Open { .. } | State::HalfOpen))
+            .map(|(h, _)| h.clone())
+            .collect();
+        open.sort();
+        BreakerSnapshot {
+            open,
+            tracked: states.len() as u64,
+            trips: self.trips.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(threshold: u32, cooldown_ms: u64) -> CircuitBreakers {
+        CircuitBreakers::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_open_after_k_consecutive_counting_failures() {
+        let b = registry(3, 10_000);
+        assert_eq!(b.admit("cfg"), BreakerDecision::Admit);
+        assert!(!b.record_failure("cfg", true));
+        assert!(!b.record_failure("cfg", true));
+        assert_eq!(b.admit("cfg"), BreakerDecision::Admit, "still under K");
+        assert!(b.record_failure("cfg", true), "third failure trips");
+        assert_eq!(b.admit("cfg"), BreakerDecision::Reject);
+        let snap = b.snapshot();
+        assert_eq!(snap.open, vec!["cfg".to_string()]);
+        assert_eq!(snap.trips, 1);
+        assert_eq!(snap.rejections, 1);
+    }
+
+    #[test]
+    fn non_counting_failures_reset_the_streak() {
+        let b = registry(2, 10_000);
+        assert!(!b.record_failure("cfg", true));
+        b.record_failure("cfg", false); // transient IO blip
+        assert!(!b.record_failure("cfg", true), "streak restarted");
+        assert!(b.record_failure("cfg", true));
+    }
+
+    #[test]
+    fn success_closes_and_breakers_are_per_config() {
+        let b = registry(2, 10_000);
+        assert!(!b.record_failure("a", true));
+        b.record_success("a");
+        assert_eq!(b.consecutive_failures("a"), 0);
+        assert!(!b.record_failure("a", true), "counter restarted");
+        // "b" is independent of "a".
+        assert!(!b.record_failure("b", true));
+        assert!(b.record_failure("b", true));
+        assert_eq!(b.admit("a"), BreakerDecision::Admit);
+        assert_eq!(b.admit("b"), BreakerDecision::Reject);
+        assert_eq!(b.snapshot().tracked, 2);
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close_or_reopen() {
+        let b = registry(1, 20);
+        assert!(b.record_failure("cfg", true));
+        assert_eq!(b.admit("cfg"), BreakerDecision::Reject, "cooling down");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit("cfg"), BreakerDecision::AdmitProbe);
+        assert_eq!(
+            b.admit("cfg"),
+            BreakerDecision::Reject,
+            "one probe at a time"
+        );
+        // Failed probe re-opens and restarts the cooldown.
+        assert!(b.record_failure("cfg", true));
+        assert_eq!(b.admit("cfg"), BreakerDecision::Reject);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit("cfg"), BreakerDecision::AdmitProbe);
+        // Successful probe closes.
+        b.record_success("cfg");
+        assert_eq!(b.admit("cfg"), BreakerDecision::Admit);
+        assert!(b.snapshot().open.is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_disables_breaking() {
+        let b = registry(0, 0);
+        for _ in 0..100 {
+            assert!(!b.record_failure("cfg", true));
+        }
+        assert_eq!(b.admit("cfg"), BreakerDecision::Admit);
+        assert_eq!(b.snapshot(), BreakerSnapshot::default());
+    }
+}

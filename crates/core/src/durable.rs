@@ -1,0 +1,658 @@
+//! Crash-safe append-only persistence primitives.
+//!
+//! Every durable JSONL surface in the harness — the supervisor's
+//! run-manifests and the experiment service's result-store shards —
+//! writes through this module so that all of them share one failure
+//! discipline:
+//!
+//! * **Per-record CRC32 framing** — each appended line carries a CRC32
+//!   of its payload ([`frame_record`]). Readers classify every line as
+//!   intact, legacy (pre-framing, no checksum), or corrupt
+//!   ([`parse_framed`]), so a torn tail from a `SIGKILL` mid-write and a
+//!   flipped bit in the middle of a shard are *detected*, never parsed
+//!   into a wrong result.
+//! * **Typed fsync cadence** — [`FsyncPolicy`] decides when appends are
+//!   pushed through to stable storage (`Always` / `EveryN` / `Never`),
+//!   instead of every writer improvising its own flush story.
+//! * **Deterministic IO fault injection** — [`IoFaultPlan`] injects
+//!   `EIO`, `ENOSPC`, and torn-writes-after-k-bytes at chosen record
+//!   indices (torn offsets seeded through SplitMix64, the same generator
+//!   the compute [`FaultPlan`](crate::FaultPlan) uses), so durability
+//!   claims are exercised by tests rather than asserted in comments.
+//! * **Atomic replacement** — [`write_atomic`] routes
+//!   compaction/snapshot rewrites through write-temp + fsync +
+//!   atomic-rename, so a reader never observes a half-rewritten file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The framed-record separator: payload, one tab, eight lowercase hex
+/// CRC32 digits. A tab never occurs inside the JSON payloads the
+/// harness writes, so the split is unambiguous, and `cut -f1` still
+/// yields plain JSONL for ad-hoc tooling.
+const FRAME_SEP: char = '\t';
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial) — table-driven, no deps.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the checksum in every framed record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ CRC32_TABLE[((c ^ b as u32) & 0xff) as usize];
+    }
+    !c
+}
+
+/// SplitMix64 — the harness's shared deterministic scrambler (also used
+/// by [`FaultPlan::seeded_panic`](crate::FaultPlan::seeded_panic)).
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------
+
+/// Frame one record payload (no trailing newline): append the CRC32
+/// suffix that lets readers detect torn or corrupted lines.
+pub fn frame_record(payload: &str) -> String {
+    format!("{payload}{FRAME_SEP}{:08x}", crc32(payload.as_bytes()))
+}
+
+/// One line of a durable JSONL file, as a reader sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framed<'a> {
+    /// A framed record whose CRC32 verified: the write completed.
+    Valid(&'a str),
+    /// An unframed line from a pre-framing writer; content-level parsing
+    /// decides whether it is usable.
+    Legacy(&'a str),
+    /// A framed record whose CRC32 did not verify: a torn write (when it
+    /// is the final line) or interior corruption (anywhere else).
+    Corrupt,
+}
+
+/// Classify one line: CRC-verified payload, legacy unframed line, or
+/// corruption.
+pub fn parse_framed(line: &str) -> Framed<'_> {
+    let Some((payload, suffix)) = line.rsplit_once(FRAME_SEP) else {
+        return Framed::Legacy(line);
+    };
+    if suffix.len() != 8 || !suffix.bytes().all(|b| b.is_ascii_hexdigit()) {
+        // A tab without a CRC suffix never comes from our writer: the
+        // line was mangled.
+        return Framed::Corrupt;
+    }
+    match u32::from_str_radix(suffix, 16) {
+        Ok(want) if crc32(payload.as_bytes()) == want => Framed::Valid(payload),
+        _ => Framed::Corrupt,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fsync policy
+// ---------------------------------------------------------------------
+
+/// When appends are pushed through to stable storage (`fsync`), as a
+/// typed policy instead of per-writer improvisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record — every acknowledged record survives a
+    /// crash (the default for manifests and result shards).
+    #[default]
+    Always,
+    /// `fsync` every N records — bounded data loss, amortized syscalls.
+    EveryN(u32),
+    /// Never `fsync` explicitly — the OS decides (fastest, weakest).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI token grammar: `always`, `never`, or `every:<n>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a display-ready message on unknown tokens or `every:0`.
+    pub fn from_token(token: &str) -> Result<FsyncPolicy, String> {
+        match token {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => {
+                let n: u32 = token
+                    .strip_prefix("every:")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| {
+                        format!("fsync policy must be always|never|every:<n>, got '{token}'")
+                    })?;
+                if n == 0 {
+                    return Err("fsync policy every:<n> needs n >= 1".to_string());
+                }
+                Ok(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+
+    /// The CLI token for this policy (inverse of [`Self::from_token`]).
+    pub fn token(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every:{n}"),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injectable IO faults
+// ---------------------------------------------------------------------
+
+/// One kind of injectable IO fault on the durable write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Fail one append with `EIO` (transient: nothing is written).
+    Eio,
+    /// Fail every append from the trigger index on with `ENOSPC` — a
+    /// full disk does not un-fill itself; this is the persistent-failure
+    /// case that must flip a store into degraded read-only mode.
+    Enospc,
+    /// Write only a seeded prefix of the record, then fail — the
+    /// SIGKILL-mid-write artifact, produced deterministically.
+    Torn,
+}
+
+impl IoFaultKind {
+    /// Stable token used by the CLI `--chaos` grammar.
+    pub fn token(&self) -> &'static str {
+        match self {
+            IoFaultKind::Eio => "eio",
+            IoFaultKind::Enospc => "enospc",
+            IoFaultKind::Torn => "io-torn",
+        }
+    }
+}
+
+/// A deterministic plan of IO faults, by durable-record index (the Nth
+/// record appended through one [`DurableAppender`] group).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    faults: Vec<(u64, IoFaultKind)>,
+    seed: u64,
+}
+
+impl IoFaultPlan {
+    /// An empty plan: no faults.
+    pub fn none() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Add a fault firing at record index `index` (builder style).
+    pub fn inject(mut self, index: u64, kind: IoFaultKind) -> IoFaultPlan {
+        self.faults.push((index, kind));
+        self
+    }
+
+    /// Set the seed scrambling torn-write offsets.
+    pub fn seeded(mut self, seed: u64) -> IoFaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned `(record index, fault)` pairs, in insertion order.
+    pub fn entries(&self) -> &[(u64, IoFaultKind)] {
+        &self.faults
+    }
+
+    /// The fault that applies to record `index`: an exact-index match
+    /// for the one-shot kinds, or any `Enospc` at or before `index`
+    /// (a full disk stays full).
+    pub fn fault_for(&self, index: u64) -> Option<IoFaultKind> {
+        if let Some((_, k)) = self
+            .faults
+            .iter()
+            .find(|(i, k)| *i == index && *k != IoFaultKind::Enospc)
+        {
+            return Some(*k);
+        }
+        self.faults
+            .iter()
+            .find(|(i, k)| *k == IoFaultKind::Enospc && *i <= index)
+            .map(|(_, k)| *k)
+    }
+
+    /// How many bytes of an `len`-byte record a torn write at `index`
+    /// leaves behind: at least 1 and strictly less than `len`, seeded so
+    /// the same plan tears the same way every run.
+    pub fn torn_prefix(&self, index: u64, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        1 + (splitmix64(self.seed ^ index) % (len as u64 - 1)) as usize
+    }
+}
+
+/// `ENOSPC` as an `io::Error` (raw OS errno 28 on Unix), used both by
+/// the injector and by degraded-mode detection.
+pub fn enospc_error() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+/// Whether an IO error is `ENOSPC` — the persistent write failure that
+/// must flip a store into degraded read-only mode immediately.
+pub fn is_enospc(err: &io::Error) -> bool {
+    err.raw_os_error() == Some(28)
+}
+
+// ---------------------------------------------------------------------
+// Durable appender
+// ---------------------------------------------------------------------
+
+/// An append-mode writer of framed records with a typed fsync cadence
+/// and an injectable fault hook — the seam under the result store's
+/// shards and the supervisor's run-manifests.
+#[derive(Debug)]
+pub struct DurableAppender {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    /// Records appended since the last explicit sync.
+    unsynced: u32,
+    /// Records successfully appended through this appender.
+    records: u64,
+    /// Explicit fsyncs issued.
+    fsyncs: u64,
+}
+
+impl DurableAppender {
+    /// Open `path` for appending (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the file cannot be opened.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> io::Result<DurableAppender> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(DurableAppender {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            unsynced: 0,
+            records: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lifetime `(records appended, fsyncs issued)` through this handle.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.records, self.fsyncs)
+    }
+
+    /// Append one framed record (payload + CRC32 + newline), applying
+    /// `fault` if one is scheduled for this write, then fsync per
+    /// policy. Returns whether this append issued an fsync.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write/sync error; an injected `Torn` fault leaves a
+    /// partial record on disk (exactly what a kill mid-write leaves) and
+    /// reports `EIO`, an injected `Eio` writes nothing, and `Enospc`
+    /// reports errno 28 without writing.
+    pub fn append(
+        &mut self,
+        payload: &str,
+        fault: Option<IoFaultKind>,
+        torn_prefix: usize,
+    ) -> io::Result<bool> {
+        let mut line = frame_record(payload);
+        line.push('\n');
+        match fault {
+            Some(IoFaultKind::Eio) => {
+                return Err(io::Error::other("injected IO fault: EIO on append"));
+            }
+            Some(IoFaultKind::Enospc) => return Err(enospc_error()),
+            Some(IoFaultKind::Torn) => {
+                let k = torn_prefix.clamp(1, line.len().saturating_sub(1));
+                self.file.write_all(&line.as_bytes()[..k])?;
+                let _ = self.file.sync_data();
+                return Err(io::Error::other(format!(
+                    "injected IO fault: torn write after {k} bytes"
+                )));
+            }
+            None => {}
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.records += 1;
+        self.unsynced += 1;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.file.sync_data()?;
+            self.fsyncs += 1;
+            self.unsynced = 0;
+        }
+        Ok(due)
+    }
+}
+
+/// Truncate a torn final record — bytes after the last newline, the
+/// artifact a kill (or injected torn write) mid-append leaves — so the
+/// next append starts on a fresh line instead of concatenating onto the
+/// partial one. Returns how many bytes were dropped (0 for a missing,
+/// empty, or newline-terminated file).
+///
+/// # Errors
+///
+/// Returns the underlying error if the file exists but cannot be read
+/// or truncated.
+pub fn truncate_torn_tail(path: &Path) -> io::Result<u64> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(0);
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let dropped = (bytes.len() - keep) as u64;
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep as u64)?;
+    file.sync_data()?;
+    Ok(dropped)
+}
+
+// ---------------------------------------------------------------------
+// Atomic replacement
+// ---------------------------------------------------------------------
+
+/// Replace `path` with `bytes` atomically: write a sibling temp file,
+/// fsync it, rename over `path`, and best-effort fsync the directory so
+/// the rename itself is durable. A reader never observes a partial
+/// rewrite — it sees the old file or the new one.
+///
+/// # Errors
+///
+/// Returns the underlying error from the temp write, sync, or rename
+/// (the temp file is cleaned up best-effort on failure).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    } else if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------
+
+/// The supervisor's retry delay for attempt `attempt` (1-based): capped
+/// exponential backoff `min(cap, base × 2^(attempt-1))` plus a
+/// deterministic jitter in `[0, delay/4]` derived from `seed` and the
+/// attempt number — workers retrying the same transient failure spread
+/// out instead of stampeding in lockstep, and the same seed always
+/// produces the same schedule.
+pub fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+    let delay = exp.min(cap);
+    let quarter = (delay.as_nanos() / 4) as u64;
+    let jitter = if quarter == 0 {
+        0
+    } else {
+        splitmix64(seed ^ u64::from(attempt)) % (quarter + 1)
+    };
+    delay + Duration::from_nanos(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC32 check: crc32("123456789") == 0xcbf43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn framing_round_trips_and_detects_damage() {
+        let payload = r#"{"hash":"abcd","report":{"x":1}}"#;
+        let line = frame_record(payload);
+        assert_eq!(parse_framed(&line), Framed::Valid(payload));
+        // A flipped payload bit breaks the CRC.
+        let mut bad = line.clone().into_bytes();
+        bad[3] ^= 0x40;
+        let bad = String::from_utf8(bad).unwrap();
+        assert_eq!(parse_framed(&bad), Framed::Corrupt);
+        // A truncated line (torn write) breaks the CRC or the frame.
+        for cut in 1..line.len() {
+            match parse_framed(&line[..cut]) {
+                Framed::Valid(p) => panic!("torn prefix of {cut} bytes parsed as valid: {p:?}"),
+                Framed::Legacy(_) | Framed::Corrupt => {}
+            }
+        }
+        // Unframed lines pass through for content-level parsing.
+        assert_eq!(parse_framed(payload), Framed::Legacy(payload));
+    }
+
+    #[test]
+    fn fsync_policy_tokens_round_trip() {
+        for (token, policy) in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+            ("every:8", FsyncPolicy::EveryN(8)),
+        ] {
+            assert_eq!(FsyncPolicy::from_token(token).unwrap(), policy);
+            assert_eq!(policy.token(), token);
+        }
+        assert!(FsyncPolicy::from_token("every:0").is_err());
+        assert!(FsyncPolicy::from_token("sometimes").is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_sticky_only_for_enospc() {
+        let plan = IoFaultPlan::none()
+            .inject(1, IoFaultKind::Eio)
+            .inject(3, IoFaultKind::Enospc);
+        assert_eq!(plan.fault_for(0), None);
+        assert_eq!(plan.fault_for(1), Some(IoFaultKind::Eio));
+        assert_eq!(plan.fault_for(2), None);
+        assert_eq!(plan.fault_for(3), Some(IoFaultKind::Enospc));
+        assert_eq!(
+            plan.fault_for(999),
+            Some(IoFaultKind::Enospc),
+            "disk stays full"
+        );
+    }
+
+    #[test]
+    fn torn_prefixes_are_seeded_and_in_range() {
+        let a = IoFaultPlan::none().seeded(7);
+        let b = IoFaultPlan::none().seeded(7);
+        for index in 0..16 {
+            let k = a.torn_prefix(index, 100);
+            assert_eq!(k, b.torn_prefix(index, 100), "same seed, same tear");
+            assert!((1..100).contains(&k));
+        }
+        assert_ne!(
+            (0..16).map(|i| a.torn_prefix(i, 100)).collect::<Vec<_>>(),
+            vec![a.torn_prefix(0, 100); 16],
+            "tears vary by index"
+        );
+    }
+
+    #[test]
+    fn appender_writes_framed_lines_and_counts_fsyncs() {
+        let path = std::env::temp_dir().join(format!(
+            "graphmem_durable_appender_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut app = DurableAppender::open(&path, FsyncPolicy::EveryN(2)).unwrap();
+        for i in 0..3 {
+            app.append(&format!("{{\"i\":{i}}}"), None, 0).unwrap();
+        }
+        assert_eq!(app.stats(), (3, 1), "3 records, 1 every-2 fsync");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(
+                parse_framed(line),
+                Framed::Valid(format!("{{\"i\":{i}}}").as_str())
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_faults_fail_appends_as_specified() {
+        let path = std::env::temp_dir().join(format!(
+            "graphmem_durable_faults_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut app = DurableAppender::open(&path, FsyncPolicy::Always).unwrap();
+        // EIO: nothing written.
+        assert!(app.append("{\"a\":1}", Some(IoFaultKind::Eio), 0).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        // ENOSPC: errno 28, nothing written.
+        let err = app
+            .append("{\"a\":1}", Some(IoFaultKind::Enospc), 0)
+            .unwrap_err();
+        assert!(is_enospc(&err), "{err}");
+        // Torn: a strict prefix of the framed line remains.
+        let err = app
+            .append("{\"a\":1}", Some(IoFaultKind::Torn), 5)
+            .unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let left = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(left.len(), 5);
+        assert!(matches!(
+            parse_framed(left.trim_end()),
+            Framed::Legacy(_) | Framed::Corrupt
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_back_to_the_last_full_record() {
+        let path = std::env::temp_dir().join(format!(
+            "graphmem_durable_tail_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            truncate_torn_tail(&path).unwrap(),
+            0,
+            "missing file is fine"
+        );
+        let full = frame_record("{\"a\":1}");
+        std::fs::write(&path, format!("{full}\n{full}")).unwrap();
+        assert_eq!(truncate_torn_tail(&path).unwrap(), full.len() as u64);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{full}\n"));
+        assert_eq!(truncate_torn_tail(&path).unwrap(), 0, "idempotent");
+        // A file that is nothing but a torn record empties out.
+        std::fs::write(&path, "torn").unwrap();
+        assert_eq!(truncate_torn_tail(&path).unwrap(), 4);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_writes_replace_whole_files() {
+        let path = std::env::temp_dir().join(format!(
+            "graphmem_durable_atomic_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        write_atomic(&path, b"first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        write_atomic(&path, b"second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file is consumed by the rename"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_deterministic_jitter() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut last_floor = Duration::ZERO;
+        for attempt in 1..=6 {
+            let d = backoff_delay(base, cap, attempt, 42);
+            let floor = (base * 2u32.pow(attempt - 1)).min(cap);
+            assert!(d >= floor, "attempt {attempt}: {d:?} < floor {floor:?}");
+            assert!(
+                d <= floor + floor / 4,
+                "attempt {attempt}: jitter exceeds floor/4"
+            );
+            assert_eq!(d, backoff_delay(base, cap, attempt, 42), "deterministic");
+            assert!(floor >= last_floor, "floor is monotonic until the cap");
+            last_floor = floor;
+        }
+        assert_eq!(
+            (backoff_delay(base, cap, 6, 42) - backoff_delay(base, cap, 6, 42)).as_nanos(),
+            0
+        );
+        // Different seeds give different jitter (spread, not lockstep).
+        assert_ne!(
+            backoff_delay(base, cap, 3, 1),
+            backoff_delay(base, cap, 3, 2)
+        );
+    }
+}

@@ -50,6 +50,13 @@ pub enum GraphmemError {
     /// The sweep was interrupted (SIGINT / cancel flag) before this
     /// experiment ran.
     Interrupted,
+    /// The config's circuit breaker is open: it failed persistently
+    /// (panics/timeouts) and is cooling down, so the submission was
+    /// rejected without occupying a worker.
+    CircuitOpen {
+        /// The `config_hash` whose breaker rejected the run.
+        config_hash: String,
+    },
 }
 
 impl GraphmemError {
@@ -85,6 +92,7 @@ impl GraphmemError {
             GraphmemError::Timeout { .. } => "timeout",
             GraphmemError::Manifest { .. } => "manifest",
             GraphmemError::Interrupted => "interrupted",
+            GraphmemError::CircuitOpen { .. } => "circuit_open",
         }
     }
 }
@@ -106,6 +114,9 @@ impl fmt::Display for GraphmemError {
                 message,
             } => write!(f, "manifest '{path}' line {line}: {message}"),
             GraphmemError::Interrupted => write!(f, "sweep interrupted"),
+            GraphmemError::CircuitOpen { config_hash } => {
+                write!(f, "circuit breaker open for config {config_hash}")
+            }
         }
     }
 }
@@ -157,6 +168,15 @@ mod tests {
         assert_eq!(
             GraphmemError::Timeout { limit_ms: 250 }.to_string(),
             "experiment exceeded the 250 ms watchdog"
+        );
+        let open = GraphmemError::CircuitOpen {
+            config_hash: "deadbeef".into(),
+        };
+        assert_eq!(open.code(), "circuit_open");
+        assert_eq!(open.to_string(), "circuit breaker open for config deadbeef");
+        assert!(
+            !open.is_transient(),
+            "retrying inside the cooldown would just be rejected again"
         );
     }
 }

@@ -57,7 +57,9 @@
 
 mod attribution;
 pub mod autotune;
+pub mod breaker;
 mod condition;
+pub mod durable;
 mod error;
 mod experiment;
 pub mod graphcache;
@@ -70,7 +72,9 @@ pub mod sweep;
 
 pub use attribution::{AttributionReport, RegionReport};
 pub use autotune::HotnessProfile;
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerSnapshot, CircuitBreakers};
 pub use condition::{MemoryCondition, Surplus};
+pub use durable::{DurableAppender, FsyncPolicy, IoFaultKind, IoFaultPlan};
 pub use error::GraphmemError;
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use graphcache::PreparedGraphCache;

@@ -12,20 +12,31 @@
 //!   always produces N outcomes.
 //! * **Retry with backoff** — transient failures
 //!   ([`GraphmemError::is_transient`], i.e. IO) are retried up to
-//!   [`SupervisorConfig::retries`] times with linear backoff.
+//!   [`SupervisorConfig::retries`] times with capped exponential backoff
+//!   plus deterministic jitter ([`durable::backoff_delay`]).
 //! * **Watchdog** — an optional per-experiment wall-clock limit; a run
 //!   that exceeds it is recorded as [`GraphmemError::Timeout`].
 //! * **Checkpoint/resume** — each completed [`RunReport`] is appended to
-//!   a JSONL *run-manifest* keyed by [`Experiment::config_hash`]; a later
-//!   sweep pointed at the manifest skips completed configs and (because
-//!   runs are deterministic and report JSON round-trips byte-exactly)
-//!   produces bit-identical results to an uninterrupted run.
+//!   a JSONL *run-manifest* keyed by [`Experiment::config_hash`], framed
+//!   with a per-record CRC32 and fsynced per
+//!   [`SupervisorConfig::fsync`]; a later sweep pointed at the manifest
+//!   skips completed configs and (because runs are deterministic and
+//!   report JSON round-trips byte-exactly) produces bit-identical
+//!   results to an uninterrupted run. Readers tolerate a torn final
+//!   record (kill mid-append) and report interior corruption as a typed
+//!   [`GraphmemError::Manifest`].
+//! * **Circuit breaking** — an optional shared
+//!   [`CircuitBreakers`](crate::breaker::CircuitBreakers) registry
+//!   rejects configs that failed persistently (panics/timeouts) until
+//!   their cooldown elapses, so one poisonous config cannot monopolize
+//!   the workers.
 //! * **Fault injection** — a seeded [`FaultPlan`] injects panics, delays,
-//!   and IO errors into chosen grid indices so tests and CI can exercise
-//!   all of the above deterministically.
+//!   and IO errors into chosen grid indices, and an [`IoFaultPlan`]
+//!   injects EIO/ENOSPC/torn writes into the manifest writer, so tests
+//!   and CI can exercise all of the above deterministically.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -35,6 +46,8 @@ use std::time::Duration;
 use graphmem_telemetry::json::{JsonObject, JsonValue};
 use graphmem_telemetry::{EventKind, Tracer};
 
+use crate::breaker::{BreakerDecision, CircuitBreakers};
+use crate::durable::{self, DurableAppender, Framed, FsyncPolicy, IoFaultPlan};
 use crate::error::GraphmemError;
 use crate::experiment::Experiment;
 use crate::report::RunReport;
@@ -119,10 +132,23 @@ pub struct SupervisorConfig {
     pub retries: u32,
     /// Optional per-experiment wall-clock watchdog.
     pub timeout: Option<Duration>,
-    /// Base backoff between retries; attempt *k* waits `backoff × k`.
+    /// Base backoff between retries; attempt *k* waits
+    /// `min(backoff_cap, backoff × 2^(k−1))` plus a deterministic jitter
+    /// derived from the config hash (see [`durable::backoff_delay`]).
     pub backoff: Duration,
+    /// Ceiling on the exponential backoff between retries.
+    pub backoff_cap: Duration,
     /// Append each completed report to this JSONL run-manifest.
     pub manifest: Option<PathBuf>,
+    /// When manifest appends are pushed to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Deterministic IO faults injected into manifest appends, by append
+    /// index (tests / chaos CI).
+    pub manifest_faults: IoFaultPlan,
+    /// Optional shared per-`config_hash` circuit-breaker registry; when
+    /// set, configs whose breaker is open fail fast with
+    /// [`GraphmemError::CircuitOpen`] instead of occupying a worker.
+    pub breakers: Option<Arc<CircuitBreakers>>,
     /// Skip configs already completed in this manifest (may be the same
     /// file as `manifest`).
     pub resume: Option<PathBuf>,
@@ -144,7 +170,11 @@ impl Default for SupervisorConfig {
             retries: 0,
             timeout: None,
             backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(5),
             manifest: None,
+            fsync: FsyncPolicy::Always,
+            manifest_faults: IoFaultPlan::none(),
+            breakers: None,
             resume: None,
             telemetry: Tracer::disabled(),
             faults: FaultPlan::none(),
@@ -215,9 +245,12 @@ impl SweepOutcome {
 
 /// Read a run-manifest into a `config-hash → report` map.
 ///
-/// The final line may be truncated (the writer was killed mid-append);
-/// that line is ignored. A malformed line *before* the end is corruption
-/// and reported as [`GraphmemError::Manifest`].
+/// Records written by the current writer carry a CRC32 frame
+/// ([`durable::frame_record`]); unframed lines from pre-framing writers
+/// are still accepted on content. The final line may be torn or
+/// truncated (the writer was killed mid-append); that line is ignored. A
+/// malformed or CRC-failing line *before* the end is corruption and
+/// reported as [`GraphmemError::Manifest`].
 ///
 /// # Errors
 ///
@@ -237,7 +270,12 @@ pub fn read_manifest(path: impl AsRef<Path>) -> Result<HashMap<String, RunReport
         if line.trim().is_empty() {
             continue;
         }
-        match parse_manifest_line(line) {
+        let parsed = match durable::parse_framed(line) {
+            Framed::Valid(payload) => parse_manifest_line(payload),
+            Framed::Legacy(raw) => parse_manifest_line(raw),
+            Framed::Corrupt => Err("record failed its CRC32 check".to_string()),
+        };
+        match parsed {
             Ok((hash, report)) => {
                 completed.insert(hash, report);
             }
@@ -269,24 +307,35 @@ fn parse_manifest_line(line: &str) -> Result<(String, RunReport), String> {
     Ok((hash, RunReport::from_json_value(report)?))
 }
 
-/// Append-mode manifest writer: one flushed JSONL record per completed
-/// report, so every finished experiment survives a kill of the process.
+/// Append-mode manifest writer: one CRC-framed, fsync-policied JSONL
+/// record per completed report, so every acknowledged experiment
+/// survives a kill of the process.
 #[derive(Debug)]
 struct ManifestWriter {
-    path: PathBuf,
-    file: std::fs::File,
+    appender: DurableAppender,
+    faults: IoFaultPlan,
+    /// Append attempts so far — the index the fault plan keys on (failed
+    /// appends advance it too, so a plan's indices match submission
+    /// order, not success order).
+    attempts: u64,
 }
 
 impl ManifestWriter {
-    fn open(path: &Path) -> Result<ManifestWriter, GraphmemError> {
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
+    fn open(
+        path: &Path,
+        fsync: FsyncPolicy,
+        faults: IoFaultPlan,
+    ) -> Result<ManifestWriter, GraphmemError> {
+        // A previous writer may have died mid-append; drop its partial
+        // final record so our first append starts on a fresh line.
+        durable::truncate_torn_tail(path)
+            .map_err(|e| GraphmemError::io(format!("recover manifest '{}'", path.display()), e))?;
+        let appender = DurableAppender::open(path, fsync)
             .map_err(|e| GraphmemError::io(format!("open manifest '{}'", path.display()), e))?;
         Ok(ManifestWriter {
-            path: path.to_path_buf(),
-            file,
+            appender,
+            faults,
+            attempts: 0,
         })
     }
 
@@ -294,13 +343,19 @@ impl ManifestWriter {
         let mut o = JsonObject::new();
         o.field_str("hash", hash);
         o.field_raw("report", &report.to_json());
-        let mut line = o.finish();
-        line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.flush())
+        let payload = o.finish();
+        let index = self.attempts;
+        self.attempts += 1;
+        let fault = self.faults.fault_for(index);
+        let torn = self.faults.torn_prefix(index, payload.len());
+        self.appender
+            .append(&payload, fault, torn)
+            .map(|_synced| ())
             .map_err(|e| {
-                GraphmemError::io(format!("append to manifest '{}'", self.path.display()), e)
+                GraphmemError::io(
+                    format!("append to manifest '{}'", self.appender.path().display()),
+                    e,
+                )
             })
     }
 }
@@ -331,7 +386,11 @@ pub fn run_supervised(
         None => HashMap::new(),
     };
     let manifest = match &config.manifest {
-        Some(path) => Some(Mutex::new(ManifestWriter::open(path)?)),
+        Some(path) => Some(Mutex::new(ManifestWriter::open(
+            path,
+            config.fsync,
+            config.manifest_faults.clone(),
+        )?)),
         None => None,
     };
 
@@ -421,14 +480,36 @@ fn lock_clean<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Run one experiment to its final outcome: attempts, backoff, telemetry.
+/// Run one experiment to its final outcome: breaker admission, attempts,
+/// backoff, telemetry.
 fn supervise_one(
     index: usize,
     experiment: &Experiment,
     hash: &str,
     config: &SupervisorConfig,
 ) -> Result<RunReport, FailureRecord> {
+    let decision = match &config.breakers {
+        Some(b) => b.admit(hash),
+        None => BreakerDecision::Admit,
+    };
+    if decision == BreakerDecision::Reject {
+        config.telemetry.emit(EventKind::ExperimentFailure {
+            index: index as u32,
+            attempts: 0,
+        });
+        return Err(FailureRecord {
+            index,
+            config_hash: hash.to_string(),
+            attempts: 0,
+            error: GraphmemError::CircuitOpen {
+                config_hash: hash.to_string(),
+            },
+        });
+    }
     let fault = config.faults.fault_for(index);
+    // Jitter the retry schedule per config, not per process, so two
+    // workers retrying different configs don't sleep in lockstep.
+    let seed = backoff_seed(hash);
     let mut attempt: u32 = 0;
     loop {
         // Injected faults fire on the first attempt only, so retries
@@ -438,6 +519,14 @@ fn supervise_one(
         attempt += 1;
         match result {
             Ok(report) => {
+                if let Some(b) = &config.breakers {
+                    b.record_success(hash);
+                    if decision == BreakerDecision::AdmitProbe {
+                        config.telemetry.emit(EventKind::BreakerClose {
+                            index: index as u32,
+                        });
+                    }
+                }
                 config.telemetry.emit(EventKind::ExperimentComplete {
                     index: index as u32,
                     attempts: attempt,
@@ -449,9 +538,29 @@ fn supervise_one(
                     index: index as u32,
                     attempt,
                 });
-                std::thread::sleep(config.backoff * attempt);
+                std::thread::sleep(durable::backoff_delay(
+                    config.backoff,
+                    config.backoff_cap,
+                    attempt,
+                    seed,
+                ));
             }
             Err(error) => {
+                if let Some(b) = &config.breakers {
+                    // Panics and watchdog timeouts are config-shaped and
+                    // advance the breaker; anything else is environment
+                    // noise and resets its consecutive counter.
+                    let counting = matches!(
+                        error,
+                        GraphmemError::Panic(_) | GraphmemError::Timeout { .. }
+                    );
+                    if b.record_failure(hash, counting) {
+                        config.telemetry.emit(EventKind::BreakerOpen {
+                            index: index as u32,
+                            failures: b.config().threshold,
+                        });
+                    }
+                }
                 config.telemetry.emit(EventKind::ExperimentFailure {
                     index: index as u32,
                     attempts: attempt,
@@ -465,6 +574,14 @@ fn supervise_one(
             }
         }
     }
+}
+
+/// Fold a config hash into the u64 seed [`durable::backoff_delay`]
+/// jitters with — deterministic across processes, unlike `DefaultHasher`.
+fn backoff_seed(hash: &str) -> u64 {
+    hash.bytes().fold(0x6772_7068_6d65_6d00, |acc, b| {
+        durable::splitmix64(acc ^ u64::from(b))
+    })
 }
 
 /// One attempt, under the watchdog when configured. The timed-out worker
@@ -669,6 +786,140 @@ mod tests {
             matches!(err, GraphmemError::Manifest { line: 1, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn manifest_records_are_crc_framed() {
+        let grid = tiny_grid(2);
+        let path = tmp("framed");
+        let _ = std::fs::remove_file(&path);
+        let config = SupervisorConfig {
+            manifest: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        run_supervised(&grid, &config).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(
+                matches!(durable::parse_framed(line), Framed::Valid(_)),
+                "unframed manifest line: {line:?}"
+            );
+        }
+        // Flipping one payload byte turns a valid interior record into a
+        // typed Manifest error, not a silently different result.
+        let mut bytes = text.into_bytes();
+        bytes[10] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        let err = read_manifest(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            matches!(err, GraphmemError::Manifest { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn torn_manifest_append_fails_the_sweep_but_recovers_on_rerun() {
+        let grid = tiny_grid(2);
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let config = SupervisorConfig {
+            manifest: Some(path.clone()),
+            manifest_faults: crate::IoFaultPlan::none().inject(0, crate::IoFaultKind::Torn),
+            ..SupervisorConfig::default()
+        };
+        // A manifest write failure is a supervision error (silent
+        // non-checkpointing would defeat the manifest's purpose).
+        let err = run_supervised(&grid, &config).unwrap_err();
+        assert!(matches!(err, GraphmemError::Io { .. }), "{err}");
+        // The torn partial record reads back as a tolerated torn tail…
+        let completed = read_manifest(&path).unwrap();
+        assert!(completed.len() <= 1, "torn record must not parse");
+        // …and a clean rerun over the same file completes and yields a
+        // fully readable manifest.
+        let config = SupervisorConfig {
+            manifest: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        let outcome = run_supervised(&grid, &config).unwrap();
+        assert!(outcome.is_complete());
+        let completed = read_manifest(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(completed.len(), 2);
+    }
+
+    #[test]
+    fn open_breaker_rejects_resubmission_with_circuit_open() {
+        use crate::breaker::{BreakerConfig, CircuitBreakers};
+        let grid = tiny_grid(1);
+        let breakers = Arc::new(CircuitBreakers::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_secs(60),
+        }));
+        let config = SupervisorConfig {
+            faults: FaultPlan::none().inject(0, FaultSpec::Panic),
+            breakers: Some(Arc::clone(&breakers)),
+            ..SupervisorConfig::default()
+        };
+        let first = run_supervised(&grid, &config).unwrap();
+        assert!(matches!(
+            first.failures().next().unwrap().error,
+            GraphmemError::Panic(_)
+        ));
+        assert_eq!(breakers.snapshot().trips, 1);
+        // Resubmitting the same config (no fault this time) is rejected
+        // without running: the breaker is cooling down.
+        let config = SupervisorConfig {
+            breakers: Some(Arc::clone(&breakers)),
+            ..SupervisorConfig::default()
+        };
+        let second = run_supervised(&grid, &config).unwrap();
+        let failure = second.failures().next().unwrap();
+        assert!(matches!(failure.error, GraphmemError::CircuitOpen { .. }));
+        assert_eq!(failure.attempts, 0, "rejected before any attempt");
+        assert_eq!(breakers.snapshot().rejections, 1);
+    }
+
+    #[test]
+    fn breaker_probe_closes_after_cooldown_and_emits_events() {
+        use crate::breaker::{BreakerConfig, CircuitBreakers};
+        use graphmem_telemetry::{EventMask, TraceConfig};
+        let grid = tiny_grid(1);
+        let tracer = Tracer::enabled(TraceConfig::default().mask(EventMask::SUPERVISOR));
+        let breakers = Arc::new(CircuitBreakers::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_millis(20),
+        }));
+        let config = SupervisorConfig {
+            telemetry: tracer.clone(),
+            faults: FaultPlan::none().inject(0, FaultSpec::Panic),
+            breakers: Some(Arc::clone(&breakers)),
+            ..SupervisorConfig::default()
+        };
+        run_supervised(&grid, &config).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        // Cooldown elapsed: the resubmission runs as the half-open probe
+        // and, with no fault injected, closes the breaker.
+        let config = SupervisorConfig {
+            telemetry: tracer.clone(),
+            breakers: Some(Arc::clone(&breakers)),
+            ..SupervisorConfig::default()
+        };
+        let outcome = run_supervised(&grid, &config).unwrap();
+        assert!(outcome.is_complete());
+        assert!(breakers.snapshot().open.is_empty());
+        let names: Vec<&str> = tracer.events().iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"breaker_open"), "{names:?}");
+        assert!(names.contains(&"breaker_close"), "{names:?}");
+    }
+
+    #[test]
+    fn backoff_seed_is_a_stable_function_of_the_hash() {
+        assert_eq!(backoff_seed("abc"), backoff_seed("abc"));
+        assert_ne!(backoff_seed("abc"), backoff_seed("abd"));
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! | `POST /runs` | submit a spec (`{…}` or `{"spec":{…},"sweep":"pressure"}`); `202` with job id + config hashes, `429` when the queue is full |
 //! | `GET /runs/<id>` | stream per-config progress as JSON Lines, then a summary row |
 //! | `GET /results/<hash>` | the stored report JSON, byte-exact (`404` if absent) |
-//! | `GET /metrics` | queue depth, worker utilization, cache hit/miss counters |
-//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | queue depth, worker utilization, cache hit/miss, durability and breaker counters |
+//! | `GET /healthz` | liveness + degradation: queue depth, open breakers; `503` with reasons once the store flips read-only |
 //!
 //! Shutdown (SIGINT in the CLI, [`Server::join`] in-process) is
 //! drain-then-flush: the accept loop stops, in-flight configs finish or
@@ -41,8 +41,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use graphmem_core::breaker::{BreakerConfig, CircuitBreakers};
+use graphmem_core::durable::{FsyncPolicy, IoFaultPlan};
 use graphmem_core::{
-    graphcache, run_supervised, Experiment, GraphmemError, RunSpec, SupervisorConfig, SweepKind,
+    graphcache, run_supervised, Experiment, FaultPlan, GraphmemError, RunSpec, SupervisorConfig,
+    SweepKind,
 };
 use graphmem_telemetry::json::{JsonObject, JsonValue};
 
@@ -71,6 +74,19 @@ pub struct ServerConfig {
     pub retries: u32,
     /// Optional per-config watchdog timeout.
     pub timeout: Option<Duration>,
+    /// When result-shard appends are pushed to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Deterministic IO faults injected into result-shard appends, by
+    /// append index (`--chaos io-torn@…,enospc@…`).
+    pub io_faults: IoFaultPlan,
+    /// Deterministic compute faults injected into executed (non-cached)
+    /// configs, by execution order (`--chaos panic@…`).
+    pub compute_faults: FaultPlan,
+    /// Consecutive panic/timeout outcomes that trip a config's circuit
+    /// breaker (0 disables breaking).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before a half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +100,11 @@ impl Default for ServerConfig {
             graph_cache_entries: graphcache::DEFAULT_ENTRIES,
             retries: 1,
             timeout: None,
+            fsync: FsyncPolicy::Always,
+            io_faults: IoFaultPlan::none(),
+            compute_faults: FaultPlan::none(),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(10),
         }
     }
 }
@@ -113,6 +134,11 @@ struct ServerState {
     rejected: AtomicU64,
     retries: u32,
     timeout: Option<Duration>,
+    breakers: Arc<CircuitBreakers>,
+    compute_faults: FaultPlan,
+    /// Executed (non-cached) configs so far — the index the compute
+    /// fault plan keys on.
+    task_clock: AtomicU64,
 }
 
 /// A running service instance: accept loop + worker pool, shut down via
@@ -135,7 +161,12 @@ impl Server {
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let workers_total = config.workers.max(1);
         graphcache::shared().set_capacity(config.graph_cache_entries.max(workers_total));
-        let store = ResultStore::open(config.cache_dir.clone(), config.mem_entries)?;
+        let store = ResultStore::open_with(
+            config.cache_dir.clone(),
+            config.mem_entries,
+            config.fsync,
+            config.io_faults.clone(),
+        )?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -156,6 +187,12 @@ impl Server {
             rejected: AtomicU64::new(0),
             retries: config.retries,
             timeout: config.timeout,
+            breakers: Arc::new(CircuitBreakers::new(BreakerConfig {
+                threshold: config.breaker_threshold,
+                cooldown: config.breaker_cooldown,
+            })),
+            compute_faults: config.compute_faults.clone(),
+            task_clock: AtomicU64::new(0),
         });
 
         let workers = (0..workers_total)
@@ -256,11 +293,20 @@ fn run_task(state: &ServerState, task: &Task) {
         return;
     }
 
+    // Consume one tick of the chaos clock per *executed* config so the
+    // `--chaos` indices mean "the Nth config that actually runs".
+    let chaos_index = state.task_clock.fetch_add(1, Ordering::SeqCst) as usize;
+    let faults = match state.compute_faults.fault_for(chaos_index) {
+        Some(fault) => FaultPlan::none().inject(0, fault.clone()),
+        None => FaultPlan::none(),
+    };
     let supervisor = SupervisorConfig {
         threads: 1,
         retries: state.retries,
         timeout: state.timeout,
         cancel: Some(Arc::clone(&state.shutdown)),
+        faults,
+        breakers: Some(Arc::clone(&state.breakers)),
         ..SupervisorConfig::default()
     };
     let settled = match run_supervised(std::slice::from_ref(&task.exp), &supervisor) {
@@ -351,7 +397,7 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
         ("GET", "/metrics") => {
             http::respond_json(&mut stream, 200, &MetricsSnapshot::take(state).json())
         }
-        ("GET", "/healthz") => http::respond_json(&mut stream, 200, "{\"ok\":true}"),
+        ("GET", "/healthz") => serve_health(state, &mut stream),
         ("POST" | "GET", _) => http::respond_json(&mut stream, 404, &error_body("no such route")),
         _ => http::respond_json(&mut stream, 405, &error_body("method not allowed")),
     };
@@ -442,6 +488,41 @@ fn stream_job(state: &ServerState, stream: &mut TcpStream, id: &str) -> io::Resu
     stream.flush()
 }
 
+/// `GET /healthz`: liveness plus degradation. `200 {"ok":true,…}` while
+/// the durable tier is writable; `503 {"ok":false,…}` once the store has
+/// flipped read-only, with the reasons listed — results still serve from
+/// memory, which is exactly what "degraded" means. Open circuit breakers
+/// are reported but do not flip liveness: they protect capacity rather
+/// than reduce it.
+fn serve_health(state: &ServerState, stream: &mut TcpStream) -> io::Result<()> {
+    let degraded = state.store.is_degraded();
+    let breakers = state.breakers.snapshot();
+    let mut reasons = String::from("[");
+    if let Some(reason) = state.store.degraded_reason() {
+        reasons.push('"');
+        reasons.push_str(&reason.replace('\\', "\\\\").replace('"', "\\\""));
+        reasons.push('"');
+    }
+    reasons.push(']');
+    let mut open = String::from("[");
+    for (i, hash) in breakers.open.iter().enumerate() {
+        if i > 0 {
+            open.push(',');
+        }
+        open.push('"');
+        open.push_str(hash);
+        open.push('"');
+    }
+    open.push(']');
+    let mut o = JsonObject::new();
+    o.field_bool("ok", !degraded);
+    o.field_bool("degraded", degraded);
+    o.field_u64("queue_depth", lock_clean(&state.queue).len() as u64);
+    o.field_raw("open_breakers", &open);
+    o.field_raw("reasons", &reasons);
+    http::respond_json(stream, if degraded { 503 } else { 200 }, &o.finish())
+}
+
 fn serve_result(state: &ServerState, stream: &mut TcpStream, hash: &str) -> io::Result<()> {
     match state.store.peek(hash) {
         Some(json) => http::respond_json(stream, 200, &json),
@@ -469,6 +550,15 @@ struct MetricsSnapshot {
     graph_cache_len: u64,
     translation_memo_hits: u64,
     translation_memo_misses: u64,
+    store_records_written: u64,
+    store_fsyncs: u64,
+    store_torn_tails_recovered: u64,
+    store_quarantined: u64,
+    store_corrupt_lines: u64,
+    store_degraded: u64,
+    breaker_open: u64,
+    breaker_trips: u64,
+    breaker_rejections: u64,
 }
 
 impl MetricsSnapshot {
@@ -481,6 +571,8 @@ impl MetricsSnapshot {
         let (result_hits, result_misses) = state.store.stats();
         let (graph_cache_hits, graph_cache_misses) = graphcache::shared().stats();
         let (translation_memo_hits, translation_memo_misses) = graphmem_core::memostats::snapshot();
+        let counters = state.store.counters();
+        let breakers = state.breakers.snapshot();
         MetricsSnapshot {
             queue_depth: lock_clean(&state.queue).len() as u64,
             queue_capacity: state.queue_capacity as u64,
@@ -497,13 +589,22 @@ impl MetricsSnapshot {
             graph_cache_len: graphcache::shared().len() as u64,
             translation_memo_hits,
             translation_memo_misses,
+            store_records_written: counters.records_written,
+            store_fsyncs: counters.fsyncs,
+            store_torn_tails_recovered: counters.torn_tails_recovered,
+            store_quarantined: counters.quarantined,
+            store_corrupt_lines: counters.corrupt_lines,
+            store_degraded: u64::from(state.store.is_degraded()),
+            breaker_open: breakers.open.len() as u64,
+            breaker_trips: breakers.trips,
+            breaker_rejections: breakers.rejections,
         }
     }
 
     /// Name, value, kind, and help line for every metric, in a stable
     /// order shared by both renderings.
-    fn rows(&self) -> [(&'static str, u64, &'static str, &'static str); 15] {
-        [
+    fn rows(&self) -> Vec<(&'static str, u64, &'static str, &'static str)> {
+        vec![
             (
                 "queue_depth",
                 self.queue_depth,
@@ -593,6 +694,60 @@ impl MetricsSnapshot {
                 self.translation_memo_misses,
                 "counter",
                 "Simulated accesses that performed a real MMU probe on the fast path",
+            ),
+            (
+                "store_records_written",
+                self.store_records_written,
+                "counter",
+                "Result records appended to durable shards",
+            ),
+            (
+                "store_fsyncs",
+                self.store_fsyncs,
+                "counter",
+                "Explicit fsyncs issued by shard appends",
+            ),
+            (
+                "store_torn_tails_recovered",
+                self.store_torn_tails_recovered,
+                "counter",
+                "Torn final shard records truncated at open or rolled back",
+            ),
+            (
+                "store_quarantined",
+                self.store_quarantined,
+                "counter",
+                "Corrupt shard records moved to .quarantine sidecars",
+            ),
+            (
+                "store_corrupt_lines",
+                self.store_corrupt_lines,
+                "counter",
+                "Corrupt shard lines observed by reads",
+            ),
+            (
+                "store_degraded",
+                self.store_degraded,
+                "gauge",
+                "1 when the result store has flipped read-only",
+            ),
+            (
+                "breaker_open",
+                self.breaker_open,
+                "gauge",
+                "Config circuit breakers currently open or probing",
+            ),
+            (
+                "breaker_trips",
+                self.breaker_trips,
+                "counter",
+                "Circuit breakers tripped open",
+            ),
+            (
+                "breaker_rejections",
+                self.breaker_rejections,
+                "counter",
+                "Submissions rejected by an open circuit breaker",
             ),
         ]
     }

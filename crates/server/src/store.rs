@@ -1,22 +1,65 @@
-//! Two-tier content-addressed result store.
+//! Two-tier content-addressed result store with crash-safe shards.
 //!
 //! Results are keyed on the experiment's FNV-1a `config_hash` — the same
 //! identity run-manifests use — and stored as the *exact* serialized
 //! `RunReport` JSON, so a cache hit returns bytes identical to the
 //! original fresh-run response. The hot tier is a small in-memory LRU of
 //! raw JSON strings; the durable tier is a set of on-disk JSONL shards in
-//! the run-manifest line format (`{"hash":"…","report":{…}}`), readable
-//! by [`graphmem_core::read_manifest`] and by any future server process
+//! the run-manifest line format (`{"hash":"…","report":{…}}`), CRC32
+//! framed per record ([`durable::frame_record`]), readable by
+//! [`graphmem_core::read_manifest`] and by any future server process
 //! pointed at the same `--cache-dir`.
+//!
+//! ## Failure discipline
+//!
+//! * **Open-time recovery** — each shard is scanned when the store
+//!   opens: a torn final record (SIGKILL mid-append) is truncated away,
+//!   and interior corrupt records are moved to a `<shard>.quarantine`
+//!   sidecar (atomically, via write-temp + fsync + rename) — counted and
+//!   warned about once per shard, never silently skipped.
+//! * **Injectable IO faults** — an [`IoFaultPlan`] injects EIO, sticky
+//!   ENOSPC, and torn writes into shard appends by append index, so the
+//!   degraded path below is exercised by tests.
+//! * **Degraded read-only mode** — on ENOSPC (immediately) or after
+//!   three consecutive append failures, the store stops writing: puts
+//!   keep updating the in-memory LRU so results continue to serve from
+//!   this process, and [`ResultStore::degraded_reason`] feeds the
+//!   server's 503 `/healthz` answer.
 
-use std::fs::{self, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::{hash_map::Entry, HashMap, HashSet};
+use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+use graphmem_core::durable::{self, DurableAppender, Framed, FsyncPolicy, IoFaultPlan};
+use graphmem_telemetry::json::JsonValue;
 
 /// Hot-tier capacity (raw report JSON strings, a few KiB each).
 pub const DEFAULT_MEM_ENTRIES: usize = 256;
+
+/// Consecutive non-ENOSPC append failures after which the store stops
+/// trying the disk (ENOSPC degrades immediately — a full disk does not
+/// recover by retrying).
+const DEGRADE_AFTER: u32 = 3;
+
+/// Point-in-time durability counters, surfaced via `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Records successfully appended to shards by this process.
+    pub records_written: u64,
+    /// Explicit fsyncs issued by shard appends.
+    pub fsyncs: u64,
+    /// Torn final records truncated away (at open, or rolled back after
+    /// a failed append).
+    pub torn_tails_recovered: u64,
+    /// Interior corrupt records moved to `.quarantine` sidecars at open.
+    pub quarantined: u64,
+    /// Corrupt/unparseable lines observed by shard reads (counted, one
+    /// warning per shard — never silently skipped).
+    pub corrupt_lines: u64,
+}
 
 /// Size-bounded in-memory LRU over optional on-disk JSONL shards.
 #[derive(Debug)]
@@ -25,31 +68,81 @@ pub struct ResultStore {
     /// MRU-first `(config_hash, raw report JSON)` pairs.
     mem: Mutex<Vec<(String, Arc<str>)>>,
     mem_capacity: usize,
-    /// Serializes shard appends (reads are independent line scans).
-    disk: Mutex<()>,
+    fsync: FsyncPolicy,
+    faults: IoFaultPlan,
+    /// Per-shard durable appenders; the map doubles as the disk lock.
+    appenders: Mutex<HashMap<PathBuf, DurableAppender>>,
+    /// Append attempts so far — the index the fault plan keys on.
+    append_clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    records_written: AtomicU64,
+    fsyncs: AtomicU64,
+    torn_tails_recovered: AtomicU64,
+    quarantined: AtomicU64,
+    corrupt_lines: AtomicU64,
+    consecutive_failures: AtomicU32,
+    read_only: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
+    /// Shards already warned about on the read path (one warning each).
+    warned: Mutex<HashSet<PathBuf>>,
 }
 
 impl ResultStore {
-    /// Open a store. With a directory the durable tier is enabled (the
-    /// directory is created; existing shards from a previous process are
-    /// served as hits). Without one, results live only in memory.
+    /// Open a store with the default durability settings (fsync every
+    /// record, no injected faults). See [`ResultStore::open_with`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying error if the directory cannot be created.
+    /// Returns the underlying error if the directory cannot be created
+    /// or an existing shard cannot be recovered.
     pub fn open(dir: Option<PathBuf>, mem_capacity: usize) -> io::Result<ResultStore> {
+        ResultStore::open_with(dir, mem_capacity, FsyncPolicy::Always, IoFaultPlan::none())
+    }
+
+    /// Open a store. With a directory the durable tier is enabled: the
+    /// directory is created, existing shards from a previous process are
+    /// recovered (torn tails truncated, interior corruption quarantined)
+    /// and then served as hits. Without one, results live only in
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created
+    /// or an existing shard cannot be recovered.
+    pub fn open_with(
+        dir: Option<PathBuf>,
+        mem_capacity: usize,
+        fsync: FsyncPolicy,
+        faults: IoFaultPlan,
+    ) -> io::Result<ResultStore> {
+        let mut torn_recovered = 0;
+        let mut quarantined = 0;
         if let Some(d) = &dir {
             fs::create_dir_all(d)?;
+            let (torn, quarantine) = recover_dir(d)?;
+            torn_recovered = torn;
+            quarantined = quarantine;
         }
         Ok(ResultStore {
             dir,
             mem: Mutex::new(Vec::new()),
             mem_capacity: mem_capacity.max(1),
-            disk: Mutex::new(()),
+            fsync,
+            faults,
+            appenders: Mutex::new(HashMap::new()),
+            append_clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            records_written: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            torn_tails_recovered: AtomicU64::new(torn_recovered),
+            quarantined: AtomicU64::new(quarantined),
+            corrupt_lines: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            read_only: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
+            warned: Mutex::new(HashSet::new()),
         })
     }
 
@@ -89,21 +182,78 @@ impl ResultStore {
 
     /// Record a fresh result in both tiers. The JSON string is stored
     /// verbatim — it is the byte-exact response for every future hit.
+    /// A degraded (read-only) store updates the hot tier only and
+    /// reports success: results keep serving from this process.
     ///
     /// # Errors
     ///
     /// Returns the underlying error if the shard append fails (the
-    /// in-memory tier is updated regardless, so the result still serves
-    /// from this process).
+    /// in-memory tier is updated regardless). A failed append is rolled
+    /// back — partial bytes are truncated so the shard stays parseable —
+    /// and repeated failures (or any ENOSPC) flip the store read-only.
     pub fn put(&self, hash: &str, report_json: &str) -> io::Result<()> {
         self.remember(hash, report_json.into());
         let Some(path) = self.shard_path(hash) else {
             return Ok(());
         };
-        let _guard: MutexGuard<'_, ()> = lock_clean(&self.disk);
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        writeln!(file, "{{\"hash\":\"{hash}\",\"report\":{report_json}}}")?;
-        file.flush()
+        if self.read_only.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = format!("{{\"hash\":\"{hash}\",\"report\":{report_json}}}");
+        let index = self.append_clock.fetch_add(1, Ordering::SeqCst);
+        let fault = self.faults.fault_for(index);
+        let torn = self.faults.torn_prefix(index, payload.len());
+
+        let mut appenders = lock_clean(&self.appenders);
+        let result = (|| {
+            let appender = match appenders.entry(path.clone()) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(v) => v.insert(DurableAppender::open(&path, self.fsync)?),
+            };
+            appender.append(&payload, fault, torn)
+        })();
+        match result {
+            Ok(synced) => {
+                self.records_written.fetch_add(1, Ordering::Relaxed);
+                if synced {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                self.consecutive_failures.store(0, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(err) => {
+                // Drop the handle and roll back any partial bytes so a
+                // later append cannot concatenate onto a torn record.
+                appenders.remove(&path);
+                if matches!(durable::truncate_torn_tail(&path), Ok(n) if n > 0) {
+                    self.torn_tails_recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                self.note_append_failure(&err);
+                Err(err)
+            }
+        }
+    }
+
+    fn note_append_failure(&self, err: &io::Error) {
+        let reason = if durable::is_enospc(err) {
+            Some(format!("shard append failed with ENOSPC: {err}"))
+        } else if self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1 >= DEGRADE_AFTER {
+            Some(format!(
+                "{DEGRADE_AFTER} consecutive shard append failures, last: {err}"
+            ))
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            let was = self.read_only.swap(true, Ordering::SeqCst);
+            if !was {
+                eprintln!(
+                    "graphmem-server: result store degraded to read-only ({reason}); \
+                     results keep serving from memory"
+                );
+            }
+            lock_clean(&self.degraded_reason).get_or_insert(reason);
+        }
     }
 
     fn remember(&self, hash: &str, json: Arc<str>) {
@@ -120,16 +270,38 @@ impl ResultStore {
     }
 
     /// Scan the shard for `hash`, returning the raw report JSON. Later
-    /// lines win (a re-put after a partial write supersedes the old one);
-    /// truncated or foreign lines are skipped.
+    /// lines win (a re-put supersedes the old one). Corrupt lines are
+    /// counted and warned about once per shard; foreign hashes (normal
+    /// sharding) are not corruption.
     fn read_shard(&self, hash: &str) -> Option<String> {
         let path = self.shard_path(hash)?;
-        let file = fs::File::open(&path).ok()?;
+        // Lossy for the same reason as recovery: invalid UTF-8 means a
+        // damaged line (which fails its CRC and is counted corrupt), and
+        // must not hide the shard's intact records.
+        let text = String::from_utf8_lossy(&fs::read(&path).ok()?).into_owned();
         let mut found = None;
-        for line in BufReader::new(file).lines() {
-            let line = line.ok()?;
-            if let Some(json) = extract_report(&line, hash) {
+        let mut corrupt = 0u64;
+        for line in text.lines() {
+            let payload = match durable::parse_framed(line) {
+                Framed::Valid(payload) => payload,
+                Framed::Legacy(raw) if looks_like_record(raw) => raw,
+                Framed::Legacy(_) | Framed::Corrupt => {
+                    corrupt += 1;
+                    continue;
+                }
+            };
+            if let Some(json) = extract_report(payload, hash) {
                 found = Some(json.to_string());
+            }
+        }
+        if corrupt > 0 {
+            self.corrupt_lines.fetch_add(corrupt, Ordering::Relaxed);
+            if lock_clean(&self.warned).insert(path.clone()) {
+                eprintln!(
+                    "graphmem-server: shard '{}' has {corrupt} corrupt line(s); \
+                     serving the intact records",
+                    path.display()
+                );
             }
         }
         found
@@ -143,6 +315,28 @@ impl ResultStore {
         )
     }
 
+    /// Point-in-time durability counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            records_written: self.records_written.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            torn_tails_recovered: self.torn_tails_recovered.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            corrupt_lines: self.corrupt_lines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the durable tier has flipped read-only (results still
+    /// serve from memory).
+    pub fn is_degraded(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Why the store degraded, when it has.
+    pub fn degraded_reason(&self) -> Option<String> {
+        lock_clean(&self.degraded_reason).clone()
+    }
+
     /// Entries currently in the hot tier.
     pub fn mem_len(&self) -> usize {
         lock_clean(&self.mem).len()
@@ -154,11 +348,92 @@ impl ResultStore {
     }
 }
 
-/// Parse one shard line of the form `{"hash":"H","report":R}`, returning
-/// `R` verbatim when `H` matches. The lines are written by
+/// Recover every shard in `dir`: truncate torn tails, quarantine
+/// interior corruption. Returns `(torn tails recovered, records
+/// quarantined)`.
+fn recover_dir(dir: &Path) -> io::Result<(u64, u64)> {
+    let mut torn = 0;
+    let mut quarantined = 0;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("results-") || !name.ends_with(".jsonl") {
+            continue;
+        }
+        if durable::truncate_torn_tail(&path)? > 0 {
+            torn += 1;
+        }
+        quarantined += quarantine_corrupt_lines(&path)?;
+    }
+    Ok((torn, quarantined))
+}
+
+/// Move corrupt records out of `path` into `<path>.quarantine`,
+/// rewriting the shard atomically. Returns how many were quarantined.
+fn quarantine_corrupt_lines(path: &Path) -> io::Result<u64> {
+    // Lossy: corrupt shards can contain invalid UTF-8 (bit rot, spliced
+    // blocks). Any line that was damaged that way fails its CRC check and
+    // is quarantined below; refusing to open would turn one bad record
+    // into a dead store.
+    let text = String::from_utf8_lossy(&fs::read(path)?).into_owned();
+    let mut kept = String::with_capacity(text.len());
+    let mut bad = String::new();
+    let mut count = 0u64;
+    for line in text.lines() {
+        let ok = match durable::parse_framed(line) {
+            Framed::Valid(_) => true,
+            Framed::Legacy(raw) => looks_like_record(raw),
+            Framed::Corrupt => false,
+        };
+        if ok {
+            kept.push_str(line);
+            kept.push('\n');
+        } else {
+            bad.push_str(line);
+            bad.push('\n');
+            count += 1;
+        }
+    }
+    if count > 0 {
+        let sidecar = quarantine_path(path);
+        let mut sidecar_text = fs::read_to_string(&sidecar).unwrap_or_default();
+        sidecar_text.push_str(&bad);
+        durable::write_atomic(&sidecar, sidecar_text.as_bytes())?;
+        durable::write_atomic(path, kept.as_bytes())?;
+        eprintln!(
+            "graphmem-server: quarantined {count} corrupt record(s) from '{}' to '{}'",
+            path.display(),
+            sidecar.display()
+        );
+    }
+    Ok(count)
+}
+
+/// The `.quarantine` sidecar for a shard.
+pub fn quarantine_path(shard: &Path) -> PathBuf {
+    let mut name = shard
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".quarantine");
+    shard.with_file_name(name)
+}
+
+/// Whether an unframed line is a trustworthy manifest record — the
+/// legacy/foreign-vs-garbage distinction: records for *other* hashes are
+/// normal sharding, anything else is corruption. Legacy lines carry no
+/// CRC, so shape checks alone are not enough: a record truncated right
+/// after an interior `}` still starts and ends plausibly, and slicing it
+/// would serve truncated report bytes. The full JSON parse closes that
+/// hole (framed lines skip it — their CRC already proves integrity).
+fn looks_like_record(line: &str) -> bool {
+    line.starts_with("{\"hash\":\"") && line.ends_with('}') && JsonValue::parse(line).is_ok()
+}
+
+/// Parse one shard payload of the form `{"hash":"H","report":R}`,
+/// returning `R` verbatim when `H` matches. The payloads are written by
 /// [`ResultStore::put`] in exactly this shape, so prefix/suffix slicing
-/// preserves the report bytes exactly; anything else (truncation from a
-/// crashed writer, manual edits) is ignored.
+/// preserves the report bytes exactly.
 fn extract_report<'a>(line: &'a str, hash: &str) -> Option<&'a str> {
     let rest = line.strip_prefix("{\"hash\":\"")?;
     let rest = rest.strip_prefix(hash)?;
@@ -177,6 +452,7 @@ fn lock_clean<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphmem_core::durable::IoFaultKind;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(
@@ -212,6 +488,9 @@ mod tests {
         {
             let store = ResultStore::open(Some(dir.clone()), 4).expect("open");
             store.put("deadbeef00000000", json).expect("put");
+            let counters = store.counters();
+            assert_eq!(counters.records_written, 1);
+            assert_eq!(counters.fsyncs, 1, "default policy syncs every record");
         }
         let fresh = ResultStore::open(Some(dir.clone()), 4).expect("reopen");
         let got = fresh.get("deadbeef00000000").expect("disk hit");
@@ -245,17 +524,113 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_foreign_lines_are_skipped() {
+    fn corrupt_and_foreign_lines_are_counted_not_silently_skipped() {
         let dir = tmp_dir("corrupt");
         fs::create_dir_all(&dir).expect("mkdir");
         let store = ResultStore::open(Some(dir.clone()), 4).expect("open");
         let path = store.shard_path("aaaa").expect("path");
+        // A foreign (legacy) record, a garbage line, our (legacy) record,
+        // and a torn tail — the shard a pre-framing writer left behind
+        // after being killed mid-append.
         fs::write(
             &path,
             "{\"hash\":\"bbbb\",\"report\":{\"other\":1}}\nnot json at all\n{\"hash\":\"aaaa\",\"report\":{\"mine\":2}}\n{\"hash\":\"aaaa\",\"repo",
         )
         .expect("seed shard");
         assert_eq!(store.get("aaaa").as_deref(), Some("{\"mine\":2}"));
+        // The garbage line and the torn tail are counted as corrupt; the
+        // foreign-but-well-formed "bbbb" record is normal sharding.
+        assert_eq!(store.counters().corrupt_lines, 2);
+        // Reads through the hot tier don't rescan (and re-count).
+        assert!(store.peek("aaaa").is_some());
+        assert_eq!(store.counters().corrupt_lines, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_recovers_torn_tails_and_quarantines_interior_corruption() {
+        let dir = tmp_dir("recover");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("results-a.jsonl");
+        let good1 = durable::frame_record("{\"hash\":\"aaaa\",\"report\":{\"v\":1}}");
+        let good2 = durable::frame_record("{\"hash\":\"aaab\",\"report\":{\"v\":2}}");
+        // Flip the final CRC digit to a different hex digit so the
+        // frame can no longer verify.
+        let mut corrupt = good1.clone();
+        let last = corrupt.pop().expect("non-empty");
+        corrupt.push(if last == '0' { '1' } else { '0' });
+        let torn = &good2[..good2.len() - 7];
+        fs::write(&path, format!("{good1}\n{corrupt}\n{good2}\n{torn}")).expect("seed shard");
+
+        let store = ResultStore::open(Some(dir.clone()), 4).expect("open recovers");
+        let counters = store.counters();
+        assert_eq!(counters.torn_tails_recovered, 1);
+        assert_eq!(counters.quarantined, 1);
+        // The intact records survive, the corrupt one is gone from the
+        // shard but preserved in the sidecar.
+        assert_eq!(store.get("aaaa").as_deref(), Some("{\"v\":1}"));
+        assert_eq!(store.get("aaab").as_deref(), Some("{\"v\":2}"));
+        let sidecar = fs::read_to_string(quarantine_path(&path)).expect("sidecar exists");
+        assert_eq!(sidecar, format!("{corrupt}\n"));
+        // The rewritten shard is fully valid: re-opening recovers nothing.
+        let again = ResultStore::open(Some(dir.clone()), 4).expect("reopen");
+        assert_eq!(again.counters().torn_tails_recovered, 0);
+        assert_eq!(again.counters().quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_degrades_to_read_only_but_keeps_serving_from_memory() {
+        let dir = tmp_dir("enospc");
+        let store = ResultStore::open_with(
+            Some(dir.clone()),
+            4,
+            FsyncPolicy::Always,
+            IoFaultPlan::none().inject(1, IoFaultKind::Enospc),
+        )
+        .expect("open");
+        store.put("aaaa", "{\"v\":1}").expect("first put lands");
+        assert!(!store.is_degraded());
+        let err = store.put("bbbb", "{\"v\":2}").expect_err("injected ENOSPC");
+        assert!(durable::is_enospc(&err));
+        assert!(store.is_degraded(), "ENOSPC degrades immediately");
+        assert!(store
+            .degraded_reason()
+            .expect("reason recorded")
+            .contains("ENOSPC"));
+        // Degraded puts succeed memory-only; everything still serves.
+        store.put("cccc", "{\"v\":3}").expect("memory-only put");
+        assert_eq!(store.get("bbbb").as_deref(), Some("{\"v\":2}"));
+        assert_eq!(store.get("cccc").as_deref(), Some("{\"v\":3}"));
+        // But the disk saw only the first record.
+        let fresh = ResultStore::open(Some(dir.clone()), 4).expect("reopen");
+        assert!(fresh.get("aaaa").is_some());
+        assert!(fresh.get("cccc").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_rolls_back_so_the_shard_stays_parseable() {
+        let dir = tmp_dir("tornput");
+        let store = ResultStore::open_with(
+            Some(dir.clone()),
+            4,
+            FsyncPolicy::Always,
+            IoFaultPlan::none().inject(0, IoFaultKind::Torn).seeded(9),
+        )
+        .expect("open");
+        store.put("aaaa", "{\"v\":1}").expect_err("injected tear");
+        assert_eq!(store.counters().torn_tails_recovered, 1, "rolled back");
+        assert!(!store.is_degraded(), "one failure is not persistent");
+        // The next append starts on a clean line and round-trips.
+        store.put("aaab", "{\"v\":2}").expect("clean put");
+        let fresh = ResultStore::open(Some(dir.clone()), 4).expect("reopen");
+        assert_eq!(
+            fresh.counters().torn_tails_recovered,
+            0,
+            "nothing to recover"
+        );
+        assert_eq!(fresh.get("aaab").as_deref(), Some("{\"v\":2}"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

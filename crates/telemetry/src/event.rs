@@ -203,6 +203,22 @@ pub enum EventKind {
         /// Total attempts made, including the successful one.
         attempts: u32,
     },
+    /// A config's circuit breaker tripped open after consecutive
+    /// panic/timeout outcomes.
+    BreakerOpen {
+        /// Index of the experiment within the sweep grid (or submission
+        /// order, for the experiment service).
+        index: u32,
+        /// Consecutive counting failures that tripped the breaker.
+        failures: u32,
+    },
+    /// A config's circuit breaker closed again (successful half-open
+    /// probe).
+    BreakerClose {
+        /// Index of the experiment within the sweep grid (or submission
+        /// order, for the experiment service).
+        index: u32,
+    },
 }
 
 /// One traced occurrence: a payload stamped with the simulated cycle clock.
@@ -232,6 +248,8 @@ impl EventKind {
             EventKind::ExperimentRetry { .. } => "experiment_retry",
             EventKind::ExperimentFailure { .. } => "experiment_failure",
             EventKind::ExperimentComplete { .. } => "experiment_complete",
+            EventKind::BreakerOpen { .. } => "breaker_open",
+            EventKind::BreakerClose { .. } => "breaker_close",
         }
     }
 
@@ -252,6 +270,8 @@ impl EventKind {
             EventKind::ExperimentRetry { .. } => EventMask::EXPERIMENT_RETRY,
             EventKind::ExperimentFailure { .. } => EventMask::EXPERIMENT_FAILURE,
             EventKind::ExperimentComplete { .. } => EventMask::EXPERIMENT_COMPLETE,
+            EventKind::BreakerOpen { .. } => EventMask::BREAKER_OPEN,
+            EventKind::BreakerClose { .. } => EventMask::BREAKER_CLOSE,
         }
     }
 }
@@ -332,6 +352,13 @@ impl Event {
                 o.field_u64("index", index as u64);
                 o.field_u64("attempts", attempts as u64);
             }
+            EventKind::BreakerOpen { index, failures } => {
+                o.field_u64("index", index as u64);
+                o.field_u64("failures", failures as u64);
+            }
+            EventKind::BreakerClose { index } => {
+                o.field_u64("index", index as u64);
+            }
         }
         o.finish()
     }
@@ -372,6 +399,10 @@ impl EventMask {
     pub const EXPERIMENT_FAILURE: EventMask = EventMask(1 << 12);
     /// Supervisor completing an experiment.
     pub const EXPERIMENT_COMPLETE: EventMask = EventMask(1 << 13);
+    /// A config's circuit breaker tripping open.
+    pub const BREAKER_OPEN: EventMask = EventMask(1 << 14);
+    /// A config's circuit breaker closing after a successful probe.
+    pub const BREAKER_CLOSE: EventMask = EventMask(1 << 15);
 
     /// Per-translation hardware events — enormous volume on real runs.
     pub const HARDWARE: EventMask =
@@ -389,7 +420,11 @@ impl EventMask {
     );
     /// Sweep-supervisor lifecycle events — a handful per experiment.
     pub const SUPERVISOR: EventMask = EventMask(
-        Self::EXPERIMENT_RETRY.0 | Self::EXPERIMENT_FAILURE.0 | Self::EXPERIMENT_COMPLETE.0,
+        Self::EXPERIMENT_RETRY.0
+            | Self::EXPERIMENT_FAILURE.0
+            | Self::EXPERIMENT_COMPLETE.0
+            | Self::BREAKER_OPEN.0
+            | Self::BREAKER_CLOSE.0,
     );
     /// Everything.
     pub const ALL: EventMask = EventMask(Self::HARDWARE.0 | Self::OS.0 | Self::SUPERVISOR.0);
@@ -510,6 +545,11 @@ mod tests {
                 index: 0,
                 attempts: 1,
             },
+            EventKind::BreakerOpen {
+                index: 3,
+                failures: 5,
+            },
+            EventKind::BreakerClose { index: 3 },
         ];
         let mut seen = 0u32;
         for k in kinds {

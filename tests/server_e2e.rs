@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+use graphmem_core::{FaultPlan, FaultSpec, IoFaultKind, IoFaultPlan};
 use graphmem_server::http;
 use graphmem_server::{Server, ServerConfig};
 use graphmem_telemetry::json::JsonValue;
@@ -98,7 +99,17 @@ fn second_submission_is_served_from_the_cache_byte_identically() {
     let (server, addr) = start_server(Some(dir.clone()), 64);
 
     let (health_status, health) = http::request(&addr, "GET", "/healthz", "").expect("healthz");
-    assert_eq!((health_status, health.as_str()), (200, "{\"ok\":true}"));
+    assert_eq!(health_status, 200);
+    let health = JsonValue::parse(&health).expect("healthz JSON");
+    assert_eq!(health.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        health.get("degraded").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        health.get("queue_depth").and_then(JsonValue::as_u64),
+        Some(0)
+    );
 
     // First pass: every config runs fresh.
     let (first, summary) = run_job(&addr, SWEEP_BODY);
@@ -185,6 +196,15 @@ fn metrics_negotiate_prometheus_text_and_agree_with_json() {
         "graph_cache_len",
         "translation_memo_hits",
         "translation_memo_misses",
+        "store_records_written",
+        "store_fsyncs",
+        "store_torn_tails_recovered",
+        "store_quarantined",
+        "store_corrupt_lines",
+        "store_degraded",
+        "breaker_open",
+        "breaker_trips",
+        "breaker_rejections",
     ] {
         assert!(
             text.contains(&format!("# TYPE graphmem_{key} ")),
@@ -229,6 +249,150 @@ fn full_queue_answers_429_and_unknown_routes_404() {
 
     let rejected = metric(&addr, "submissions_rejected");
     assert!(rejected >= 1, "429 must be counted, got {rejected}");
+    server.join();
+}
+
+/// Submit `body` and stream the job to completion without requiring
+/// success, returning `hash -> (status, failure code)` per config.
+fn run_job_statuses(addr: &str, body: &str) -> HashMap<String, (String, String)> {
+    let (status, accepted) = http::request(addr, "POST", "/runs", body).expect("submit");
+    assert_eq!(status, 202, "submission accepted: {accepted}");
+    let job = JsonValue::parse(&accepted)
+        .expect("acceptance")
+        .get("job")
+        .and_then(JsonValue::as_u64)
+        .expect("job id");
+    let mut rows = HashMap::new();
+    let status = http::stream_lines(addr, &format!("/runs/{job}"), |line| {
+        let row = JsonValue::parse(line).expect("progress row is JSON");
+        if row.get("index").is_some() {
+            rows.insert(
+                row.get("hash")
+                    .and_then(JsonValue::as_str)
+                    .expect("row hash")
+                    .to_string(),
+                (
+                    row.get("status")
+                        .and_then(JsonValue::as_str)
+                        .expect("row status")
+                        .to_string(),
+                    row.get("code")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                ),
+            );
+        }
+    })
+    .expect("progress stream");
+    assert_eq!(status, 200);
+    rows
+}
+
+#[test]
+fn enospc_degrades_the_store_and_healthz_answers_503_while_results_keep_serving() {
+    let dir = tmp_dir("enospc");
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_dir: Some(dir.clone()),
+        // The very first shard append hits a full disk — and a full disk
+        // stays full, so the store must flip read-only instead of
+        // hammering it.
+        io_faults: IoFaultPlan::none().inject(0, IoFaultKind::Enospc),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    // Configs still settle as done: losing the durable tier degrades the
+    // cache, not the computation.
+    let (first, summary) = run_job(&addr, SWEEP_BODY);
+    assert_eq!(summary.get("failed").and_then(JsonValue::as_u64), Some(0));
+    assert!(first.values().all(|cached| !cached));
+
+    let (health_status, health_body) =
+        http::request(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(
+        health_status, 503,
+        "degraded store answers 503: {health_body}"
+    );
+    let health = JsonValue::parse(&health_body).expect("healthz JSON");
+    assert_eq!(health.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        health.get("degraded").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert!(
+        health_body.contains("ENOSPC"),
+        "reasons name the cause: {health_body}"
+    );
+    assert_eq!(metric(&addr, "store_degraded"), 1);
+
+    // Results keep serving from the in-memory tier...
+    let hashes: Vec<&String> = first.keys().collect();
+    fetch_reports(&addr, &hashes);
+    // ...and a resubmission is all memory hits.
+    let (second, _) = run_job(&addr, SWEEP_BODY);
+    assert!(
+        second.values().all(|cached| *cached),
+        "degraded mode still serves the hot tier: {second:?}"
+    );
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tripped_breaker_rejects_resubmission_with_circuit_open() {
+    const ONE_CONFIG: &str = "{\"spec\":{\"dataset\":\"wiki\",\"kernel\":\"bfs\",\"scale\":11}}";
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 64,
+        retries: 0,
+        // One panic trips the circuit; the cooldown is far longer than
+        // the test, so no half-open probe sneaks in.
+        compute_faults: FaultPlan::none().inject(0, FaultSpec::Panic),
+        breaker_threshold: 1,
+        breaker_cooldown: std::time::Duration::from_secs(600),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    let first = run_job_statuses(&addr, ONE_CONFIG);
+    assert_eq!(first.len(), 1);
+    let (hash, (status, code)) = first.iter().next().expect("one config");
+    assert_eq!((status.as_str(), code.as_str()), ("failed", "panic"));
+
+    // Same config again: the breaker is open, so it fails fast without
+    // re-executing (the chaos clock only ever ticked once).
+    let second = run_job_statuses(&addr, ONE_CONFIG);
+    assert_eq!(
+        second.get(hash).map(|(s, c)| (s.as_str(), c.as_str())),
+        Some(("failed", "circuit_open")),
+        "open breaker rejects with the typed code: {second:?}"
+    );
+
+    let (health_status, health_body) =
+        http::request(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(
+        health_status, 200,
+        "open breakers protect capacity, they do not flip liveness"
+    );
+    let health = JsonValue::parse(&health_body).expect("healthz JSON");
+    let open: Vec<&str> = health
+        .get("open_breakers")
+        .and_then(JsonValue::as_array)
+        .expect("open_breakers array")
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(open, vec![hash.as_str()], "healthz lists the open breaker");
+    assert_eq!(metric(&addr, "breaker_open"), 1);
+    assert_eq!(metric(&addr, "breaker_trips"), 1);
+    assert_eq!(metric(&addr, "breaker_rejections"), 1);
     server.join();
 }
 
