@@ -3,7 +3,9 @@
 //! selectivity vs fixed fractions.
 
 use graphmem_bench::{f3, pct, scale_for, Figure};
-use graphmem_core::{Experiment, MemoryCondition, PagePolicy, Preprocessing, Surplus};
+use graphmem_core::{
+    Experiment, MemoryCondition, PagePolicy, PageSizePlan, Preprocessing, Surplus,
+};
 use graphmem_graph::Dataset;
 use graphmem_workloads::Kernel;
 
@@ -25,10 +27,13 @@ fn khugepaged_ablation() {
     // PageRank so the daemon has steady-state iterations to work with.
     let proto = Experiment::builder(dataset, Kernel::Pagerank)
         .scale(scale_for(dataset))
-        .policy(PagePolicy::ThpSystemWide)
-        .defrag_scan_blocks(0)
+        .plan(PageSizePlan {
+            policy: PagePolicy::ThpSystemWide,
+            defrag_scan_blocks: Some(0), // isolate the daemon: no fault-time defrag
+            ..PageSizePlan::default()
+        })
         .build()
-        .expect("valid config"); // isolate the daemon: no fault-time defrag
+        .expect("valid config");
     let base = proto.clone().policy(PagePolicy::BaseOnly).run();
 
     let fault_time = Experiment::builder(dataset, Kernel::Pagerank)
@@ -50,10 +55,12 @@ fn khugepaged_ablation() {
         ("khugepaged default (20M cyc)", true, 20_000_000),
         ("khugepaged fast (2M cyc)", true, 2_000_000),
     ] {
-        let mut e = proto.clone().khugepaged_enabled(enabled);
+        let mut plan = proto.page_size_plan();
+        plan.khugepaged_enabled = Some(enabled);
         if interval > 0 {
-            e = e.khugepaged_interval(interval);
+            plan.khugepaged_interval = Some(interval);
         }
+        let e = proto.clone().plan(plan);
         // Disable fault-time huge allocation via a trick: fault_huge stays
         // on but with no free huge blocks it matters little; instead rely
         // on defrag 0 + the daemon. (Fault-time allocation still grabs
@@ -95,7 +102,9 @@ fn defrag_budget_ablation() {
         .expect("valid config");
     let base = proto.clone().policy(PagePolicy::BaseOnly).run();
     for blocks in [0usize, 2, 8, 32, 128] {
-        let r = proto.clone().defrag_scan_blocks(blocks).run();
+        let mut plan = proto.page_size_plan();
+        plan.defrag_scan_blocks = Some(blocks);
+        let r = proto.clone().plan(plan).run();
         assert!(r.verified);
         fig.row(vec![
             blocks.to_string(),

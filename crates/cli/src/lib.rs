@@ -41,6 +41,13 @@ OPTIONS (run, sweep, and submit):
     --policy  <4k|thp|property|hugetlb|selective:F|auto:C>    [4k]
                                              F = property fraction 0..1
                                              C = access coverage 0..1
+    --governor <k=v,...>                     closed-loop page-size governor [off];
+                                             keys epoch=<cycles>, promote=<cost>,
+                                             demote=<cost>, max=<actions/epoch>
+                                             (missing keys take defaults)
+    --khugepaged <on|off>                    override background promotion daemon
+    --khugepaged-interval <N>                khugepaged scan interval, cycles
+    --defrag-blocks <N>                      fault-time compaction budget, pageblocks
     --preprocess <none|dbg|sort|random>      vertex reorder   [none]
     --order   <natural|property-first>       first-touch order [natural]
     --surplus <unbounded|FRAC|bytes:N>       free mem = WSS*(1+FRAC) [unbounded]
@@ -105,6 +112,7 @@ EXAMPLES:
     graphmem run --policy selective:0.2 --preprocess dbg --frag 0.5 --surplus 0.35
     graphmem run --policy thp --telemetry t.jsonl --sample-interval 100000 --json
     graphmem run --policy 4k --attribution --sample-interval 100000 --series s.csv
+    graphmem run --policy thp --governor epoch=5000000,promote=1.5 --frag 0.6 --json
     graphmem sweep selectivity --dataset twit --preprocess dbg --frag 0.5
     graphmem sweep pressure --policy thp --manifest runs.jsonl --retries 2 --timeout 600
     graphmem serve --workers 4 --cache-dir results/

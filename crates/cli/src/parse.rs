@@ -233,7 +233,35 @@ fn spec_flag(
             );
         }
         "--policy" => {
-            spec.policy = policy_from_token(next_value(it, flag)?).map_err(ParseError)?;
+            spec.plan.policy = policy_from_token(next_value(it, flag)?).map_err(ParseError)?;
+        }
+        "--governor" => {
+            spec.plan.governor = Some(
+                next_value(it, flag)?
+                    .parse()
+                    .map_err(|e| ParseError(format!("--governor: {e}")))?,
+            );
+        }
+        "--khugepaged" => {
+            spec.plan.khugepaged_enabled = Some(match next_value(it, flag)? {
+                "on" => true,
+                "off" => false,
+                other => return err(format!("--khugepaged must be on|off, got '{other}'")),
+            });
+        }
+        "--khugepaged-interval" => {
+            spec.plan.khugepaged_interval = Some(
+                next_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--khugepaged-interval needs an integer".into()))?,
+            );
+        }
+        "--defrag-blocks" => {
+            spec.plan.defrag_scan_blocks = Some(
+                next_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--defrag-blocks needs an integer".into()))?,
+            );
         }
         "--preprocess" => {
             spec.preprocess = preprocess_from_token(next_value(it, flag)?).map_err(ParseError)?;
@@ -447,7 +475,10 @@ struct ChaosPlan {
 /// Parse a fault-injection spec: a comma list of `<kind>@<index>` where
 /// kind is a compute fault (`panic`, `io`, `delay:<ms>`, keyed by grid
 /// index) or an IO fault (`eio`, `enospc`, `io-torn`, keyed by durable
-/// record index) — e.g. `panic@2,io@5,enospc@3`.
+/// record index) — e.g. `panic@2,io@5,enospc@3`. The two token
+/// grammars are owned by [`FaultSpec::from_token`] and
+/// [`IoFaultKind::from_token`] in `graphmem-core`; this function only
+/// splits the list and routes each entry to the right layer.
 fn parse_chaos(v: &str) -> Result<ChaosPlan, ParseError> {
     const KINDS: &str = "panic|io|delay:<ms>|eio|enospc|io-torn";
     let mut plan = ChaosPlan::default();
@@ -460,26 +491,22 @@ fn parse_chaos(v: &str) -> Result<ChaosPlan, ParseError> {
         let index: u64 = index
             .parse()
             .map_err(|_| ParseError(format!("--chaos entry '{part}': bad index '{index}'")))?;
-        if let Some(ms) = kind.strip_prefix("delay:") {
-            let ms: u64 = ms.parse().map_err(|_| {
-                ParseError(format!(
-                    "--chaos entry '{part}': bad delay '{ms}' (milliseconds)"
-                ))
-            })?;
-            plan.compute.push((index as usize, FaultSpec::Delay { ms }));
-        } else {
-            match kind {
-                "panic" => plan.compute.push((index as usize, FaultSpec::Panic)),
-                "io" => plan.compute.push((index as usize, FaultSpec::IoError)),
-                "eio" => plan.io.push((index, IoFaultKind::Eio)),
-                "enospc" => plan.io.push((index, IoFaultKind::Enospc)),
-                "io-torn" => plan.io.push((index, IoFaultKind::Torn)),
-                other => {
-                    return err(format!(
-                        "--chaos entry '{part}': unknown fault '{other}' ({KINDS})"
-                    ))
-                }
+        match FaultSpec::from_token(kind) {
+            Ok(fault) => plan.compute.push((index as usize, fault)),
+            // `delay:` entries are unambiguously compute faults, so a
+            // malformed delay reports the compute-side error instead of
+            // falling through to "unknown fault".
+            Err(e) if kind.starts_with("delay:") => {
+                return err(format!("--chaos entry '{part}': {e}"));
             }
+            Err(_) => match IoFaultKind::from_token(kind) {
+                Ok(io) => plan.io.push((index, io)),
+                Err(_) => {
+                    return err(format!(
+                        "--chaos entry '{part}': unknown fault '{kind}' ({KINDS})"
+                    ));
+                }
+            },
         }
     }
     Ok(plan)
@@ -523,7 +550,7 @@ mod tests {
         assert_eq!(r.spec.kernel, Kernel::Sssp);
         assert_eq!(r.spec.scale, Some(14));
         assert_eq!(
-            r.spec.policy,
+            r.spec.plan.policy,
             PagePolicy::SelectiveProperty { fraction: 0.25 }
         );
         assert_eq!(r.spec.preprocess, Preprocessing::Dbg);
@@ -568,6 +595,31 @@ mod tests {
         );
         assert!(policy_from_token("selective:1.5").is_err());
         assert!(policy_from_token("bogus").is_err());
+    }
+
+    #[test]
+    fn plan_flags() {
+        let Command::Run(r) = parse(&args(
+            "run --policy thp --governor epoch=500000,promote=1.5 --khugepaged off \
+             --khugepaged-interval 250000 --defrag-blocks 4",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.spec.plan.policy, PagePolicy::ThpSystemWide);
+        let gov = r.spec.plan.governor.expect("governor set");
+        assert_eq!(gov.epoch_cycles, 500_000);
+        assert_eq!(gov.promote_cost, 1.5);
+        assert_eq!(r.spec.plan.khugepaged_enabled, Some(false));
+        assert_eq!(r.spec.plan.khugepaged_interval, Some(250_000));
+        assert_eq!(r.spec.plan.defrag_scan_blocks, Some(4));
+        // The governor token round-trips through the spec's JSON form.
+        let wire = RunSpec::from_json(&r.spec.to_json()).unwrap();
+        assert_eq!(wire, r.spec);
+        let e = parse(&args("run --governor epoch=nope")).unwrap_err();
+        assert!(e.to_string().contains("--governor"), "{e}");
+        let e = parse(&args("run --khugepaged maybe")).unwrap_err();
+        assert!(e.to_string().contains("--khugepaged"), "{e}");
     }
 
     #[test]

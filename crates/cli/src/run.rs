@@ -142,6 +142,12 @@ fn print_report(r: &RunReport) {
         r.os.promotions,
         r.os.swap_ins
     );
+    if let Some(gov) = &r.governor {
+        println!(
+            "  governor [{}]: {} epochs, {} promotions, {} demotions, {} denied by fragmentation",
+            gov.config, gov.epochs, gov.promotions, gov.demotions, gov.denied_by_fragmentation
+        );
+    }
 }
 
 /// The process-wide SIGINT flag, installing the handler on first use.

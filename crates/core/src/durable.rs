@@ -198,6 +198,22 @@ impl IoFaultKind {
             IoFaultKind::Torn => "io-torn",
         }
     }
+
+    /// Parse an IO-fault token (inverse of [`Self::token`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a display-ready message naming the accepted tokens.
+    pub fn from_token(token: &str) -> Result<IoFaultKind, String> {
+        match token {
+            "eio" => Ok(IoFaultKind::Eio),
+            "enospc" => Ok(IoFaultKind::Enospc),
+            "io-torn" => Ok(IoFaultKind::Torn),
+            other => Err(format!(
+                "io fault must be eio|enospc|io-torn, got '{other}'"
+            )),
+        }
+    }
 }
 
 /// A deterministic plan of IO faults, by durable-record index (the Nth
@@ -498,6 +514,18 @@ mod tests {
         }
         assert!(FsyncPolicy::from_token("every:0").is_err());
         assert!(FsyncPolicy::from_token("sometimes").is_err());
+    }
+
+    #[test]
+    fn io_fault_tokens_round_trip() {
+        for kind in [IoFaultKind::Eio, IoFaultKind::Enospc, IoFaultKind::Torn] {
+            assert_eq!(IoFaultKind::from_token(kind.token()).unwrap(), kind);
+        }
+        assert!(IoFaultKind::from_token("torn").is_err());
+        assert!(
+            IoFaultKind::from_token("panic").is_err(),
+            "compute faults are not io faults"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use graphmem_graph::{reorder, Csr, Dataset};
-use graphmem_os::{AccessEngine, FilePlacement, System, SystemSpec, ThpMode};
+use graphmem_os::{AccessEngine, FilePlacement, GovernorConfig, System, SystemSpec, ThpMode};
 use graphmem_telemetry::Tracer;
 use graphmem_workloads::{default_root, AllocOrder, GraphArrays, Kernel};
 
@@ -12,8 +12,9 @@ use crate::autotune::HotnessProfile;
 use crate::condition::{MemoryCondition, Surplus};
 use crate::error::GraphmemError;
 use crate::graphcache::{self, GraphKey};
+use crate::plan::PageSizePlan;
 use crate::policy::{PagePolicy, Preprocessing};
-use crate::report::RunReport;
+use crate::report::{GovernorReport, RunReport};
 
 /// Builder for one measured run: dataset × kernel × page policy ×
 /// preprocessing × allocation order × memory condition.
@@ -35,6 +36,7 @@ pub struct Experiment {
     khugepaged_enabled: Option<bool>,
     khugepaged_interval: Option<u64>,
     defrag_scan_blocks: Option<usize>,
+    governor: Option<GovernorConfig>,
     stlb_entries: Option<u32>,
     seed_offset: u64,
     telemetry: Tracer,
@@ -55,19 +57,7 @@ impl Experiment {
         }
     }
 
-    /// A fresh-boot, base-pages, natural-order experiment on `dataset` ×
-    /// `kernel`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Experiment::builder(dataset, kernel)…build(), which validates the \
-                configuration up front"
-    )]
-    pub fn new(dataset: Dataset, kernel: Kernel) -> Self {
-        Experiment::fresh(dataset, kernel)
-    }
-
-    /// Unvalidated internal constructor backing both [`Self::builder`] and
-    /// the deprecated [`Self::new`] shim.
+    /// Unvalidated internal constructor backing [`Self::builder`].
     pub(crate) fn fresh(dataset: Dataset, kernel: Kernel) -> Self {
         Experiment {
             dataset,
@@ -83,6 +73,7 @@ impl Experiment {
             khugepaged_enabled: None,
             khugepaged_interval: None,
             defrag_scan_blocks: None,
+            governor: None,
             stlb_entries: None,
             seed_offset: 0,
             telemetry: Tracer::disabled(),
@@ -99,10 +90,36 @@ impl Experiment {
         self
     }
 
-    /// Set the page-size policy.
+    /// Set the page-size policy. Sugar for a [`PageSizePlan`] that leaves
+    /// every kernel knob at its default; use [`Self::plan`] to set the
+    /// full page-size surface in one step.
     pub fn policy(mut self, policy: PagePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Apply a [`PageSizePlan`]: the single entry point for the whole
+    /// page-size surface — static policy, khugepaged overrides,
+    /// compaction budget, and the closed-loop governor.
+    pub fn plan(mut self, plan: PageSizePlan) -> Self {
+        self.policy = plan.policy;
+        self.khugepaged_enabled = plan.khugepaged_enabled;
+        self.khugepaged_interval = plan.khugepaged_interval;
+        self.defrag_scan_blocks = plan.defrag_scan_blocks;
+        self.governor = plan.governor;
+        self
+    }
+
+    /// The page-size plan this experiment currently encodes (the inverse
+    /// of [`Self::plan`]).
+    pub fn page_size_plan(&self) -> PageSizePlan {
+        PageSizePlan {
+            policy: self.policy,
+            khugepaged_enabled: self.khugepaged_enabled,
+            khugepaged_interval: self.khugepaged_interval,
+            defrag_scan_blocks: self.defrag_scan_blocks,
+            governor: self.governor,
+        }
     }
 
     /// Set the preprocessing (vertex reordering).
@@ -155,12 +172,20 @@ impl Experiment {
     }
 
     /// Ablation knob: enable/disable the khugepaged background daemon.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set khugepaged_enabled through plan(PageSizePlan { .. })"
+    )]
     pub fn khugepaged_enabled(mut self, enabled: bool) -> Self {
         self.khugepaged_enabled = Some(enabled);
         self
     }
 
     /// Ablation knob: khugepaged scan interval in simulated cycles.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set khugepaged_interval through plan(PageSizePlan { .. })"
+    )]
     pub fn khugepaged_interval(mut self, cycles: u64) -> Self {
         self.khugepaged_interval = Some(cycles);
         self
@@ -168,6 +193,10 @@ impl Experiment {
 
     /// Ablation knob: fault-time direct-compaction budget in pageblocks
     /// (0 disables fault-time defrag entirely).
+    #[deprecated(
+        since = "0.6.0",
+        note = "set defrag_scan_blocks through plan(PageSizePlan { .. })"
+    )]
     pub fn defrag_scan_blocks(mut self, blocks: usize) -> Self {
         self.defrag_scan_blocks = Some(blocks);
         self
@@ -278,9 +307,11 @@ impl Experiment {
 
     /// A stable textual key covering every field that affects the
     /// simulated result. The telemetry handle and the attribution flag are
-    /// deliberately excluded: both observe a run without changing it.
+    /// deliberately excluded: both observe a run without changing it. The
+    /// governor token is appended only when the governor is on, so every
+    /// pre-governor config keeps its manifest identity.
     pub fn config_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
             self.dataset,
             self.kernel,
@@ -299,7 +330,11 @@ impl Experiment {
             self.seed_offset,
             self.sample_interval,
             self.engine,
-        )
+        );
+        if let Some(g) = &self.governor {
+            key.push_str(&format!("|gov={g}"));
+        }
+        key
     }
 
     /// FNV-1a 64-bit hash of [`Self::config_key`], as fixed-width hex.
@@ -338,20 +373,18 @@ impl Experiment {
                 self.huge_order
             ));
         }
-        match self.policy {
-            PagePolicy::SelectiveProperty { fraction } if !(0.0..=1.0).contains(&fraction) => {
-                return invalid(format!("selective fraction {fraction} outside 0..=1"));
-            }
-            PagePolicy::AutoSelective { coverage } if !(0.0..=1.0).contains(&coverage) => {
-                return invalid(format!("auto coverage {coverage} outside 0..=1"));
-            }
-            PagePolicy::PerArray { values: true, .. } if !self.kernel.needs_weights() => {
-                return invalid(format!(
-                    "policy advises the values array but kernel {} is unweighted",
-                    self.kernel.name()
-                ));
-            }
-            _ => {}
+        // The whole page-size surface validates through the plan — one
+        // path whether the knobs arrived via plan(), policy(), or the
+        // deprecated individual setters.
+        self.page_size_plan().validate()?;
+        // Only the kernel-dependent combination check lives outside it.
+        if matches!(self.policy, PagePolicy::PerArray { values: true, .. })
+            && !self.kernel.needs_weights()
+        {
+            return invalid(format!(
+                "policy advises the values array but kernel {} is unweighted",
+                self.kernel.name()
+            ));
         }
         if !(0.0..=1.0).contains(&self.condition.fragmentation) {
             return invalid(format!(
@@ -456,6 +489,14 @@ impl Experiment {
             // arrays alike get charged from their first touch.
             sys.enable_attribution(true);
         }
+        if let Some(g) = self.governor {
+            // After the explicit attribution toggle: enable_governor only
+            // forces attribution on when the user didn't ask for it, so
+            // the order user-attribution-then-governor never resets
+            // counters. Before any VMA exists, like attribution, so the
+            // governor's first epoch sees every region's full history.
+            sys.enable_governor(g);
+        }
         let hugetlb_property = matches!(policy, PagePolicy::HugetlbProperty);
         if hugetlb_property {
             // Boot-time reservation: before any pressure or fragmentation
@@ -505,7 +546,26 @@ impl Experiment {
         }
 
         let series = sys.take_series();
-        let attribution = AttributionReport::collect(&mut sys);
+        // Gate on the experiment's own flag: the governor forces the
+        // MMU-side attribution tables on for its signal, but only an
+        // explicit attribution(true) may attach the profile (governor-on
+        // reports must not grow sections the user didn't ask for).
+        let attribution = if self.attribution {
+            AttributionReport::collect(&mut sys)
+        } else {
+            None
+        };
+        let governor = sys.governor_stats().map(|stats| GovernorReport {
+            config: self
+                .governor
+                .expect("governor stats only exist when configured")
+                .to_string(),
+            epochs: stats.epochs,
+            promotions: stats.promotions,
+            demotions: stats.demotions,
+            denied_by_fragmentation: stats.denied_by_fragmentation,
+            series: sys.governor_series().unwrap_or_default().to_vec(),
+        });
         let (memo_hits, memo_misses) = sys.memo_stats();
         crate::memostats::record(memo_hits, memo_misses);
         let _ = self.telemetry.flush();
@@ -534,6 +594,7 @@ impl Experiment {
             verified,
             series,
             attribution,
+            governor,
         })
     }
 
@@ -624,9 +685,18 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Set the page-size policy.
+    /// Set the page-size policy (sugar for a plan with default knobs;
+    /// see [`Self::plan`]).
     pub fn policy(mut self, policy: PagePolicy) -> Self {
         self.exp = self.exp.policy(policy);
+        self
+    }
+
+    /// Apply a [`PageSizePlan`]: the single entry point for the whole
+    /// page-size surface — static policy, khugepaged overrides,
+    /// compaction budget, and the closed-loop governor.
+    pub fn plan(mut self, plan: PageSizePlan) -> Self {
+        self.exp = self.exp.plan(plan);
         self
     }
 
@@ -673,20 +743,32 @@ impl ExperimentBuilder {
     }
 
     /// Ablation knob: enable/disable the khugepaged background daemon.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set khugepaged_enabled through plan(PageSizePlan { .. })"
+    )]
     pub fn khugepaged_enabled(mut self, enabled: bool) -> Self {
-        self.exp = self.exp.khugepaged_enabled(enabled);
+        self.exp.khugepaged_enabled = Some(enabled);
         self
     }
 
     /// Ablation knob: khugepaged scan interval in simulated cycles.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set khugepaged_interval through plan(PageSizePlan { .. })"
+    )]
     pub fn khugepaged_interval(mut self, cycles: u64) -> Self {
-        self.exp = self.exp.khugepaged_interval(cycles);
+        self.exp.khugepaged_interval = Some(cycles);
         self
     }
 
     /// Ablation knob: fault-time direct-compaction budget in pageblocks.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set defrag_scan_blocks through plan(PageSizePlan { .. })"
+    )]
     pub fn defrag_scan_blocks(mut self, blocks: usize) -> Self {
-        self.exp = self.exp.defrag_scan_blocks(blocks);
+        self.exp.defrag_scan_blocks = Some(blocks);
         self
     }
 
@@ -791,14 +873,74 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_new_matches_builder_default() {
-        #[allow(deprecated)]
-        let old = Experiment::new(Dataset::Wiki, Kernel::Bfs).scale(11);
-        let new = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+    fn plan_round_trips_through_experiment() {
+        let plan = PageSizePlan {
+            policy: PagePolicy::ThpSystemWide,
+            khugepaged_enabled: Some(false),
+            khugepaged_interval: Some(123_456),
+            defrag_scan_blocks: Some(3),
+            governor: Some(GovernorConfig::default()),
+        };
+        let exp = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
             .scale(11)
+            .plan(plan)
+            .build()
+            .expect("valid plan");
+        assert_eq!(exp.page_size_plan(), plan);
+        // The deprecated individual setters produce the same experiment.
+        #[allow(deprecated)]
+        let legacy = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .scale(11)
+            .policy(PagePolicy::ThpSystemWide)
+            .khugepaged_enabled(false)
+            .khugepaged_interval(123_456)
+            .defrag_scan_blocks(3)
             .build()
             .expect("valid");
-        assert_eq!(old.config_hash(), new.config_hash());
+        let grafted = PageSizePlan {
+            governor: plan.governor,
+            ..legacy.page_size_plan()
+        };
+        assert_eq!(legacy.plan(grafted).config_hash(), exp.config_hash());
+    }
+
+    #[test]
+    fn plan_validation_is_reachable_from_build() {
+        let err = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .plan(PageSizePlan {
+                khugepaged_interval: Some(0),
+                ..PageSizePlan::default()
+            })
+            .build()
+            .expect_err("zero interval rejected");
+        assert!(matches!(err, GraphmemError::InvalidConfig(_)), "{err}");
+        let err = Experiment::builder(Dataset::Wiki, Kernel::Bfs)
+            .plan(PageSizePlan::default().governed(GovernorConfig {
+                epoch_cycles: 0,
+                ..GovernorConfig::default()
+            }))
+            .build()
+            .expect_err("bad governor rejected");
+        assert!(matches!(err, GraphmemError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn governor_participates_in_config_hash_only_when_on() {
+        let off = tiny(Kernel::Bfs);
+        let key = off.config_key();
+        assert!(!key.contains("gov="), "governor-off key unchanged: {key}");
+        let on = tiny(Kernel::Bfs).plan(
+            PageSizePlan::with_policy(PagePolicy::ThpSystemWide)
+                .governed(GovernorConfig::default()),
+        );
+        assert!(on.config_key().contains("gov=epoch="));
+        let other = tiny(Kernel::Bfs).plan(
+            PageSizePlan::with_policy(PagePolicy::ThpSystemWide).governed(GovernorConfig {
+                promote_cost: 3.0,
+                ..GovernorConfig::default()
+            }),
+        );
+        assert_ne!(on.config_hash(), other.config_hash());
     }
 
     #[test]
@@ -896,6 +1038,29 @@ mod tests {
         let mut stripped = profiled.clone();
         stripped.attribution = None;
         assert_eq!(stripped.to_json(), plain.to_json());
+    }
+
+    #[test]
+    fn governor_run_attaches_report_but_no_attribution_section() {
+        let plain = tiny(Kernel::Bfs).run();
+        assert!(plain.governor.is_none());
+        let gov = tiny(Kernel::Bfs)
+            .plan(
+                PageSizePlan::with_policy(PagePolicy::BaseOnly).governed(GovernorConfig {
+                    epoch_cycles: 200_000,
+                    promote_cost: 0.5,
+                    demote_cost: 0.1,
+                    ..GovernorConfig::default()
+                }),
+            )
+            .run();
+        assert!(gov.verified);
+        let rep = gov.governor.as_ref().expect("governor report attached");
+        assert!(rep.epochs > 0, "epochs fired during the run");
+        assert_eq!(rep.series.len() as u64, rep.epochs);
+        // The governor consumes attribution internally, but the report
+        // only carries the profile when the user asked for it.
+        assert!(gov.attribution.is_none());
     }
 
     #[test]

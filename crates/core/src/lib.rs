@@ -64,6 +64,7 @@ mod error;
 mod experiment;
 pub mod graphcache;
 pub mod memostats;
+mod plan;
 mod policy;
 mod report;
 pub mod spec;
@@ -78,9 +79,10 @@ pub use durable::{DurableAppender, FsyncPolicy, IoFaultKind, IoFaultPlan};
 pub use error::GraphmemError;
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use graphcache::PreparedGraphCache;
-pub use graphmem_os::AccessEngine;
+pub use graphmem_os::{AccessEngine, GovernorConfig};
+pub use plan::PageSizePlan;
 pub use policy::{PagePolicy, Preprocessing};
-pub use report::RunReport;
+pub use report::{GovernorReport, RunReport};
 pub use spec::{RunSpec, SweepKind};
 pub use supervisor::{
     read_manifest, run_supervised, FailureRecord, FaultPlan, FaultSpec, SupervisorConfig,
@@ -97,10 +99,11 @@ pub mod prelude {
     pub use crate::condition::{MemoryCondition, Surplus};
     pub use crate::error::GraphmemError;
     pub use crate::experiment::{Experiment, ExperimentBuilder};
+    pub use crate::plan::PageSizePlan;
     pub use crate::policy::{PagePolicy, Preprocessing};
-    pub use crate::report::RunReport;
+    pub use crate::report::{GovernorReport, RunReport};
     pub use crate::spec::{RunSpec, SweepKind};
     pub use graphmem_graph::Dataset;
-    pub use graphmem_os::{AccessEngine, FilePlacement};
+    pub use graphmem_os::{AccessEngine, FilePlacement, GovernorConfig};
     pub use graphmem_workloads::{AllocOrder, Kernel};
 }

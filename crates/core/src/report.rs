@@ -1,11 +1,103 @@
 //! Results of one measured experiment run.
 
-use graphmem_os::OsStats;
+use graphmem_os::{GovernorEpochSample, OsStats};
 use graphmem_telemetry::json::{JsonObject, JsonValue};
 use graphmem_telemetry::MetricsSeries;
 use graphmem_vm::PerfCounters;
 
 use crate::attribution::AttributionReport;
+
+/// What the page-size governor did during one run: cumulative decision
+/// counters plus the per-epoch decision series, attached to
+/// [`RunReport::governor`] when the governor was enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorReport {
+    /// The canonical governor policy token
+    /// (`epoch=…,promote=…,demote=…,max=…`) — the same string accepted by
+    /// `--governor` and the spec JSON, so a report names the exact policy
+    /// that produced it.
+    pub config: String,
+    /// Control epochs completed.
+    pub epochs: u64,
+    /// Regions promoted by governor decisions.
+    pub promotions: u64,
+    /// Huge mappings demoted by governor decisions.
+    pub demotions: u64,
+    /// Promotions denied for lack of contiguity.
+    pub denied_by_fragmentation: u64,
+    /// Per-epoch decisions, in epoch order.
+    pub series: Vec<GovernorEpochSample>,
+}
+
+impl GovernorReport {
+    /// Render as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("config", &self.config);
+        o.field_u64("epochs", self.epochs);
+        o.field_u64("promotions", self.promotions);
+        o.field_u64("demotions", self.demotions);
+        o.field_u64("denied_by_fragmentation", self.denied_by_fragmentation);
+        let samples = self.series.iter().map(|s| {
+            let mut e = JsonObject::new();
+            e.field_u64("cycle", s.cycle);
+            e.field_u64("promoted", u64::from(s.promoted));
+            e.field_u64("demoted", u64::from(s.demoted));
+            e.field_u64("denied", u64::from(s.denied));
+            e.field_f64("fragmentation", s.fragmentation);
+            e.finish()
+        });
+        o.field_raw("series", &graphmem_telemetry::json::array(samples));
+        o.finish()
+    }
+
+    /// Rebuild from a parsed JSON object (see [`Self::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let u64_field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("governor field '{k}' missing or not an integer"))
+        };
+        let raw_series = v
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or("governor field 'series' missing or not an array")?;
+        let mut series = Vec::with_capacity(raw_series.len());
+        for s in raw_series {
+            let su = |k: &str| {
+                s.get(k)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("governor sample field '{k}' missing"))
+            };
+            series.push(GovernorEpochSample {
+                cycle: su("cycle")?,
+                promoted: su("promoted")? as u32,
+                demoted: su("demoted")? as u32,
+                denied: su("denied")? as u32,
+                fragmentation: s
+                    .get("fragmentation")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("governor sample field 'fragmentation' missing")?,
+            });
+        }
+        Ok(GovernorReport {
+            config: v
+                .get("config")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or("governor field 'config' missing or not a string")?,
+            epochs: u64_field("epochs")?,
+            promotions: u64_field("promotions")?,
+            demotions: u64_field("demotions")?,
+            denied_by_fragmentation: u64_field("denied_by_fragmentation")?,
+            series,
+        })
+    }
+}
 
 /// Everything measured during one [`Experiment`](crate::Experiment) run —
 /// the simulated analogue of the paper's `app_output`/`results.txt`
@@ -44,6 +136,9 @@ pub struct RunReport {
     /// Per-array translation attribution, when profiling was enabled (see
     /// [`Experiment::attribution`](crate::Experiment::attribution)).
     pub attribution: Option<AttributionReport>,
+    /// Page-size governor counters and decision series, when the governor
+    /// was enabled (see [`PageSizePlan::governor`](crate::PageSizePlan)).
+    pub governor: Option<GovernorReport>,
 }
 
 impl RunReport {
@@ -162,6 +257,9 @@ impl RunReport {
         if let Some(attribution) = &self.attribution {
             o.field_raw("attribution", &attribution.to_json());
         }
+        if let Some(governor) = &self.governor {
+            o.field_raw("governor", &governor.to_json());
+        }
         o.finish()
     }
 
@@ -267,6 +365,10 @@ impl RunReport {
             Some(av) => Some(AttributionReport::from_json_value(av)?),
             None => None,
         };
+        let governor = match v.get("governor") {
+            Some(gv) => Some(GovernorReport::from_json_value(gv)?),
+            None => None,
+        };
         Ok(RunReport {
             labels,
             init_cycles: tu("init_cycles")?,
@@ -284,6 +386,7 @@ impl RunReport {
                 .ok_or("report field 'verified' missing or not a bool")?,
             series,
             attribution,
+            governor,
         })
     }
 
@@ -336,6 +439,7 @@ mod tests {
             verified: true,
             series: None,
             attribution: None,
+            governor: None,
         }
     }
 
@@ -382,6 +486,20 @@ mod tests {
                 ..Default::default()
             }],
             memory: None,
+        });
+        r.governor = Some(GovernorReport {
+            config: "epoch=10000000,promote=2,demote=0.5,max=8".into(),
+            epochs: 2,
+            promotions: 5,
+            demotions: 1,
+            denied_by_fragmentation: 3,
+            series: vec![GovernorEpochSample {
+                cycle: 10_000_000,
+                promoted: 5,
+                demoted: 1,
+                denied: 3,
+                fragmentation: 0.625,
+            }],
         });
         let text = r.to_json();
         let back = RunReport::from_json(&text).unwrap();

@@ -29,6 +29,7 @@ use graphmem_workloads::{AllocOrder, Kernel};
 use crate::condition::{MemoryCondition, Surplus};
 use crate::error::GraphmemError;
 use crate::experiment::Experiment;
+use crate::plan::PageSizePlan;
 use crate::policy::{PagePolicy, Preprocessing};
 use crate::sweep;
 
@@ -41,8 +42,9 @@ pub struct RunSpec {
     pub kernel: Kernel,
     /// Optional scale override (log2 vertices).
     pub scale: Option<u8>,
-    /// Page-size policy.
-    pub policy: PagePolicy,
+    /// Unified page-size plan: static policy, khugepaged/defrag
+    /// overrides, and the closed-loop governor.
+    pub plan: PageSizePlan,
     /// Vertex reordering.
     pub preprocess: Preprocessing,
     /// First-touch order.
@@ -65,7 +67,7 @@ impl Default for RunSpec {
             dataset: Dataset::Kron25,
             kernel: Kernel::Bfs,
             scale: None,
-            policy: PagePolicy::BaseOnly,
+            plan: PageSizePlan::default(),
             preprocess: Preprocessing::None,
             order: AllocOrder::Natural,
             condition: MemoryCondition::unbounded(),
@@ -89,7 +91,7 @@ impl RunSpec {
     /// [`Experiment::builder`]).
     pub fn to_experiment(&self) -> Result<Experiment, GraphmemError> {
         let mut b = Experiment::builder(self.dataset, self.kernel)
-            .policy(self.policy)
+            .plan(self.plan)
             .preprocessing(self.preprocess)
             .alloc_order(self.order)
             .condition(self.condition)
@@ -144,7 +146,7 @@ impl RunSpec {
         if let Some(s) = self.scale {
             o.field_u64("scale", u64::from(s));
         }
-        o.field_str("policy", &policy_token(&self.policy));
+        self.plan.write_json_fields(&mut o);
         o.field_str("preprocess", self.preprocess.label());
         o.field_str("order", order_token(self.order));
         o.field_str("surplus", &surplus_token(self.condition.surplus));
@@ -204,9 +206,7 @@ impl RunSpec {
                 spec.scale = Some(n as u8);
             }
         }
-        if let Some(s) = str_of("policy")? {
-            spec.policy = policy_from_token(s)?;
-        }
+        spec.plan = PageSizePlan::read_json_fields(v)?;
         if let Some(s) = str_of("preprocess")? {
             spec.preprocess = preprocess_from_token(s)?;
         }
@@ -572,6 +572,7 @@ mod tests {
         assert!(RunSpec::from_json("[1,2]").is_err());
         assert!(RunSpec::from_json("{\"dataset\":\"mars\"}").is_err());
         assert!(RunSpec::from_json("{\"scale\":\"big\"}").is_err());
+        assert!(RunSpec::from_json("{\"governor\":\"epoch=nope\"}").is_err());
     }
 
     #[test]
@@ -580,7 +581,8 @@ mod tests {
             dataset: Dataset::Wiki,
             kernel: Kernel::Sssp,
             scale: Some(12),
-            policy: PagePolicy::SelectiveProperty { fraction: 0.25 },
+            plan: PageSizePlan::with_policy(PagePolicy::SelectiveProperty { fraction: 0.25 })
+                .governed(graphmem_os::GovernorConfig::default()),
             preprocess: Preprocessing::Dbg,
             ..RunSpec::default()
         };
@@ -663,6 +665,33 @@ mod tests {
             1 => Surplus::Bytes(rng.next_u64() as i64 % (1 << 32)),
             _ => Surplus::FractionOfWss(rng.unit_f64()),
         };
+        let governor = if rng.below(3) == 1 {
+            let promote = rng.unit_f64() * 8.0;
+            Some(graphmem_os::GovernorConfig {
+                epoch_cycles: 1 + rng.below(1 << 40),
+                promote_cost: promote,
+                demote_cost: promote * rng.unit_f64(),
+                max_actions: 1 + rng.below(1 << 16) as u32,
+            })
+        } else {
+            None
+        };
+        let plan = PageSizePlan {
+            policy,
+            khugepaged_enabled: match rng.below(3) {
+                0 => None,
+                n => Some(n == 2),
+            },
+            khugepaged_interval: match rng.below(3) {
+                0 => Some(1 + rng.below(1 << 40)),
+                _ => None,
+            },
+            defrag_scan_blocks: match rng.below(3) {
+                0 => Some(rng.below(1 << 20) as usize),
+                _ => None,
+            },
+            governor,
+        };
         RunSpec {
             dataset: datasets[rng.below(datasets.len() as u64) as usize],
             kernel: kernels[rng.below(kernels.len() as u64) as usize],
@@ -670,7 +699,7 @@ mod tests {
                 0 => None,
                 _ => Some(8 + rng.below(16) as u8),
             },
-            policy,
+            plan,
             preprocess: [
                 Preprocessing::None,
                 Preprocessing::Dbg,

@@ -67,6 +67,40 @@ pub enum FaultSpec {
     },
 }
 
+impl FaultSpec {
+    /// Parse the compute-fault token grammar shared by the CLI `--chaos`
+    /// flag and tests: `panic`, `io`, or `delay:<ms>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a display-ready message naming the accepted tokens.
+    pub fn from_token(token: &str) -> Result<FaultSpec, String> {
+        if let Some(ms) = token.strip_prefix("delay:") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad delay '{ms}' (milliseconds)"))?;
+            return Ok(FaultSpec::Delay { ms });
+        }
+        match token {
+            "panic" => Ok(FaultSpec::Panic),
+            "io" => Ok(FaultSpec::IoError),
+            other => Err(format!(
+                "compute fault must be panic|io|delay:<ms>, got '{other}'"
+            )),
+        }
+    }
+
+    /// The canonical token for this fault (inverse of
+    /// [`Self::from_token`]).
+    pub fn token(&self) -> String {
+        match self {
+            FaultSpec::Panic => "panic".into(),
+            FaultSpec::IoError => "io".into(),
+            FaultSpec::Delay { ms } => format!("delay:{ms}"),
+        }
+    }
+}
+
 /// A deterministic plan of faults to inject into a sweep, by grid index.
 ///
 /// Faults fire on the *first* attempt of an experiment only, so a
@@ -652,6 +686,22 @@ mod tests {
     use super::*;
     use graphmem_graph::Dataset;
     use graphmem_workloads::Kernel;
+
+    #[test]
+    fn fault_spec_tokens_round_trip() {
+        for fault in [
+            FaultSpec::Panic,
+            FaultSpec::IoError,
+            FaultSpec::Delay { ms: 250 },
+        ] {
+            assert_eq!(FaultSpec::from_token(&fault.token()).unwrap(), fault);
+        }
+        assert!(FaultSpec::from_token("delay:soon").is_err());
+        assert!(
+            FaultSpec::from_token("eio").is_err(),
+            "io faults are not compute faults"
+        );
+    }
 
     fn tiny_grid(n: usize) -> Vec<Experiment> {
         (0..n)

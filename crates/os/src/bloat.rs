@@ -57,15 +57,25 @@ impl System {
             self.charge(self.cost.compact_scan_block); // scan cost per region
             let hvpn = self.geom.page_number(va, PageSize::Huge);
             let util = self.mmu.utilization_of(hvpn).unwrap_or(0.0);
-            if util < policy.threshold {
-                self.demote_bloated(va, policy.reclaim_untouched);
+            if util < policy.threshold
+                && self.demote_huge(va, DemotionReason::Utilization, policy.reclaim_untouched)
+            {
+                self.stats.util_demotions += 1;
             }
         }
     }
 
-    /// Split the under-utilized huge page at `va`; optionally unmap and
-    /// free its never-touched base pages.
-    fn demote_bloated(&mut self, va: VirtAddr, reclaim_untouched: bool) {
+    /// Split the huge page at `va` back into base mappings; optionally
+    /// unmap and free its never-touched base pages. Shared by the
+    /// utilization daemon and the page-size governor (which differ only
+    /// in the reported reason and in whether they reclaim untouched
+    /// sub-pages). Returns whether the demotion happened.
+    pub(crate) fn demote_huge(
+        &mut self,
+        va: VirtAddr,
+        reason: DemotionReason,
+        reclaim_untouched: bool,
+    ) -> bool {
         let ln = self.local_node as usize;
         let frames = self.geom.frames(PageSize::Huge);
         // Use the pgtable deposit to split (never allocates under pressure).
@@ -87,16 +97,15 @@ impl System {
             self.zones[ln].free_frame(f);
         }
         let Ok(old) = result else {
-            return;
+            return false;
         };
         self.zones[ln].split_allocated(old.frame);
         self.mmu.invalidate_page(va, PageSize::Huge);
         self.charge(self.cost.tlb_shootdown);
         self.stats.demotions += 1;
-        self.stats.util_demotions += 1;
         self.telemetry.emit(EventKind::Demotion {
             vaddr: va.0,
-            reason: DemotionReason::Utilization,
+            reason,
         });
 
         let hvpn = self.geom.page_number(va, PageSize::Huge);
@@ -117,5 +126,6 @@ impl System {
                 self.resident.push_back((base_vpn + i, PageSize::Base));
             }
         }
+        true
     }
 }

@@ -8,6 +8,25 @@ use crate::config::ThpMode;
 use crate::system::{System, TAG_VPN};
 use crate::vma::VmaId;
 
+/// Why a promotion attempt succeeded or failed — the distinction the
+/// page-size governor needs to tell "this region isn't ready" from "the
+/// machine is out of contiguity".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PromoteOutcome {
+    /// The region was promoted to a huge mapping.
+    Promoted {
+        /// Whether direct compaction had to manufacture the huge block.
+        #[allow(dead_code)]
+        compacted: bool,
+    },
+    /// The region is not a promotion candidate (mode gating, already
+    /// huge, under-populated, or swapped-out PTEs).
+    Ineligible,
+    /// The region was eligible but no huge frame could be allocated or
+    /// compacted — denied by fragmentation.
+    NoContiguity,
+}
+
 impl System {
     /// Run the daemon if its timer expired (called from the access path —
     /// in this single-core model the daemon steals application cycles,
@@ -59,7 +78,10 @@ impl System {
             off += huge_bytes;
             examined += 1;
             self.charge(self.cost.compact_scan_block);
-            if self.try_promote_region(VmaId(vi), lo) {
+            if matches!(
+                self.try_promote_region(VmaId(vi), lo),
+                PromoteOutcome::Promoted { .. }
+            ) {
                 promoted += 1;
             }
         }
@@ -72,7 +94,7 @@ impl System {
 
     /// Promote `[lo, lo + huge)` if it is eligible, sufficiently populated
     /// with base pages, and a huge frame can be found.
-    fn try_promote_region(&mut self, id: VmaId, lo: VirtAddr) -> bool {
+    pub(crate) fn try_promote_region(&mut self, id: VmaId, lo: VirtAddr) -> PromoteOutcome {
         let huge_bytes = self.geom.bytes(PageSize::Huge);
         let huge_frames = self.geom.frames(PageSize::Huge);
         let hi = lo.add(huge_bytes);
@@ -83,16 +105,16 @@ impl System {
             ThpMode::Madvise => vma.range_advised(lo, hi),
         };
         if !eligible {
-            return false;
+            return PromoteOutcome::Ineligible;
         }
         let locked = vma.locked();
         let (base, huge) = self.pt.count_mapped(lo, hi);
         if huge > 0 {
-            return false; // already huge
+            return PromoteOutcome::Ineligible; // already huge
         }
         let min_fill = (self.thp.khugepaged.min_fill * huge_frames as f64).ceil() as u64;
         if base < min_fill.max(1) {
-            return false;
+            return PromoteOutcome::Ineligible;
         }
         // Swapped-out PTEs block promotion (khugepaged skips such regions).
         for i in 0..huge_frames {
@@ -100,7 +122,7 @@ impl System {
                 self.pt.walk(lo.add(i * graphmem_physmem::FRAME_SIZE)),
                 WalkResult::Swapped(_)
             ) {
-                return false;
+                return PromoteOutcome::Ineligible;
             }
         }
         // Fill any holes so the region is fully populated (Linux fills
@@ -129,7 +151,7 @@ impl System {
             compacted = range.is_some();
         }
         let Some(range) = range else {
-            return false;
+            return PromoteOutcome::NoContiguity;
         };
         // Copy + remap + shoot down.
         self.charge(self.cost.promote_copy_frame * huge_frames + self.cost.tlb_shootdown);
@@ -151,7 +173,7 @@ impl System {
             compacted,
         });
         self.resident.push_back((lo.vpn(), PageSize::Huge));
-        true
+        PromoteOutcome::Promoted { compacted }
     }
 }
 

@@ -48,6 +48,7 @@ mod bloat;
 mod compact;
 mod config;
 mod fault;
+mod governor;
 mod khugepaged;
 mod pagecache;
 mod reclaim;
@@ -59,6 +60,7 @@ mod vma;
 pub use config::{
     FilePlacement, KhugepagedConfig, OsCostModel, SystemSpec, ThpMode, ThpPolicy, UtilizationPolicy,
 };
+pub use governor::{GovernorConfig, GovernorEpochSample, GovernorStats};
 pub use pagecache::PageCache;
 pub use stats::OsStats;
 pub use swapdev::SwapDevice;

@@ -13,6 +13,7 @@ use graphmem_vm::{
 };
 
 use crate::config::{FilePlacement, OsCostModel, SystemSpec, ThpMode, ThpPolicy};
+use crate::governor::GovernorState;
 use crate::pagecache::PageCache;
 use crate::stats::OsStats;
 use crate::swapdev::SwapDevice;
@@ -114,6 +115,10 @@ pub struct System {
     pub(crate) kh: KhugepagedState,
     /// Next scheduled run of the utilization-demotion daemon.
     pub(crate) bloat_next_run: u64,
+    /// Page-size governor state (`None` when the governor is off — the
+    /// default, in which case it contributes no deadline, no charges, and
+    /// no counters).
+    pub(crate) gov: Option<GovernorState>,
     /// Optional access-trace recorder (see [`System::start_tracing`]).
     pub(crate) tracer: Option<AccessTrace>,
     /// Telemetry event tracer, cloned into the MMU and zones (see
@@ -222,6 +227,7 @@ impl System {
                 .thp
                 .utilization_demotion
                 .map_or(u64::MAX, |p| p.scan_interval_cycles),
+            gov: None,
             tracer: None,
             telemetry: Tracer::disabled(),
             sampler: None,
@@ -536,6 +542,7 @@ impl System {
                     self.telemetry.set_clock(self.clock);
                     self.maybe_khugepaged();
                     self.maybe_kbloatd();
+                    self.maybe_governor();
                     self.maybe_sample();
                     return;
                 }
@@ -552,8 +559,8 @@ impl System {
 
     /// Run every scheduled event that has become due, then refresh the
     /// watermark. Cold: on the hot path this is reached only when the
-    /// watermark compare fires. The three checks run in the same order the
-    /// legacy pipeline used, and each re-reads the clock, so cascades
+    /// watermark compare fires. The checks run in the same order the
+    /// legacy pipeline uses, and each re-reads the clock, so cascades
     /// (a daemon's kernel cycles pushing the clock past a sample boundary)
     /// resolve identically.
     #[cold]
@@ -563,6 +570,7 @@ impl System {
         self.clear_run_memo();
         self.maybe_khugepaged();
         self.maybe_kbloatd();
+        self.maybe_governor();
         self.maybe_sample();
         self.recompute_event_horizon();
     }
@@ -579,6 +587,9 @@ impl System {
         }
         if self.thp.utilization_demotion.is_some() {
             next = next.min(self.bloat_next_run);
+        }
+        if let Some(g) = &self.gov {
+            next = next.min(g.next_run);
         }
         if let Some(s) = &self.sampler {
             next = next.min(s.next_due());

@@ -132,6 +132,11 @@ struct ServerState {
     configs_done: AtomicU64,
     configs_failed: AtomicU64,
     rejected: AtomicU64,
+    /// Governor decisions aggregated across every executed (non-cached)
+    /// governed config, for `/metrics`.
+    governor_promotions: AtomicU64,
+    governor_demotions: AtomicU64,
+    governor_denied: AtomicU64,
     retries: u32,
     timeout: Option<Duration>,
     breakers: Arc<CircuitBreakers>,
@@ -185,6 +190,9 @@ impl Server {
             configs_done: AtomicU64::new(0),
             configs_failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            governor_promotions: AtomicU64::new(0),
+            governor_demotions: AtomicU64::new(0),
+            governor_denied: AtomicU64::new(0),
             retries: config.retries,
             timeout: config.timeout,
             breakers: Arc::new(CircuitBreakers::new(BreakerConfig {
@@ -312,6 +320,17 @@ fn run_task(state: &ServerState, task: &Task) {
     let settled = match run_supervised(std::slice::from_ref(&task.exp), &supervisor) {
         Ok(outcome) => match outcome.outcomes.into_iter().next() {
             Some(Ok(report)) => {
+                if let Some(gov) = &report.governor {
+                    state
+                        .governor_promotions
+                        .fetch_add(gov.promotions, Ordering::Relaxed);
+                    state
+                        .governor_demotions
+                        .fetch_add(gov.demotions, Ordering::Relaxed);
+                    state
+                        .governor_denied
+                        .fetch_add(gov.denied_by_fragmentation, Ordering::Relaxed);
+                }
                 let json = report.to_json();
                 if let Err(err) = state.store.put(hash, &json) {
                     eprintln!("graphmem-server: result flush failed for {hash}: {err}");
@@ -559,6 +578,9 @@ struct MetricsSnapshot {
     breaker_open: u64,
     breaker_trips: u64,
     breaker_rejections: u64,
+    governor_promotions: u64,
+    governor_demotions: u64,
+    governor_denied: u64,
 }
 
 impl MetricsSnapshot {
@@ -598,6 +620,9 @@ impl MetricsSnapshot {
             breaker_open: breakers.open.len() as u64,
             breaker_trips: breakers.trips,
             breaker_rejections: breakers.rejections,
+            governor_promotions: state.governor_promotions.load(Ordering::Relaxed),
+            governor_demotions: state.governor_demotions.load(Ordering::Relaxed),
+            governor_denied: state.governor_denied.load(Ordering::Relaxed),
         }
     }
 
@@ -748,6 +773,24 @@ impl MetricsSnapshot {
                 self.breaker_rejections,
                 "counter",
                 "Submissions rejected by an open circuit breaker",
+            ),
+            (
+                "governor_promotions",
+                self.governor_promotions,
+                "counter",
+                "Page-size governor promotions across executed governed configs",
+            ),
+            (
+                "governor_demotions",
+                self.governor_demotions,
+                "counter",
+                "Page-size governor demotions across executed governed configs",
+            ),
+            (
+                "governor_denied",
+                self.governor_denied,
+                "counter",
+                "Governor promotions denied by fragmentation (no contiguity)",
             ),
         ]
     }

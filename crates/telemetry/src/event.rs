@@ -58,6 +58,9 @@ pub enum DemotionReason {
     Swap,
     /// Demoted by the utilization daemon (bloat recovery).
     Utilization,
+    /// Demoted by the page-size governor to free contiguity for a
+    /// hotter region.
+    Governor,
 }
 
 impl DemotionReason {
@@ -65,6 +68,7 @@ impl DemotionReason {
         match self {
             DemotionReason::Swap => "swap",
             DemotionReason::Utilization => "utilization",
+            DemotionReason::Governor => "governor",
         }
     }
 }
@@ -219,6 +223,17 @@ pub enum EventKind {
         /// order, for the experiment service).
         index: u32,
     },
+    /// The page-size governor finished one control epoch.
+    GovernorEpoch {
+        /// Epoch number (1-based).
+        epoch: u32,
+        /// Regions promoted this epoch.
+        promoted: u32,
+        /// Huge mappings demoted this epoch.
+        demoted: u32,
+        /// Promotions denied for lack of contiguity this epoch.
+        denied: u32,
+    },
 }
 
 /// One traced occurrence: a payload stamped with the simulated cycle clock.
@@ -250,6 +265,7 @@ impl EventKind {
             EventKind::ExperimentComplete { .. } => "experiment_complete",
             EventKind::BreakerOpen { .. } => "breaker_open",
             EventKind::BreakerClose { .. } => "breaker_close",
+            EventKind::GovernorEpoch { .. } => "governor_epoch",
         }
     }
 
@@ -272,6 +288,7 @@ impl EventKind {
             EventKind::ExperimentComplete { .. } => EventMask::EXPERIMENT_COMPLETE,
             EventKind::BreakerOpen { .. } => EventMask::BREAKER_OPEN,
             EventKind::BreakerClose { .. } => EventMask::BREAKER_CLOSE,
+            EventKind::GovernorEpoch { .. } => EventMask::GOVERNOR,
         }
     }
 }
@@ -359,6 +376,17 @@ impl Event {
             EventKind::BreakerClose { index } => {
                 o.field_u64("index", index as u64);
             }
+            EventKind::GovernorEpoch {
+                epoch,
+                promoted,
+                demoted,
+                denied,
+            } => {
+                o.field_u64("epoch", epoch as u64);
+                o.field_u64("promoted", promoted as u64);
+                o.field_u64("demoted", demoted as u64);
+                o.field_u64("denied", denied as u64);
+            }
         }
         o.finish()
     }
@@ -403,6 +431,8 @@ impl EventMask {
     pub const BREAKER_OPEN: EventMask = EventMask(1 << 14);
     /// A config's circuit breaker closing after a successful probe.
     pub const BREAKER_CLOSE: EventMask = EventMask(1 << 15);
+    /// Page-size governor epoch summaries.
+    pub const GOVERNOR: EventMask = EventMask(1 << 16);
 
     /// Per-translation hardware events — enormous volume on real runs.
     pub const HARDWARE: EventMask =
@@ -416,7 +446,8 @@ impl EventMask {
             | Self::COMPACTION.0
             | Self::RECLAIM.0
             | Self::BUDDY_SPLIT.0
-            | Self::BUDDY_MERGE.0,
+            | Self::BUDDY_MERGE.0
+            | Self::GOVERNOR.0,
     );
     /// Sweep-supervisor lifecycle events — a handful per experiment.
     pub const SUPERVISOR: EventMask = EventMask(
@@ -550,6 +581,12 @@ mod tests {
                 failures: 5,
             },
             EventKind::BreakerClose { index: 3 },
+            EventKind::GovernorEpoch {
+                epoch: 1,
+                promoted: 2,
+                demoted: 1,
+                denied: 0,
+            },
         ];
         let mut seen = 0u32;
         for k in kinds {

@@ -1,0 +1,78 @@
+//! Closed-loop page-size governance under fragmentation + pressure
+//! (paper §4.4: the scenarios where static THP loses its gain).
+//!
+//! On a fragmented, memory-pressured machine (the paper's Fragmenter +
+//! Memhog methodology), system-wide THP keeps little of its advantage:
+//! fault-time huge allocations are denied for lack of contiguity and the
+//! property array ends up base-paged anyway. The governor turns that
+//! scenario recoverable at runtime — it measures per-region translation
+//! cost each epoch, demotes cold huge mappings when promotions are being
+//! denied, and promotes the measured-hot regions into the contiguity
+//! those demotions (plus compaction) free up.
+//!
+//! ```sh
+//! cargo run --release --bin governor_recovery
+//! ```
+
+use graphmem_core::prelude::*;
+use graphmem_examples::{example_scale, print_comparison};
+
+fn main() {
+    // The governor promotes whole huge-page-aligned subranges, so the hot
+    // property arrays must span at least a few huge pages (256 KiB at the
+    // default order) for runtime promotion to have anything to grab —
+    // floor the scale accordingly even under GRAPHMEM_SCALE=tiny.
+    let scale = example_scale().max(16);
+    // Fragmenter + Memhog: 60% non-movable fragmentation, only +10% WSS
+    // of free memory, and background noise in half of every free huge
+    // region — the paper's hardest §4.4 configuration.
+    let condition = MemoryCondition {
+        surplus: Surplus::FractionOfWss(0.10),
+        fragmentation: 0.6,
+        noise_occupancy: 0.5,
+    };
+    let proto = Experiment::builder(Dataset::Kron25, Kernel::Pagerank)
+        .scale(scale)
+        .condition(condition)
+        .build()
+        .expect("valid config");
+
+    let base = proto.clone().policy(PagePolicy::BaseOnly).run();
+    let thp = proto.clone().policy(PagePolicy::ThpSystemWide).run();
+    let governed = proto
+        .clone()
+        .plan(
+            PageSizePlan::with_policy(PagePolicy::ThpSystemWide).governed(GovernorConfig {
+                epoch_cycles: 2_000_000,
+                promote_cost: 0.5,
+                demote_cost: 0.1,
+                ..GovernorConfig::default()
+            }),
+        )
+        .run();
+
+    print_comparison(
+        "fragmented + pressured (frag 0.6, surplus +10% WSS, noise 0.5)",
+        &[
+            ("4k baseline", &base),
+            ("thp (static)", &thp),
+            ("thp + governor", &governed),
+        ],
+    );
+
+    println!(
+        "\ntranslation share of compute: static thp {:.1}%, governed {:.1}%",
+        thp.translation_overhead() * 100.0,
+        governed.translation_overhead() * 100.0
+    );
+    let gov = governed.governor.as_ref().expect("governor section");
+    println!(
+        "governor [{}]: {} epochs, {} promotions, {} demotions, {} denied by fragmentation",
+        gov.config, gov.epochs, gov.promotions, gov.demotions, gov.denied_by_fragmentation
+    );
+    assert!(
+        governed.translation_overhead() < thp.translation_overhead(),
+        "the governor must recover translation cycles static THP leaves on the table"
+    );
+    assert!(governed.verified && thp.verified && base.verified);
+}
